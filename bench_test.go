@@ -1,0 +1,293 @@
+// Package rupam's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (one benchmark per artifact) plus the
+// DESIGN.md ablations, and includes micro-benchmarks of the simulation
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each evaluation benchmark executes the full experiment at least once per
+// iteration; reported ns/op is the wall cost of regenerating the artifact.
+package rupam
+
+import (
+	"testing"
+
+	"rupam/internal/cluster"
+	"rupam/internal/core"
+	"rupam/internal/experiments"
+	"rupam/internal/hdfs"
+	"rupam/internal/netsim"
+	"rupam/internal/simx"
+	"rupam/internal/sysbench"
+	"rupam/internal/workloads"
+)
+
+// ---- Figures and tables of §IV ---------------------------------------------
+
+// BenchmarkFig2MatrixMultUtilization regenerates the §II-B utilization
+// timeline of the 4K×4K matrix multiplication on the 2-node cluster.
+func BenchmarkFig2MatrixMultUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(uint64(i + 1))
+		if r.Trace.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkFig3TaskSkew regenerates the per-task PageRank breakdown on the
+// heterogeneous 2-node cluster.
+func BenchmarkFig3TaskSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(uint64(i + 1))
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTab4Sysbench regenerates the hardware-characterization table.
+func BenchmarkTab4Sysbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := sysbench.TableIV(); len(rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig5Overall regenerates the overall-performance comparison
+// (every Table III workload under both schedulers, one repetition per
+// benchmark iteration; the paper's five repetitions come from -benchtime
+// or the rupam-bench binary).
+func BenchmarkFig5Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(1)
+		if len(r.Rows) != len(workloads.EvalNames()) {
+			b.Fatal("missing workloads")
+		}
+	}
+}
+
+// BenchmarkFig6IterSpeedup regenerates the LR speedup-vs-iterations curve
+// (a reduced sweep per iteration; the full curve is Fig6Iterations).
+func BenchmarkFig6IterSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6([]int{1, 4, 8}, uint64(i+1))
+		if len(r.Points) != 3 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkTab5Locality regenerates the locality-level table.
+func BenchmarkTab5Locality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Tab5(uint64(i + 1))
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig7Breakdown regenerates the execution-time decomposition of
+// LR, SQL and PR under both schedulers.
+func BenchmarkFig7Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(uint64(i + 1))
+		if len(r.Rows) != 6 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig8Utilization regenerates the average system-utilization
+// comparison.
+func BenchmarkFig8Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(uint64(i + 1))
+		if len(r.Rows) != 6 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig9Balance regenerates the cross-node utilization-spread
+// series for PageRank.
+func BenchmarkFig9Balance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(uint64(i + 1))
+		if len(r.Spark.Times) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// ---- per-workload single runs -----------------------------------------------
+
+func benchWorkload(b *testing.B, workload, sched string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Run(experiments.RunSpec{
+			Workload: workload, Scheduler: sched, Seed: uint64(i + 1),
+		})
+		b.ReportMetric(r.Duration, "sim-sec")
+	}
+}
+
+func BenchmarkWorkloadLRSpark(b *testing.B)       { benchWorkload(b, "LR", "spark") }
+func BenchmarkWorkloadLRRupam(b *testing.B)       { benchWorkload(b, "LR", "rupam") }
+func BenchmarkWorkloadTeraSortSpark(b *testing.B) { benchWorkload(b, "TeraSort", "spark") }
+func BenchmarkWorkloadTeraSortRupam(b *testing.B) { benchWorkload(b, "TeraSort", "rupam") }
+func BenchmarkWorkloadSQLSpark(b *testing.B)      { benchWorkload(b, "SQL", "spark") }
+func BenchmarkWorkloadSQLRupam(b *testing.B)      { benchWorkload(b, "SQL", "rupam") }
+func BenchmarkWorkloadPRSpark(b *testing.B)       { benchWorkload(b, "PR", "spark") }
+func BenchmarkWorkloadPRRupam(b *testing.B)       { benchWorkload(b, "PR", "rupam") }
+func BenchmarkWorkloadTCSpark(b *testing.B)       { benchWorkload(b, "TC", "spark") }
+func BenchmarkWorkloadTCRupam(b *testing.B)       { benchWorkload(b, "TC", "rupam") }
+func BenchmarkWorkloadGMSpark(b *testing.B)       { benchWorkload(b, "GM", "spark") }
+func BenchmarkWorkloadGMRupam(b *testing.B)       { benchWorkload(b, "GM", "rupam") }
+func BenchmarkWorkloadKMeansSpark(b *testing.B)   { benchWorkload(b, "KMeans", "spark") }
+func BenchmarkWorkloadKMeansRupam(b *testing.B)   { benchWorkload(b, "KMeans", "rupam") }
+
+// ---- ablations (DESIGN.md) ---------------------------------------------------
+
+func benchAblation(b *testing.B, workload string, cfg core.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Run(experiments.RunSpec{
+			Workload:  workload,
+			Scheduler: experiments.SchedRUPAM,
+			RUPAM:     cfg,
+			Seed:      uint64(i + 1),
+		})
+		b.ReportMetric(r.Duration, "sim-sec")
+	}
+}
+
+// BenchmarkAblationResFactor sweeps Algorithm 1's sensitivity threshold.
+func BenchmarkAblationResFactor(b *testing.B) {
+	for _, f := range []float64{1.2, 2, 4} {
+		f := f
+		b.Run(benchName("resfactor", f), func(b *testing.B) {
+			benchAblation(b, "LR", core.Config{ResFactor: f})
+		})
+	}
+}
+
+// BenchmarkAblationNodeLocking disables §III-C1's best-node pinning.
+func BenchmarkAblationNodeLocking(b *testing.B) {
+	benchAblation(b, "LR", core.Config{DisableLocking: true})
+}
+
+// BenchmarkAblationMemoryAware disables the memory-fit check, dynamic
+// executor sizing, and memory-straggler reclamation.
+func BenchmarkAblationMemoryAware(b *testing.B) {
+	benchAblation(b, "PR", core.Config{DisableMemAware: true})
+}
+
+// BenchmarkAblationRoundRobin drains resource queues in fixed order.
+func BenchmarkAblationRoundRobin(b *testing.B) {
+	benchAblation(b, "TeraSort", core.Config{DisableRR: true})
+}
+
+// BenchmarkAblationGPURace makes GPU tasks wait for accelerator nodes.
+func BenchmarkAblationGPURace(b *testing.B) {
+	benchAblation(b, "KMeans", core.Config{DisableGPURace: true})
+}
+
+func benchName(prefix string, v float64) string {
+	switch v {
+	case 1.2:
+		return prefix + "-1.2"
+	case 2:
+		return prefix + "-2"
+	case 4:
+		return prefix + "-4"
+	}
+	return prefix
+}
+
+// ---- substrate micro-benchmarks ----------------------------------------------
+
+// BenchmarkSimxEventLoop measures raw event throughput of the kernel.
+func BenchmarkSimxEventLoop(b *testing.B) {
+	eng := simx.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(0.001, tick)
+		}
+	}
+	eng.Schedule(0.001, tick)
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkPSResourceChurn measures claim acquire/complete cycles under
+// contention.
+func BenchmarkPSResourceChurn(b *testing.B) {
+	eng := simx.NewEngine()
+	r := simx.NewPSResource(eng, "cpu", 16, 2)
+	n := 0
+	var spawn func()
+	spawn = func() {
+		n++
+		if n < b.N {
+			r.Acquire(0.5, spawn)
+		}
+	}
+	for i := 0; i < 32 && i < b.N; i++ {
+		n++
+		r.Acquire(0.5, spawn)
+	}
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkNetsimWaterfill measures max-min reallocation with many
+// concurrent flows (a full shuffle wave).
+func BenchmarkNetsimWaterfill(b *testing.B) {
+	eng := simx.NewEngine()
+	net := netsim.New(eng)
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		net.AddNode(names[i], 125e6, 125e6)
+	}
+	for i := 0; i < 144; i++ {
+		net.Start(names[i%12], names[(i/12+1)%12], 1e12, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Sync() // forces a full waterfill pass
+	}
+}
+
+// BenchmarkHydraConstruction measures cluster model setup.
+func BenchmarkHydraConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := simx.NewEngine()
+		clu := cluster.New(eng)
+		cluster.NewHydra(clu)
+		if len(clu.Nodes) != 12 {
+			b.Fatal("bad cluster")
+		}
+	}
+}
+
+// BenchmarkWorkloadCompile measures plan compilation (the DAG scheduler).
+func BenchmarkWorkloadCompile(b *testing.B) {
+	eng := simx.NewEngine()
+	clu := cluster.New(eng)
+	cluster.NewHydra(clu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := hdfs.NewStore(clu.NodeNames(), 2, uint64(i+1))
+		app := workloads.Build("PR", store, workloads.Params{})
+		if app.NumTasks() == 0 {
+			b.Fatal("empty app")
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Command hydra-sysbench prints the simulated Hydra cluster's hardware
+// specifications (Table II) and runs the SysBench/Iperf characterization
+// benchmarks against the node models (Table IV).
+package main
+
+import (
+	"os"
+
+	"rupam/internal/experiments"
+)
+
+func main() {
+	experiments.TableII(os.Stdout)
+	os.Stdout.WriteString("\n")
+	experiments.TableIV(os.Stdout)
+}

@@ -1,0 +1,133 @@
+// Command rupam-bench regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated Hydra cluster and prints the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations]
+//	            [-runs N] [-seed N] [-csv DIR]
+//
+// fig5 runs every workload under both schedulers -runs times (default 5,
+// as in the paper); everything else uses a single seeded run. With -csv,
+// the raw series behind Figures 2, 3 and 9 are also written as CSV files
+// into DIR for replotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rupam/internal/experiments"
+	"rupam/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to regenerate")
+	runs := flag.Int("runs", 5, "repetitions for fig5")
+	seed := flag.Uint64("seed", 1, "base PRNG seed")
+	csvDir := flag.String("csv", "", "directory for raw CSV series (fig2, fig3, fig9)")
+	flag.Parse()
+
+	writeCSV := func(name string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		start := time.Now()
+		fn()
+		fmt.Fprintf(w, "(generated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+	}
+
+	all := *exp == "all"
+	matched := false
+	if all || *exp == "tab2" {
+		matched = true
+		run("Table II", func() { experiments.TableII(w) })
+	}
+	if all || *exp == "tab4" {
+		matched = true
+		run("Table IV", func() { experiments.TableIV(w) })
+	}
+	if all || *exp == "fig2" {
+		matched = true
+		run("Figure 2", func() {
+			r := experiments.Fig2(*seed)
+			r.Print(w)
+			writeCSV("fig2_trace.csv", func(f *os.File) error {
+				return metrics.WriteTraceCSV(f, r.Trace)
+			})
+		})
+	}
+	if all || *exp == "fig3" {
+		matched = true
+		run("Figure 3", func() {
+			r := experiments.Fig3(*seed)
+			r.Print(w)
+			writeCSV("fig3_tasks.csv", func(f *os.File) error {
+				return metrics.WriteTaskRowsCSV(f, r.Rows)
+			})
+		})
+	}
+	if all || *exp == "fig5" {
+		matched = true
+		run("Figure 5", func() { experiments.Fig5(*runs).Print(w) })
+	}
+	if all || *exp == "fig6" {
+		matched = true
+		run("Figure 6", func() { experiments.Fig6(nil, *seed).Print(w) })
+	}
+	if all || *exp == "tab5" {
+		matched = true
+		run("Table V", func() { experiments.Tab5(*seed).Print(w) })
+	}
+	if all || *exp == "fig7" {
+		matched = true
+		run("Figure 7", func() { experiments.Fig7(*seed).Print(w) })
+	}
+	if all || *exp == "fig8" {
+		matched = true
+		run("Figure 8", func() { experiments.Fig8(*seed).Print(w) })
+	}
+	if all || *exp == "fig9" {
+		matched = true
+		run("Figure 9", func() {
+			r := experiments.Fig9(*seed)
+			r.Print(w)
+			writeCSV("fig9_spark.csv", func(f *os.File) error {
+				return metrics.WriteBalanceCSV(f, r.Spark)
+			})
+			writeCSV("fig9_rupam.csv", func(f *os.File) error {
+				return metrics.WriteBalanceCSV(f, r.RUPAM)
+			})
+		})
+	}
+	if all || *exp == "ablations" {
+		matched = true
+		run("Ablations", func() { experiments.Ablations(*seed).Print(w) })
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "rupam-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,93 @@
+// Command rupam-sim runs one workload on the simulated cluster under a
+// chosen task scheduler and prints an execution report: total time,
+// per-job times, breakdown, locality table, and failure counters.
+//
+// Usage:
+//
+//	rupam-sim -workload PR [-scheduler rupam|spark] [-cluster hydra|motivation]
+//	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
+//	          [-chardb FILE]
+//
+// With -chardb, RUPAM's task-characteristics database (DB_taskchar) is
+// loaded from FILE before the run (if it exists) and saved back after —
+// the paper's observation that data centers re-run the same applications
+// periodically, letting characterization carry across job runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"rupam/internal/experiments"
+	"rupam/internal/metrics"
+	"rupam/internal/spark"
+	"rupam/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "PR", "workload: "+strings.Join(workloads.Names(), ", "))
+	scheduler := flag.String("scheduler", "rupam", "task scheduler: spark or rupam")
+	clusterName := flag.String("cluster", "hydra", "cluster topology: hydra or motivation")
+	input := flag.Float64("input", 0, "input size in GB (0 = Table III default)")
+	partitions := flag.Int("partitions", 0, "input partitions (0 = default)")
+	iterations := flag.Int("iterations", 0, "iterations (0 = default)")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	compare := flag.Bool("compare", false, "run under both schedulers and compare")
+	charDB := flag.String("chardb", "", "persist RUPAM's DB_taskchar across invocations")
+	flag.Parse()
+
+	params := workloads.Params{
+		InputGB:    *input,
+		Partitions: *partitions,
+		Iterations: *iterations,
+	}
+	spec := experiments.RunSpec{
+		Workload:  *workload,
+		Scheduler: *scheduler,
+		Cluster:   *clusterName,
+		Params:    params,
+		Seed:      *seed,
+	}
+
+	if *compare {
+		spec.Scheduler = experiments.SchedSpark
+		sparkRes := experiments.Run(spec)
+		spec.Scheduler = experiments.SchedRUPAM
+		rupamRes := experiments.Run(spec)
+		report(sparkRes)
+		report(rupamRes)
+		fmt.Printf("speedup (spark/rupam): %.2fx\n", sparkRes.Duration/rupamRes.Duration)
+		return
+	}
+	if *charDB != "" && spec.Scheduler == experiments.SchedRUPAM {
+		res, db := experiments.RunWithCharDB(spec, *charDB)
+		report(res)
+		fmt.Printf("DB_taskchar: %d task records persisted to %s\n", db, *charDB)
+		return
+	}
+	report(experiments.Run(spec))
+}
+
+func report(r *spark.Result) {
+	fmt.Printf("== %s under %s ==\n", r.App.Name, r.Scheduler)
+	fmt.Printf("execution time: %.1fs   tasks: %d   launches: %d\n",
+		r.Duration, r.App.NumTasks(), r.Launches)
+	fmt.Printf("failures: %d OOMs, %d worker crashes, %d cache evictions, %d memory-straggler kills\n",
+		r.OOMs, r.Crashes, r.Evictions, r.MemKills)
+	fmt.Printf("speculative copies: %d   heartbeats: %d\n", r.SpecCopies, r.Heartbeats)
+
+	prev := 0.0
+	for i, je := range r.JobEnds {
+		fmt.Printf("  job %2d/%d finished at %7.1fs (+%6.1fs)\n", i+1, len(r.JobEnds), je, je-prev)
+		prev = je
+	}
+
+	b := metrics.AppBreakdown(r.App)
+	fmt.Printf("breakdown (task-seconds): compute=%.1f gc=%.1f sched=%.2f shuffle-disk=%.1f shuffle-net=%.1f\n",
+		b.Compute, b.GC, b.Scheduler, b.ShuffleDisk, b.ShuffleNet)
+
+	lc := metrics.AppLocality(r.App)
+	fmt.Printf("locality: PROCESS=%d NODE=%d RACK=%d ANY=%d\n\n",
+		lc.Process, lc.Node, lc.Rack, lc.Any)
+}

@@ -1,0 +1,3 @@
+module rupam
+
+go 1.22

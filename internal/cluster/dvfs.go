@@ -1,0 +1,84 @@
+package cluster
+
+import "rupam/internal/simx"
+
+// DVFS models workload-aware CPU frequency scaling — the reason the
+// paper's Table I treats cpufreq as a *dynamic* node metric rather than a
+// static spec. A governor periodically adjusts a node's effective clock
+// between MinFraction×base and base according to recent load, so an idle
+// machine reports a lower frequency to the Resource Monitor than a busy
+// one, and a task landing on a just-woken node ramps up with it.
+type DVFS struct {
+	eng      *simx.Engine
+	node     *Node
+	base     float64 // spec frequency in GHz
+	minFrac  float64
+	interval float64
+	timer    *simx.Timer
+	stopped  bool
+
+	// Adjustments counts frequency changes applied (test/report hook).
+	Adjustments int
+}
+
+// StartDVFS attaches an on-demand-style governor to the node. minFrac is
+// the idle floor as a fraction of base frequency (e.g. 0.5); interval is
+// the governor period in seconds. It returns the governor, already
+// running.
+func StartDVFS(eng *simx.Engine, node *Node, minFrac, interval float64) *DVFS {
+	if minFrac <= 0 || minFrac > 1 {
+		minFrac = 0.5
+	}
+	if interval <= 0 {
+		interval = 0.5
+	}
+	g := &DVFS{
+		eng:      eng,
+		node:     node,
+		base:     node.Spec.FreqGHz,
+		minFrac:  minFrac,
+		interval: interval,
+	}
+	g.tick()
+	return g
+}
+
+// Stop halts the governor, restoring the base frequency.
+func (g *DVFS) Stop() {
+	g.stopped = true
+	if g.timer != nil {
+		g.timer.Cancel()
+		g.timer = nil
+	}
+	g.setFreq(g.base)
+}
+
+// CurrentFreq returns the node's effective per-core frequency in GHz.
+func (g *DVFS) CurrentFreq() float64 {
+	return g.node.CPU.Capacity() / float64(g.node.Spec.Cores)
+}
+
+func (g *DVFS) tick() {
+	if g.stopped {
+		return
+	}
+	// On-demand governor: jump to max under any meaningful load, decay
+	// toward the floor when idle.
+	util := g.node.CPU.Utilization()
+	target := g.base * g.minFrac
+	if util > 0.05 {
+		target = g.base
+	}
+	g.setFreq(target)
+	g.timer = g.eng.Schedule(g.interval, g.tick)
+}
+
+func (g *DVFS) setFreq(f float64) {
+	cur := g.CurrentFreq()
+	if cur == f {
+		return
+	}
+	g.Adjustments++
+	g.node.CPU.SetCapacity(f * float64(g.node.Spec.Cores))
+	g.node.CPU.SetPerClaimCap(f)
+}

@@ -1,0 +1,197 @@
+package core
+
+import "rupam/internal/task"
+
+// TaskKey identifies "the same task" across jobs and iterations: the
+// stage's computation signature plus the partition index (§III-B2: data
+// centers run the same application on similarly-patterned input
+// periodically, so history transfers).
+type TaskKey struct {
+	Signature string
+	Partition int
+}
+
+// Record is one task's accumulated history — the right-hand columns of
+// Table I.
+type Record struct {
+	Key TaskKey
+
+	// Latest observed metrics.
+	ComputeTime  float64
+	GPU          bool
+	PeakMemory   int64
+	ShuffleRead  float64
+	ShuffleWrite float64
+
+	// OptExecutor is the node with the lowest observed runtime so far,
+	// and BestTime that runtime.
+	OptExecutor string
+	BestTime    float64
+
+	// HistoryResource is the set of bottleneck resources TM has
+	// determined for this task over its lifetime.
+	HistoryResource map[Resource]bool
+	// BottleneckCounts tallies how often each resource was the task's
+	// bottleneck; classification follows the majority so that one noisy
+	// run cannot re-route a task (§III-C1's fluctuation damping).
+	BottleneckCounts [NumResources]int
+
+	// Runs counts successful observations.
+	Runs int
+	// OOMNodes remembers nodes where the task hit out-of-memory, so the
+	// dispatcher avoids repeating the mistake.
+	OOMNodes map[string]bool
+}
+
+// MajorityBottleneck returns the most frequently observed bottleneck and
+// whether any observation exists; ties go to the lowest Resource value,
+// which the caller breaks with the freshest classification.
+func (r *Record) MajorityBottleneck() (Resource, int, bool) {
+	best, n := CPU, 0
+	for i, c := range r.BottleneckCounts {
+		if c > n {
+			best, n = Resource(i), c
+		}
+	}
+	return best, n, n > 0
+}
+
+// Locked reports whether the task should be pinned to OptExecutor: either
+// the paper's strict Algorithm 2 condition (history covers all five
+// resources) or the practical condition of lockAfterRuns stable
+// observations (§III-C1's "locking of a task to the node on which it
+// gives the best observed performance").
+func (r *Record) Locked(lockAfterRuns int) bool {
+	if r.OptExecutor == "" {
+		return false
+	}
+	if len(r.HistoryResource) >= NumResources {
+		return true
+	}
+	return lockAfterRuns > 0 && r.Runs >= lockAfterRuns
+}
+
+// dbOp is one queued write for the helper thread.
+type dbOp struct {
+	key TaskKey
+	rec Record
+}
+
+// CharDB is the task-characteristics database (DB_taskchar). Writes go
+// through an asynchronous write-behind queue served by a helper, exactly
+// as §III-B2 describes; reads consult the queue before the backing store
+// so in-flight updates are visible.
+type CharDB struct {
+	store map[TaskKey]*Record
+	queue []dbOp
+
+	// Reads/Writes/QueueHits count accesses for overhead reporting.
+	Reads     int
+	Writes    int
+	QueueHits int
+}
+
+// NewCharDB returns an empty database.
+func NewCharDB() *CharDB {
+	return &CharDB{store: make(map[TaskKey]*Record)}
+}
+
+// KeyFor derives the database key for a task in a stage.
+func KeyFor(st *task.Stage, t *task.Task) TaskKey {
+	return TaskKey{Signature: st.Signature, Partition: t.Index}
+}
+
+// Lookup returns the task's record, consulting pending writes first, or
+// nil if the task has never been observed.
+func (db *CharDB) Lookup(key TaskKey) *Record {
+	db.Reads++
+	for i := len(db.queue) - 1; i >= 0; i-- {
+		if db.queue[i].key == key {
+			db.QueueHits++
+			rec := db.queue[i].rec
+			return &rec
+		}
+	}
+	if r, ok := db.store[key]; ok {
+		rec := *r
+		return &rec
+	}
+	return nil
+}
+
+// Update enqueues a metrics observation for the task; it merges with the
+// task's existing record (flushed or queued) and appends to the write
+// queue.
+func (db *CharDB) Update(key TaskKey, m *task.Metrics, bottleneck Resource, hasBottleneck bool) {
+	db.Writes++
+	rec := db.Lookup(key)
+	db.Reads-- // internal read, not an external access
+	if rec == nil {
+		rec = &Record{
+			Key:             key,
+			HistoryResource: make(map[Resource]bool),
+			OOMNodes:        make(map[string]bool),
+		}
+	}
+	if rec.HistoryResource == nil {
+		rec.HistoryResource = make(map[Resource]bool)
+	}
+	if rec.OOMNodes == nil {
+		rec.OOMNodes = make(map[string]bool)
+	}
+	if m.OOM {
+		rec.OOMNodes[m.Executor] = true
+	} else if !m.Killed {
+		if rec.Runs == 0 {
+			rec.ComputeTime = m.ComputeTime
+			rec.ShuffleRead = m.ShuffleReadTime
+			rec.ShuffleWrite = m.ShuffleWriteTime
+		} else {
+			// Exponential smoothing damps run-to-run fluctuations (a task
+			// that paid a one-off slow shuffle must not flip-flop between
+			// bottleneck classes every iteration, §III-C1).
+			const alpha = 0.5
+			rec.ComputeTime = (1-alpha)*rec.ComputeTime + alpha*m.ComputeTime
+			rec.ShuffleRead = (1-alpha)*rec.ShuffleRead + alpha*m.ShuffleReadTime
+			rec.ShuffleWrite = (1-alpha)*rec.ShuffleWrite + alpha*m.ShuffleWriteTime
+		}
+		rec.GPU = rec.GPU || m.UsedGPU
+		rec.PeakMemory = m.PeakMemory
+		rec.Runs++
+		if hasBottleneck {
+			rec.HistoryResource[bottleneck] = true
+			rec.BottleneckCounts[bottleneck]++
+		}
+		d := m.Duration()
+		if rec.BestTime == 0 || d < rec.BestTime {
+			rec.BestTime = d
+			rec.OptExecutor = m.Executor
+		}
+	}
+	db.queue = append(db.queue, dbOp{key: key, rec: *rec})
+}
+
+// Flush drains the write queue into the backing store (the helper
+// thread's periodic service); returns the number of writes applied.
+func (db *CharDB) Flush() int {
+	n := len(db.queue)
+	for _, op := range db.queue {
+		rec := op.rec
+		db.store[op.key] = &rec
+	}
+	db.queue = db.queue[:0]
+	return n
+}
+
+// Size returns the number of distinct tasks with flushed records.
+func (db *CharDB) Size() int { return len(db.store) }
+
+// PendingWrites returns the write-queue depth.
+func (db *CharDB) PendingWrites() int { return len(db.queue) }
+
+// Clear empties the database (the paper clears DB_taskchar between
+// repetitions of each experiment).
+func (db *CharDB) Clear() {
+	db.store = make(map[TaskKey]*Record)
+	db.queue = nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
+	"rupam/internal/rdd"
+	"rupam/internal/spark"
+	"rupam/internal/task"
+)
+
+func TestDisableRRFixedOrder(t *testing.T) {
+	s := New(Config{DisableRR: true})
+	w := newWorld(t)
+	rt := spark.NewRuntime(w.eng, w.clu, s, spark.Config{})
+	for _, n := range w.clu.Nodes {
+		executor.New(w.eng, w.clu, n, rt.Cache, rt.Execs, executor.Config{
+			HeapBytes: s.HeapFor(n), Seed: 1,
+		})
+	}
+	for _, n := range w.clu.Nodes {
+		s.offerNode(n)
+	}
+	// Fixed order always drains CPU first.
+	res, _, ok := s.dequeueRR()
+	if !ok || res != CPU {
+		t.Fatalf("first dequeue = %v (ok=%v), want CPU under DisableRR", res, ok)
+	}
+	res2, _, _ := s.dequeueRR()
+	if res2 != CPU {
+		t.Fatalf("second dequeue = %v, want CPU again (fixed order)", res2)
+	}
+}
+
+func TestMemoryStragglerReclaim(t *testing.T) {
+	w := newWorld(t)
+	ctx := rdd.NewContext("app", w.store, 1)
+	// A stage whose tasks overflow the fast node's heap only if the
+	// scheduler mis-places them; force the situation by disabling the
+	// fit-check... instead test the reclaim hook directly.
+	ctx.Read(w.store.CreateEven("in", 80*1e6, 4)).
+		Map("m", rdd.Profile{CPUPerByte: 1000e-9, MemBase: 4 * cluster.GB}).
+		Count("j")
+	sched := New(Config{})
+	rt := spark.NewRuntime(w.eng, w.clu, sched, spark.Config{Seed: 1})
+
+	// Drive the run but inject memory pressure on "fast" mid-flight: fill
+	// its heap so the heartbeat sees <5% free and kills the hungriest.
+	w.eng.Schedule(3, func() {
+		ex := rt.Execs["fast"]
+		if ex == nil || ex.RunningTasks() == 0 {
+			return
+		}
+		free := ex.Heap().Free()
+		if free > ex.Heap().Capacity()/100 {
+			ex.Heap().ForceAlloc(free - ex.Heap().Capacity()/200)
+		}
+		// The next heartbeat should trigger reclaimMemory; release the
+		// artificial pressure shortly after so the run completes.
+		w.eng.Schedule(2, func() {
+			used := ex.Heap().Used()
+			cacheB := rt.Cache.NodeBytes("fast")
+			var taskB int64
+			for _, r := range ex.Running() {
+				taskB += r.Task().Demand.PeakMemory
+			}
+			if extra := used - cacheB - taskB; extra > 0 {
+				ex.Heap().Release(extra)
+			}
+		})
+	})
+	res := rt.Run(ctx.App())
+	for _, tk := range res.App.AllTasks() {
+		if tk.State != task.Finished {
+			t.Fatalf("%s unfinished", tk)
+		}
+	}
+	// The kill counter may or may not fire depending on timing; the test's
+	// real assertion is that injection + reclaim never wedges the run.
+}
+
+func TestRescueStarvationLaunches(t *testing.T) {
+	w := newWorld(t)
+	s := New(Config{})
+	rt := spark.NewRuntime(w.eng, w.clu, s, spark.Config{})
+	for _, n := range w.clu.Nodes {
+		executor.New(w.eng, w.clu, n, rt.Cache, rt.Execs, executor.Config{
+			HeapBytes: s.HeapFor(n), Seed: 1,
+		})
+	}
+	// A pending task with no offers anywhere: rescueStarvation must place
+	// it rather than deadlock.
+	st := &task.Stage{ID: 1, Signature: "x", Kind: task.ShuffleMap}
+	tk := &task.Task{ID: 1, StageID: 1, Kind: task.ShuffleMap,
+		Demand: task.Demand{CPUWork: 1, PeakMemory: cluster.MB}}
+	st.Tasks = []*task.Task{tk}
+	// The runtime normally wires stageOf during submitJob; without a full
+	// app the rescue path cannot resolve the stage, so this exercises the
+	// "no crash on unknown stage" property.
+	s.taskQ[CPU] = append(s.taskQ[CPU], tk)
+	s.pendingSince[tk.ID] = 0
+	s.rescueStarvation() // must not panic
+}
+
+func TestOOMNodeAvoidance(t *testing.T) {
+	w := newWorld(t)
+	s := New(Config{})
+	rt := spark.NewRuntime(w.eng, w.clu, s, spark.Config{})
+	_ = rt
+	key := TaskKey{Signature: "sig", Partition: 0}
+	s.db.Update(key, &task.Metrics{Executor: "fast", OOM: true}, CPU, false)
+	s.db.Update(key, &task.Metrics{Executor: "bigmem", Launch: 0, End: 5, ComputeTime: 4}, CPU, true)
+	s.db.Flush()
+	rec := s.db.Lookup(key)
+	if !rec.OOMNodes["fast"] {
+		t.Fatal("OOM node not remembered")
+	}
+	if rec.OptExecutor != "bigmem" {
+		t.Fatal("successful node not the optimum")
+	}
+}
+
+func TestGPUOfferGating(t *testing.T) {
+	w := newWorld(t)
+	s := New(Config{})
+	rt := spark.NewRuntime(w.eng, w.clu, s, spark.Config{})
+	for _, n := range w.clu.Nodes {
+		executor.New(w.eng, w.clu, n, rt.Cache, rt.Execs, executor.Config{
+			HeapBytes: s.HeapFor(n), Seed: 1,
+		})
+	}
+	gpuNode := w.clu.Node("gpu")
+	s.offerNode(gpuNode)
+	if len(s.nodeQ[GPU]) != 1 {
+		t.Fatalf("idle GPU node not offered on the GPU queue: %d", len(s.nodeQ[GPU]))
+	}
+	// Take the accelerator: the node must stop appearing on the GPU queue.
+	gpuNode.GPU.TryAcquire()
+	s.nodeQ[GPU] = nil
+	s.offerNode(gpuNode)
+	if len(s.nodeQ[GPU]) != 0 {
+		t.Fatal("busy GPU still offered")
+	}
+}
+
+func TestAblationFlagsChangeHeapPolicy(t *testing.T) {
+	w := newWorld(t)
+	full := New(Config{})
+	ablated := New(Config{DisableMemAware: true, StaticHeapBytes: 3 * cluster.GB})
+	rtA := spark.NewRuntime(w.eng, w.clu, full, spark.Config{})
+	_ = rtA
+	n := w.clu.Node("bigmem")
+	if full.HeapFor(n) == ablated.HeapFor(n) {
+		t.Fatal("DisableMemAware did not change executor sizing")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rupam/internal/rdd"
+	"rupam/internal/spark"
+	"rupam/internal/task"
+)
+
+func populatedDB(t *testing.T) *CharDB {
+	t.Helper()
+	db := NewCharDB()
+	db.Update(TaskKey{"grad", 0}, &task.Metrics{
+		Executor: "thor1", Launch: 0, End: 10, ComputeTime: 8,
+		ShuffleReadTime: 1, PeakMemory: 1 << 28,
+	}, CPU, true)
+	db.Update(TaskKey{"grad", 0}, &task.Metrics{
+		Executor: "thor2", Launch: 0, End: 8, ComputeTime: 7,
+	}, CPU, true)
+	db.Update(TaskKey{"join", 3}, &task.Metrics{
+		Executor: "hulk1", OOM: true,
+	}, CPU, false)
+	db.Update(TaskKey{"blas", 1}, &task.Metrics{
+		Executor: "stack1", Launch: 0, End: 4, UsedGPU: true,
+	}, GPU, true)
+	db.Flush()
+	return db
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := populatedDB(t)
+	var buf strings.Builder
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewCharDB()
+	if err := restored.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.RecordCount() != db.RecordCount() {
+		t.Fatalf("records: %d vs %d", restored.RecordCount(), db.RecordCount())
+	}
+	rec := restored.Lookup(TaskKey{"grad", 0})
+	if rec == nil {
+		t.Fatal("grad record lost")
+	}
+	if rec.Runs != 2 || rec.OptExecutor != "thor2" || rec.BestTime != 8 {
+		t.Fatalf("grad record corrupted: %+v", rec)
+	}
+	if !rec.HistoryResource[CPU] || rec.BottleneckCounts[CPU] != 2 {
+		t.Fatalf("history lost: %+v", rec)
+	}
+	oom := restored.Lookup(TaskKey{"join", 3})
+	if oom == nil || !oom.OOMNodes["hulk1"] {
+		t.Fatal("OOM node lost")
+	}
+	gpu := restored.Lookup(TaskKey{"blas", 1})
+	if gpu == nil || !gpu.GPU {
+		t.Fatal("GPU flag lost")
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	db := populatedDB(t)
+	var a, b strings.Builder
+	if err := db.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Save output differs between calls")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := NewCharDB()
+	if err := db.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWarmStartSpeedsSecondRun(t *testing.T) {
+	// Two identical apps back to back: the second, warm-started from the
+	// first scheduler's DB, must not be slower — the paper's periodic-job
+	// observation (§III-B2).
+	runOnce := func(warmFrom *RUPAM) (float64, *RUPAM) {
+		w := newWorld(t)
+		ctx := rdd.NewContext("app", w.store, 3)
+		pts := ctx.Read(w.store.CreateEven("in", 400*1e6, 8)).
+			Map("parse", rdd.Profile{CPUPerByte: 3e-9, MemPerByte: 1.2}).Cache()
+		for i := 0; i < 3; i++ {
+			pts.Map("grad", rdd.Profile{CPUPerByte: 200e-9, OutRatio: 1e-4}).
+				Shuffle("sum", rdd.Profile{}, 2).Count("iter")
+		}
+		sched := New(Config{})
+		if warmFrom != nil {
+			sched.WarmStartFrom(warmFrom)
+		}
+		rt := spark.NewRuntime(w.eng, w.clu, sched, spark.Config{Seed: 3})
+		res := rt.Run(ctx.App())
+		return res.Duration, sched
+	}
+	cold, sched := runOnce(nil)
+	warm, _ := runOnce(sched)
+	if warm > cold*1.05 {
+		t.Fatalf("warm start slower than cold: %v vs %v", warm, cold)
+	}
+	if sched.DB().RecordCount() == 0 {
+		t.Fatal("first run recorded nothing")
+	}
+}

@@ -1,0 +1,898 @@
+package core
+
+import (
+	"sort"
+
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
+	"rupam/internal/hdfs"
+	"rupam/internal/monitor"
+	"rupam/internal/spark"
+	"rupam/internal/task"
+)
+
+// Config tunes RUPAM. The zero value takes the paper's defaults; the
+// Disable* switches exist for the ablation benchmarks.
+type Config struct {
+	// ResFactor is Algorithm 1's sensitivity threshold: a task is
+	// compute-bound if computeTime > ResFactor × max(shuffleRead,
+	// shuffleWrite), and network-bound if shuffleRead > ResFactor ×
+	// shuffleWrite (paper example: 2).
+	ResFactor float64
+	// ReserveBytes is left to the OS when sizing each node's executor
+	// heap (dynamic executor sizing, §III-C2).
+	ReserveBytes int64
+	// LockAfterRuns pins a task to its best-observed node after this many
+	// successful observations (§III-C1's locking; Algorithm 2's strict
+	// all-five-resources condition also locks).
+	LockAfterRuns int
+	// LockTimeout unpins a locked task that has waited this long for its
+	// preferred node, preventing starvation.
+	LockTimeout float64
+	// OvercommitFactor bounds running tasks per node at factor × cores
+	// when over-committing idle resources (§III-C2).
+	OvercommitFactor float64
+	// UtilThreshold is the utilization above which a node stops being
+	// offered for that resource dimension.
+	UtilThreshold float64
+	// LowMemFrac triggers memory-straggler reclamation when a node's free
+	// heap falls below this fraction (§III-C3).
+	LowMemFrac float64
+	// GPURaceMinRun is how long a GPU-capable task must have run on a CPU
+	// before a racing copy is considered for an idle GPU node.
+	GPURaceMinRun float64
+	// UnknownPatience is how long an uncharacterized task holds out for
+	// its preferred (data-local) nodes before any node may take it.
+	UnknownPatience float64
+
+	// Ablation switches.
+	DisableLocking  bool // no best-node pinning
+	DisableMemAware bool // no memory-fit check, no dynamic heap, no mem stragglers
+	DisableRR       bool // drain resource queues in fixed order instead of round-robin
+	DisableGPURace  bool // GPU tasks wait for GPU nodes; no dual-version copies
+
+	// StaticHeapBytes is only used with DisableMemAware, to mirror the
+	// default scheduler's fixed executor size.
+	StaticHeapBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ResFactor == 0 {
+		c.ResFactor = 2
+	}
+	if c.ReserveBytes == 0 {
+		c.ReserveBytes = 2 * cluster.GB
+	}
+	if c.LockAfterRuns == 0 {
+		c.LockAfterRuns = 3
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = 5
+	}
+	if c.OvercommitFactor == 0 {
+		c.OvercommitFactor = 1.3
+	}
+	if c.UtilThreshold == 0 {
+		c.UtilThreshold = 0.9
+	}
+	if c.LowMemFrac == 0 {
+		c.LowMemFrac = 0.05
+	}
+	if c.GPURaceMinRun == 0 {
+		c.GPURaceMinRun = 2
+	}
+	if c.UnknownPatience == 0 {
+		c.UnknownPatience = 4
+	}
+	if c.StaticHeapBytes == 0 {
+		c.StaticHeapBytes = 14 * cluster.GB
+	}
+	return c
+}
+
+// nodeOffer is one entry in a resource queue: a node ready to run a task
+// of that dimension. Offers order the paper's way — capacity/capability
+// descending first, utilization ascending second — so the most capable
+// node always wins while it still accepts work.
+type nodeOffer struct {
+	node string
+	cap  float64 // static capability for the dimension
+	util float64 // current utilization of the dimension
+	seq  uint64
+}
+
+// better reports whether offer a should be dequeued before b.
+func (a nodeOffer) better(b nodeOffer) bool {
+	if a.cap != b.cap {
+		return a.cap > b.cap
+	}
+	if a.util != b.util {
+		return a.util < b.util
+	}
+	return a.seq < b.seq
+}
+
+// RUPAM is the scheduler. It implements spark.Scheduler.
+type RUPAM struct {
+	cfg Config
+	rt  *spark.Runtime
+	db  *CharDB
+
+	// Task Queues: pending tasks by dominant resource. A task may appear
+	// in several queues (first-sighting map tasks go in all five); stale
+	// entries are skipped lazily via task state.
+	taskQ [NumResources][]*task.Task
+
+	// Resource Queues: node offers per dimension, refilled on heartbeat
+	// and task completion, drained every dispatch round.
+	nodeQ [NumResources][]nodeOffer
+
+	// gpuStage marks stage signatures observed using a GPU; all tasks of
+	// such stages are treated as GPU tasks (§III-B2).
+	gpuStage map[string]bool
+
+	pendingSince map[int]float64 // taskID → enqueue time, for lock timeout
+
+	// inFlight counts launched-but-unfinished attempts per node per
+	// dimension (the queue that placed them), implementing the
+	// Dispatcher's "number of tasks to launch on a specific node".
+	inFlight map[string]*[NumResources]int
+	dimOf    map[*executor.Run]Resource // attempt's placing dimension
+
+	rrIdx    int
+	offerSeq uint64
+}
+
+// New returns a RUPAM scheduler with the given configuration.
+func New(cfg Config) *RUPAM {
+	return &RUPAM{
+		cfg:          cfg.withDefaults(),
+		db:           NewCharDB(),
+		gpuStage:     make(map[string]bool),
+		pendingSince: make(map[int]float64),
+		inFlight:     make(map[string]*[NumResources]int),
+		dimOf:        make(map[*executor.Run]Resource),
+	}
+}
+
+// DB exposes the task-characteristics database (tests and reports).
+func (s *RUPAM) DB() *CharDB { return s.db }
+
+// Name implements spark.Scheduler.
+func (s *RUPAM) Name() string { return "rupam" }
+
+// RelocatesCache implements spark.CacheRelocator: RUPAM migrates tasks to
+// better nodes, and their cached partitions follow (§III-C1's convergence
+// to the best-observed node).
+func (s *RUPAM) RelocatesCache() bool { return true }
+
+// Bind implements spark.Scheduler.
+func (s *RUPAM) Bind(rt *spark.Runtime) { s.rt = rt }
+
+// HeapFor implements spark.Scheduler: dynamic executor sizing — each node
+// gets (memory − reserve), instead of one conservative global size.
+func (s *RUPAM) HeapFor(node *cluster.Node) int64 {
+	if s.cfg.DisableMemAware {
+		return s.cfg.StaticHeapBytes
+	}
+	h := node.Spec.MemBytes - s.cfg.ReserveBytes
+	if h < cluster.GB {
+		h = cluster.GB
+	}
+	return h
+}
+
+// ---- Task Manager ---------------------------------------------------------
+
+// characterize implements Algorithm 1: the queues a task belongs to, from
+// its database record or its stage kind on first sighting.
+func (s *RUPAM) characterize(st *task.Stage, t *task.Task) []Resource {
+	if s.gpuStage[st.Signature] {
+		// GPU tasks are not held hostage to the two accelerators: they
+		// stay CPU-schedulable (OpenBLAS fallback) and the dispatcher
+		// races copies onto idle GPUs (§III-C3).
+		return []Resource{GPU, CPU}
+	}
+	rec := s.db.Lookup(KeyFor(st, t))
+	if rec == nil || rec.Runs == 0 {
+		if st.Kind == task.ShuffleMap {
+			// Unknown map task: bounded by everything.
+			return []Resource{CPU, Mem, Disk, Net, GPU}
+		}
+		// Unknown reduce/result task: network-bound (shuffle in, results
+		// out).
+		return []Resource{Net}
+	}
+	r, ok := s.bottleneckOf(rec)
+	// Majority vote across the task's history outweighs the freshest
+	// sample once it has a clear winner: a single contended shuffle must
+	// not exile a compute-bound task to the big-NIC (slow-core) nodes.
+	if maj, votes, any := rec.MajorityBottleneck(); any && rec.Runs >= 3 {
+		if votes*2 > rec.Runs || !ok {
+			r, ok = maj, true
+		}
+	}
+	if ok {
+		if r == GPU {
+			return []Resource{GPU, CPU}
+		}
+		return []Resource{r}
+	}
+	return []Resource{CPU}
+}
+
+// bottleneckOf applies Algorithm 1's thresholds to a record. Note that
+// memory is deliberately NOT a task bottleneck class: Algorithm 1 keeps
+// four task queues (GPU/CPU/NET/DISK), and memory fitness is enforced at
+// dispatch time against the node's free heap instead — classifying big
+// CPU-bound tasks as "memory tasks" would exile them to the large-memory
+// (but slow) machines.
+func (s *RUPAM) bottleneckOf(rec *Record) (Resource, bool) {
+	if rec.GPU {
+		return GPU, true
+	}
+	maxShuffle := rec.ShuffleRead
+	if rec.ShuffleWrite > maxShuffle {
+		maxShuffle = rec.ShuffleWrite
+	}
+	if rec.ComputeTime > s.cfg.ResFactor*maxShuffle {
+		return CPU, true
+	}
+	if rec.ShuffleRead > s.cfg.ResFactor*rec.ShuffleWrite {
+		return Net, true
+	}
+	return Disk, true
+}
+
+// classifyMetrics derives the bottleneck of one finished attempt for the
+// database update.
+func (s *RUPAM) classifyMetrics(m *task.Metrics) (Resource, bool) {
+	rec := Record{
+		ComputeTime: m.ComputeTime,
+		GPU:         m.UsedGPU,
+		PeakMemory:  m.PeakMemory,
+		// Table I's shuffleread/shufflewrite cover shuffle I/O only.
+		// Input-fetch time is deliberately excluded: a remote cached-input
+		// read is a one-time migration cost, and folding it in makes a
+		// CPU-bound task look network-bound right after it moves — a
+		// feedback loop that ping-pongs tasks between node classes.
+		ShuffleRead:  m.ShuffleReadTime,
+		ShuffleWrite: m.ShuffleWriteTime,
+	}
+	return s.bottleneckOf(&rec)
+}
+
+// enqueue places a task on its characteristic queues.
+func (s *RUPAM) enqueue(st *task.Stage, t *task.Task) {
+	for _, r := range s.characterize(st, t) {
+		s.taskQ[r] = append(s.taskQ[r], t)
+	}
+	s.pendingSince[t.ID] = s.rt.Eng.Now()
+}
+
+// StageSubmitted implements spark.Scheduler: enqueue the tasks and revive
+// offers from every node so a fresh wave does not wait for the next
+// heartbeat (Spark's reviveOffers on task-set registration).
+func (s *RUPAM) StageSubmitted(st *task.Stage) {
+	for _, t := range st.Tasks {
+		s.enqueue(st, t)
+	}
+	for _, n := range s.rt.Clu.Nodes {
+		s.offerNode(n)
+	}
+}
+
+// Resubmit implements spark.Scheduler.
+func (s *RUPAM) Resubmit(t *task.Task, st *task.Stage) {
+	s.enqueue(st, t)
+}
+
+// TaskEnded implements spark.Scheduler: record the observation in the
+// characteristics DB, propagate stage-level GPU marking, and re-offer the
+// node that just freed capacity.
+func (s *RUPAM) TaskEnded(t *task.Task, r *executor.Run, out executor.Outcome) {
+	if dim, ok := s.dimOf[r]; ok {
+		if f := s.inFlight[r.Metrics().Executor]; f != nil && f[dim] > 0 {
+			f[dim]--
+		}
+		delete(s.dimOf, r)
+	}
+	st := r.Stage()
+	m := r.Metrics()
+	if m.UsedGPU {
+		s.gpuStage[st.Signature] = true
+	}
+	bottleneck, ok := s.classifyMetrics(m)
+	s.db.Update(KeyFor(st, t), m, bottleneck, ok && out == executor.Success)
+	if out == executor.Success {
+		delete(s.pendingSince, t.ID)
+	}
+	if node := s.rt.Clu.Node(m.Executor); node != nil {
+		s.offerNode(node)
+	}
+}
+
+// ---- Resource Monitor side --------------------------------------------------
+
+// Heartbeat implements spark.Scheduler: flush the DB write queue (the
+// helper thread's service period), run the straggler detectors, and offer
+// the reporting node.
+func (s *RUPAM) Heartbeat(nodeName string, nm *monitor.NodeMetrics) {
+	s.db.Flush()
+	if !s.cfg.DisableMemAware {
+		s.reclaimMemory(nodeName, nm)
+	}
+	if !s.cfg.DisableGPURace {
+		s.raceGPUTasks()
+	}
+	s.detectResourceStragglers()
+	if node := s.rt.Clu.Node(nodeName); node != nil {
+		s.offerNode(node)
+	}
+}
+
+// reclaimMemory is the §III-C3 memory-straggler path: when a node reports
+// critically low free memory, kill its hungriest running task before the
+// OS kills the JVM; the task re-enters the queues and lands somewhere
+// roomier.
+func (s *RUPAM) reclaimMemory(nodeName string, nm *monitor.NodeMetrics) {
+	ex := s.rt.Execs[nodeName]
+	if ex == nil || ex.Down() {
+		return
+	}
+	if float64(ex.HeapFree()) >= s.cfg.LowMemFrac*float64(ex.Heap().Capacity()) {
+		return
+	}
+	// Cheapest relief first: drop cached partitions (they can be
+	// re-fetched) before killing a running task.
+	want := int64(2*s.cfg.LowMemFrac*float64(ex.Heap().Capacity())) - ex.HeapFree()
+	if ex.ReclaimCache(want) > 0 &&
+		float64(ex.HeapFree()) >= s.cfg.LowMemFrac*float64(ex.Heap().Capacity()) {
+		return
+	}
+	var victim *executor.Run
+	for _, r := range ex.Running() {
+		if victim == nil || r.Task().Demand.PeakMemory > victim.Task().Demand.PeakMemory {
+			victim = r
+		}
+	}
+	if victim != nil && victim.Task().Demand.PeakMemory > 0 {
+		s.rt.MemKills++
+		victim.Kill(true)
+	}
+}
+
+// detectResourceStragglers extends checkSpeculatableTasks with history:
+// a task that has already run much longer than its best-known time is
+// straggling on an ill-suited node and becomes a candidate for a copy on
+// a better one, regardless of Spark's stage-quantile gate (§III-C3).
+func (s *RUPAM) detectResourceStragglers() {
+	now := s.rt.Eng.Now()
+	for _, n := range s.rt.Clu.Nodes {
+		ex := s.rt.Execs[n.Name()]
+		if ex == nil {
+			continue
+		}
+		for _, r := range ex.Running() {
+			t := r.Task()
+			rec := s.db.Lookup(keyByRuntime(s.rt, t))
+			if rec == nil || rec.BestTime == 0 || s.lockCompatible(rec, n.Name()) {
+				continue
+			}
+			if now-r.Metrics().Launch > 1.5*rec.BestTime+1 {
+				s.rt.MarkSpeculatable(t)
+			}
+		}
+	}
+}
+
+// raceGPUTasks marks GPU-capable tasks running on CPUs as speculatable
+// when an accelerator is idle somewhere — the OpenBLAS/NVBLAS
+// dual-version race of §III-C3.
+func (s *RUPAM) raceGPUTasks() {
+	idleGPU := false
+	for _, n := range s.rt.Clu.Nodes {
+		if n.GPU.Idle() > 0 && s.rt.CanRunOn(n.Name()) {
+			idleGPU = true
+			break
+		}
+	}
+	if !idleGPU {
+		return
+	}
+	now := s.rt.Eng.Now()
+	for _, n := range s.rt.Clu.Nodes {
+		ex := s.rt.Execs[n.Name()]
+		if ex == nil {
+			continue
+		}
+		for _, r := range ex.Running() {
+			t := r.Task()
+			if t.Demand.GPUCapable() && !r.Metrics().UsedGPU &&
+				now-r.Metrics().Launch > s.cfg.GPURaceMinRun {
+				s.rt.MarkSpeculatable(t)
+			}
+		}
+	}
+}
+
+// offerNode inserts the node into every resource queue it currently
+// qualifies for.
+func (s *RUPAM) offerNode(node *cluster.Node) {
+	name := node.Name()
+	ex := s.rt.Execs[name]
+	if ex == nil || ex.Down() {
+		return
+	}
+	running := ex.RunningTasks()
+	cores := node.Spec.Cores
+	// A node with a free core is always offerable; beyond that, only
+	// under-utilized dimensions are over-committed, up to the cap.
+	hasFreeCore := running < cores
+	overcommitOK := float64(running) < s.cfg.OvercommitFactor*float64(cores)
+	if !hasFreeCore && !overcommitOK {
+		return
+	}
+	thr := s.cfg.UtilThreshold
+	flight := s.inFlight[name]
+	if flight == nil {
+		flight = new([NumResources]int)
+		s.inFlight[name] = flight
+	}
+	add := func(r Resource, cap, util float64, ok bool) {
+		if !ok || flight[r] >= dimSlots(node, r) {
+			return
+		}
+		s.offerSeq++
+		s.nodeQ[r] = append(s.nodeQ[r], nodeOffer{node: name, cap: cap, util: util, seq: s.offerSeq})
+	}
+	cpuUtil := node.CPUUtil()
+	diskUtil := node.DiskUtil()
+	// CPU offers never over-commit: stacking two compute-bound tasks on a
+	// core halves both. Over-commit happens through the other dimensions,
+	// whose tasks leave the cores mostly idle.
+	add(CPU, node.Spec.FreqGHz, cpuUtil, hasFreeCore)
+	free := ex.ProjectedFree()
+	// Memory offers carry arbitrary task mixes, so beyond the core count
+	// they are gated on the node's compute and disk health — over-commit
+	// must overlap *different* demands, not pile identical ones (§III-C2).
+	add(Mem, float64(ex.Heap().Capacity()), 1-float64(free)/float64(ex.Heap().Capacity()),
+		free > 256*cluster.MB && (hasFreeCore || (cpuUtil < thr && diskUtil < thr)))
+	add(Disk, node.Spec.DiskReadBW+node.Spec.DiskWriteBW, diskUtil, hasFreeCore || diskUtil < thr)
+	netUtil := node.NetUtil()
+	add(Net, node.Spec.NetBandwidth, netUtil, hasFreeCore || netUtil < thr)
+	// A GPU offer is one accelerator slot: attempts already heading for
+	// this node's GPUs (launched but not yet in their compute phase)
+	// count against the idle total, otherwise the queue hands out the
+	// same GPU many times and the surplus tasks land on the GPU node's
+	// slow cores.
+	gpuWant := 0
+	for _, run := range ex.Running() {
+		if run.Task().Demand.GPUCapable() && !run.Metrics().UsedGPU {
+			gpuWant++
+		}
+	}
+	add(GPU, float64(node.GPU.Idle()), node.GPU.Utilization(), node.GPU.Idle() > gpuWant)
+}
+
+// ---- Dispatcher (Algorithm 2) ----------------------------------------------
+
+// Schedule implements spark.Scheduler: drain the resource queues
+// round-robin, matching each dequeued node with the best task of that
+// dimension.
+func (s *RUPAM) Schedule() {
+	for {
+		res, offer, ok := s.dequeueRR()
+		if !ok {
+			break
+		}
+		t, lvl := s.pickTask(res, offer.node)
+		spec := false
+		if t == nil {
+			t, lvl = s.pickSpeculative(res, offer.node)
+			if t == nil {
+				continue
+			}
+			s.rt.ClearSpeculatable(t)
+			spec = true
+		}
+		if run := s.rt.Launch(t, offer.node, executor.Options{Locality: lvl, Speculative: spec}); run != nil {
+			s.noteLaunch(offer.node, run, res)
+			// The node may still have capacity; offer it again so a
+			// single heartbeat can fill a whole machine.
+			s.reofferNode(offer.node)
+		}
+	}
+	s.rescueStarvation()
+}
+
+// noteLaunch records the dimension that placed an attempt on a node.
+func (s *RUPAM) noteLaunch(node string, run *executor.Run, res Resource) {
+	f := s.inFlight[node]
+	if f == nil {
+		f = new([NumResources]int)
+		s.inFlight[node] = f
+	}
+	f[res]++
+	s.dimOf[run] = res
+}
+
+// dimSlots bounds concurrent tasks per dimension on a node: CPU tasks get
+// one core each; disk-bound tasks are limited to what the device serves
+// without collapsing (an SSD sustains more concurrent streams than an
+// HDD); network-bound tasks scale with NIC bandwidth; memory-bound tasks
+// are bounded by cores (they still compute).
+func dimSlots(node *cluster.Node, r Resource) int {
+	switch r {
+	case CPU:
+		return node.Spec.Cores
+	case Disk:
+		if node.Spec.SSD {
+			return 12
+		}
+		return 6
+	case Net:
+		slots := int(node.Spec.NetBandwidth / cluster.GbE(1) * 3)
+		if slots < 8 {
+			slots = 8
+		}
+		return slots
+	case Mem:
+		return node.Spec.Cores
+	case GPU:
+		return node.Spec.GPUs
+	}
+	return node.Spec.Cores
+}
+
+// reofferNode re-inserts a node into the queues it still qualifies for.
+func (s *RUPAM) reofferNode(name string) {
+	if node := s.rt.Clu.Node(name); node != nil {
+		s.offerNode(node)
+	}
+}
+
+// dequeueRR pops the best node offer from the next non-empty resource
+// queue in round-robin order (or fixed order under the DisableRR
+// ablation), so no single resource dimension starves the others.
+func (s *RUPAM) dequeueRR() (Resource, nodeOffer, bool) {
+	for k := 0; k < NumResources; k++ {
+		idx := (s.rrIdx + k) % NumResources
+		if s.cfg.DisableRR {
+			idx = k
+		}
+		res := Resources[idx]
+		q := s.nodeQ[res]
+		if len(q) == 0 {
+			continue
+		}
+		best := 0
+		for i := 1; i < len(q); i++ {
+			if q[i].better(q[best]) {
+				best = i
+			}
+		}
+		offer := q[best]
+		s.nodeQ[res] = append(q[:best], q[best+1:]...)
+		if !s.cfg.DisableRR {
+			s.rrIdx = (idx + 1) % NumResources
+		}
+		if !s.rt.CanRunOn(offer.node) {
+			continue
+		}
+		return res, offer, true
+	}
+	return CPU, nodeOffer{}, false
+}
+
+// pickTask implements Algorithm 2's schedule_task: among pending tasks of
+// the resource dimension, honor best-node locks, require a memory fit,
+// take a PROCESS_LOCAL match immediately, and otherwise return the task
+// with the best locality on the node.
+func (s *RUPAM) pickTask(res Resource, node string) (*task.Task, hdfs.Locality) {
+	q := s.taskQ[res]
+	freeMem := int64(1) << 62
+	if !s.cfg.DisableMemAware {
+		if ex := s.rt.Execs[node]; ex != nil {
+			// Leave GC headroom: a heap packed to the rim collects
+			// constantly (§IV-D), so admission stops short of full.
+			freeMem = ex.ProjectedFree() - int64(0.12*float64(ex.Heap().Capacity()))
+		}
+	}
+	now := s.rt.Eng.Now()
+	overCore := false
+	if ex := s.rt.Execs[node]; ex != nil {
+		if n := s.rt.Clu.Node(node); n != nil {
+			overCore = ex.RunningTasks() >= n.Spec.Cores
+		}
+	}
+
+	// Compact stale entries (launched or finished elsewhere) first.
+	live := q[:0]
+	for _, t := range q {
+		if t.State == task.Pending {
+			live = append(live, t)
+		}
+	}
+	s.taskQ[res] = live
+
+	var best *task.Task
+	bestLvl := hdfs.Any + 1
+	var lockedFallback *task.Task
+
+scan:
+	for _, t := range live {
+		rec := s.db.Lookup(keyByRuntime(s.rt, t))
+		// Over-commit is only for tasks whose bottleneck is known to
+		// leave the cores idle; an uncharacterized task gets a real core
+		// slot or waits (§III-C2's "overlap tasks with different resource
+		// demands" requires knowing the demands).
+		if overCore && (rec == nil || rec.Runs == 0) {
+			continue
+		}
+		locked := !s.cfg.DisableLocking && rec != nil && rec.Locked(s.cfg.LockAfterRuns)
+		if locked && rec.GPU {
+			// GPU tasks are raced across GPU and CPU nodes (§III-C3),
+			// never pinned: with only two accelerators, pinning would
+			// serialize the whole stage behind them.
+			locked = false
+		}
+		lockExpired := locked && now-s.pendingSince[t.ID] > s.cfg.LockTimeout
+
+		if t.Demand.PeakMemory > freeMem {
+			// Exception mirroring Algorithm 2 lines 13-16: a fully
+			// characterized task locked to this very node runs here even
+			// under pressure — history says this is its best home.
+			if locked && rec.OptExecutor == node && len(rec.HistoryResource) >= NumResources {
+				best, bestLvl = t, t.LocalityOn(node)
+				break scan
+			}
+			continue
+		}
+		if rec != nil && rec.OOMNodes[node] && !lockExpired {
+			continue
+		}
+		if locked && !lockExpired {
+			if s.lockCompatible(rec, node) {
+				best, bestLvl = t, t.LocalityOn(node)
+				break scan
+			}
+			if lockedFallback == nil {
+				lockedFallback = t
+			}
+			continue
+		}
+		// Uncharacterized tasks keep Spark's locality preference: until
+		// the scheduler knows a task's bottleneck it has no grounds to
+		// trade locality away, so for a short wait only nodes holding (or
+		// beating the capability of) the task's preferred locations take
+		// it — "a simple heuristic that does not sacrifice data locality"
+		// (§I).
+		if (rec == nil || rec.Runs == 0) && len(t.PrefNodes) > 0 && t.CachedOn == "" &&
+			t.LocalityOn(node) == hdfs.Any &&
+			now-s.pendingSince[t.ID] <= s.cfg.UnknownPatience &&
+			s.anyPrefFree(t) {
+			// Waiting is only worthwhile while some preferred node could
+			// actually take the task soon.
+			continue
+		}
+		// Cache affinity with a capability override: a task whose cached
+		// partition sits on a node at least as capable (along the task's
+		// bottleneck) waits briefly for that node instead of being
+		// stolen — but a more capable node may always take it, moving
+		// the partition along (§III-C1's "tries different assignments").
+		if t.CachedOn != "" && t.CachedOn != node &&
+			now-s.pendingSince[t.ID] <= s.cfg.LockTimeout &&
+			!s.nodeBetterFor(node, t.CachedOn, res) {
+			continue
+		}
+		lvl := t.LocalityOn(node)
+		if lvl == hdfs.ProcessLocal {
+			best, bestLvl = t, lvl
+			break scan
+		}
+		if lvl < bestLvl {
+			best, bestLvl = t, lvl
+		}
+	}
+
+	if best == nil && lockedFallback != nil && now-s.pendingSince[lockedFallback.ID] > s.cfg.LockTimeout {
+		// Anti-starvation: a locked task has waited too long; run it here.
+		best, bestLvl = lockedFallback, lockedFallback.LocalityOn(node)
+	}
+	if best == nil {
+		return nil, hdfs.Any
+	}
+	s.taskQ[res] = removeTask(live, best)
+	return best, bestLvl
+}
+
+func removeTask(q []*task.Task, t *task.Task) []*task.Task {
+	for i, x := range q {
+		if x == t {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// anyPrefFree reports whether any of the task's preferred nodes has a
+// free core slot (i.e. waiting for locality could pay off).
+func (s *RUPAM) anyPrefFree(t *task.Task) bool {
+	for _, p := range t.PrefNodes {
+		ex := s.rt.Execs[p]
+		n := s.rt.Clu.Node(p)
+		if ex == nil || n == nil || ex.Down() {
+			continue
+		}
+		if ex.RunningTasks() < n.Spec.Cores {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeBetterFor reports whether candidate strictly beats incumbent along
+// the given resource dimension.
+func (s *RUPAM) nodeBetterFor(candidate, incumbent string, dim Resource) bool {
+	c := s.rt.Clu.Node(candidate)
+	i := s.rt.Clu.Node(incumbent)
+	if c == nil || i == nil {
+		return true
+	}
+	switch dim {
+	case Mem:
+		return c.Spec.MemBytes > i.Spec.MemBytes
+	case Disk:
+		return c.Spec.DiskReadBW+c.Spec.DiskWriteBW > i.Spec.DiskReadBW+i.Spec.DiskWriteBW
+	case Net:
+		return c.Spec.NetBandwidth > i.Spec.NetBandwidth
+	case GPU:
+		return c.Spec.GPUs > i.Spec.GPUs
+	default:
+		return c.Spec.FreqGHz > i.Spec.FreqGHz
+	}
+}
+
+// lockCompatible reports whether node is at least as capable as the
+// locked task's best node along the task's bottleneck dimension — locking
+// pins tasks to hardware, and equally-endowed siblings of the best node
+// count as that hardware (otherwise eight tasks locked to one 8-core
+// machine would serialize).
+func (s *RUPAM) lockCompatible(rec *Record, nodeName string) bool {
+	if rec.OptExecutor == nodeName {
+		return true
+	}
+	node := s.rt.Clu.Node(nodeName)
+	opt := s.rt.Clu.Node(rec.OptExecutor)
+	if node == nil || opt == nil {
+		return false
+	}
+	r, ok := s.bottleneckOf(rec)
+	if !ok {
+		return false
+	}
+	switch r {
+	case CPU:
+		return node.Spec.FreqGHz >= opt.Spec.FreqGHz
+	case Mem:
+		return node.Spec.MemBytes >= opt.Spec.MemBytes
+	case Disk:
+		return node.Spec.DiskReadBW+node.Spec.DiskWriteBW >= opt.Spec.DiskReadBW+opt.Spec.DiskWriteBW
+	case Net:
+		return node.Spec.NetBandwidth >= opt.Spec.NetBandwidth
+	case GPU:
+		return node.Spec.GPUs >= opt.Spec.GPUs
+	}
+	return false
+}
+
+// pickSpeculative implements Algorithm 2's straggler path: when no pending
+// task fits the dequeued node, launch a copy of a straggler — restricted
+// to GPU-capable stragglers when the offer came from the GPU queue.
+func (s *RUPAM) pickSpeculative(res Resource, node string) (*task.Task, hdfs.Locality) {
+	ex := s.rt.Execs[node]
+	for _, t := range s.rt.SpeculativeTasks() {
+		runs := s.rt.RunningAttempts(t)
+		if len(runs) != 1 || runs[0].Metrics().Executor == node {
+			continue
+		}
+		if res == GPU && !t.Demand.GPUCapable() {
+			continue
+		}
+		if !s.cfg.DisableMemAware && ex != nil && t.Demand.PeakMemory > ex.ProjectedFree() {
+			continue
+		}
+		if !s.copyWorthwhile(t, runs[0], node) {
+			continue
+		}
+		return t, t.LocalityOn(node)
+	}
+	return nil, hdfs.Any
+}
+
+// copyWorthwhile gates speculative copies: a copy only makes sense on a
+// node expected to beat the running attempt — an idle GPU for a
+// CPU-stranded GPU task, the task's best-known node, or a substantially
+// faster CPU.
+func (s *RUPAM) copyWorthwhile(t *task.Task, cur *executor.Run, nodeName string) bool {
+	node := s.rt.Clu.Node(nodeName)
+	if node == nil {
+		return false
+	}
+	if t.Demand.GPUCapable() && !cur.Metrics().UsedGPU && node.GPU.Idle() > 0 {
+		// Admit only as many racing copies as there are idle GPUs,
+		// counting copies already in flight toward this node's GPUs —
+		// otherwise the copies themselves pile up on the GPU node's
+		// (slow) cores.
+		pendingWant := 0
+		if ex := s.rt.Execs[nodeName]; ex != nil {
+			for _, r := range ex.Running() {
+				if r.Task().Demand.GPUCapable() && !r.Metrics().UsedGPU {
+					pendingWant++
+				}
+			}
+		}
+		return node.GPU.Idle() > pendingWant
+	}
+	if rec := s.db.Lookup(keyByRuntime(s.rt, t)); rec != nil && rec.OptExecutor == nodeName {
+		return true
+	}
+	curNode := s.rt.Clu.Node(cur.Metrics().Executor)
+	if curNode == nil {
+		return true
+	}
+	return node.Spec.FreqGHz > 1.3*curNode.Spec.FreqGHz
+}
+
+// rescueStarvation is a liveness net: if nothing is running anywhere and
+// work is pending, force the first pending task onto the roomiest node.
+func (s *RUPAM) rescueStarvation() {
+	for _, n := range s.rt.Clu.Nodes {
+		if ex := s.rt.Execs[n.Name()]; ex != nil && ex.RunningTasks() > 0 {
+			return
+		}
+	}
+	var t *task.Task
+	for _, q := range s.taskQ {
+		for _, c := range q {
+			if c.State == task.Pending && (t == nil || c.ID < t.ID) {
+				t = c
+				break
+			}
+		}
+	}
+	if t == nil {
+		return
+	}
+	var bestNode string
+	var bestFree int64 = -1
+	for _, n := range s.rt.Clu.Nodes {
+		ex := s.rt.Execs[n.Name()]
+		if ex == nil || ex.Down() {
+			continue
+		}
+		if ex.HeapFree() > bestFree {
+			bestFree, bestNode = ex.HeapFree(), n.Name()
+		}
+	}
+	if bestNode != "" {
+		if run := s.rt.Launch(t, bestNode, executor.Options{Locality: t.LocalityOn(bestNode)}); run != nil {
+			s.noteLaunch(bestNode, run, Mem)
+		}
+	}
+}
+
+// keyByRuntime resolves a task's DB key via its stage in the runtime.
+func keyByRuntime(rt *spark.Runtime, t *task.Task) TaskKey {
+	st := rt.StageOf(t)
+	if st == nil {
+		return TaskKey{Partition: t.Index}
+	}
+	return KeyFor(st, t)
+}
+
+// sortOffers orders node offers for deterministic inspection in tests.
+func sortOffers(offers []nodeOffer) {
+	sort.Slice(offers, func(i, j int) bool { return offers[i].better(offers[j]) })
+}

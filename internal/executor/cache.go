@@ -1,0 +1,143 @@
+package executor
+
+import "sort"
+
+// CacheKey identifies one cached RDD partition.
+type CacheKey struct {
+	RDD       int
+	Partition int
+}
+
+// cacheEntry is one partition resident in some executor's storage memory.
+type cacheEntry struct {
+	key      CacheKey
+	node     string
+	bytes    int64
+	lastUsed float64
+	seq      uint64 // insertion tiebreak for deterministic LRU
+}
+
+// CacheTracker is the driver-side registry of cached RDD partitions — the
+// equivalent of Spark's BlockManagerMaster. Executors insert and evict;
+// the driver consults it at job-submission time to hand tasks their
+// PROCESS_LOCAL locations.
+type CacheTracker struct {
+	entries map[CacheKey]*cacheEntry
+	byNode  map[string]map[CacheKey]*cacheEntry
+	seq     uint64
+
+	// Evictions counts partitions dropped due to storage pressure; the
+	// LR analysis in the paper's §IV-D hinges on how often this happens.
+	Evictions int
+}
+
+// NewCacheTracker returns an empty tracker.
+func NewCacheTracker() *CacheTracker {
+	return &CacheTracker{
+		entries: make(map[CacheKey]*cacheEntry),
+		byNode:  make(map[string]map[CacheKey]*cacheEntry),
+	}
+}
+
+// Lookup returns the node caching the partition and true, or "" and false.
+func (c *CacheTracker) Lookup(key CacheKey) (string, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return "", false
+	}
+	return e.node, true
+}
+
+// Touch refreshes the LRU timestamp of a cached partition.
+func (c *CacheTracker) Touch(key CacheKey, now float64) {
+	if e, ok := c.entries[key]; ok {
+		e.lastUsed = now
+	}
+}
+
+// Remove drops a cached partition, returning where it was and its size.
+func (c *CacheTracker) Remove(key CacheKey) (node string, bytes int64, ok bool) {
+	e, found := c.entries[key]
+	if !found {
+		return "", 0, false
+	}
+	c.remove(key)
+	return e.node, e.bytes, true
+}
+
+// Insert records a partition as cached on node. A partition cached twice
+// moves to the new node (Spark keeps one in-memory replica by default).
+func (c *CacheTracker) Insert(key CacheKey, node string, bytes int64, now float64) {
+	c.remove(key)
+	c.seq++
+	e := &cacheEntry{key: key, node: node, bytes: bytes, lastUsed: now, seq: c.seq}
+	c.entries[key] = e
+	m := c.byNode[node]
+	if m == nil {
+		m = make(map[CacheKey]*cacheEntry)
+		c.byNode[node] = m
+	}
+	m[key] = e
+}
+
+// NodeBytes returns the total cached bytes on node.
+func (c *CacheTracker) NodeBytes(node string) int64 {
+	var total int64
+	for _, e := range c.byNode[node] {
+		total += e.bytes
+	}
+	return total
+}
+
+// CachedPartitions returns the number of partitions currently cached.
+func (c *CacheTracker) CachedPartitions() int { return len(c.entries) }
+
+// EvictLRU drops least-recently-used partitions on node until at least
+// need bytes have been reclaimed, returning the bytes actually reclaimed.
+func (c *CacheTracker) EvictLRU(node string, need int64) int64 {
+	m := c.byNode[node]
+	if len(m) == 0 {
+		return 0
+	}
+	es := make([]*cacheEntry, 0, len(m))
+	for _, e := range m {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].lastUsed != es[j].lastUsed {
+			return es[i].lastUsed < es[j].lastUsed
+		}
+		return es[i].seq < es[j].seq
+	})
+	var reclaimed int64
+	for _, e := range es {
+		if reclaimed >= need {
+			break
+		}
+		c.remove(e.key)
+		reclaimed += e.bytes
+		c.Evictions++
+	}
+	return reclaimed
+}
+
+// DropNode removes every partition cached on node (worker crash), returning
+// the bytes lost.
+func (c *CacheTracker) DropNode(node string) int64 {
+	var lost int64
+	for key, e := range c.byNode[node] {
+		lost += e.bytes
+		delete(c.entries, key)
+		delete(c.byNode[node], key)
+	}
+	return lost
+}
+
+func (c *CacheTracker) remove(key CacheKey) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	delete(c.entries, key)
+	delete(c.byNode[e.node], key)
+}

@@ -1,0 +1,151 @@
+package executor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheInsertLookup(t *testing.T) {
+	c := NewCacheTracker()
+	key := CacheKey{RDD: 1, Partition: 2}
+	if _, ok := c.Lookup(key); ok {
+		t.Fatal("lookup on empty tracker")
+	}
+	c.Insert(key, "n1", 100, 0)
+	node, ok := c.Lookup(key)
+	if !ok || node != "n1" {
+		t.Fatalf("lookup = %v %v", node, ok)
+	}
+	if c.CachedPartitions() != 1 || c.NodeBytes("n1") != 100 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestCacheInsertMoves(t *testing.T) {
+	c := NewCacheTracker()
+	key := CacheKey{RDD: 1, Partition: 0}
+	c.Insert(key, "n1", 100, 0)
+	c.Insert(key, "n2", 120, 1)
+	node, _ := c.Lookup(key)
+	if node != "n2" {
+		t.Fatalf("partition on %s, want n2", node)
+	}
+	if c.NodeBytes("n1") != 0 || c.NodeBytes("n2") != 120 {
+		t.Fatal("move did not transfer bytes")
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := NewCacheTracker()
+	key := CacheKey{RDD: 3, Partition: 1}
+	if _, _, ok := c.Remove(key); ok {
+		t.Fatal("removed missing key")
+	}
+	c.Insert(key, "n1", 64, 0)
+	node, bytes, ok := c.Remove(key)
+	if !ok || node != "n1" || bytes != 64 {
+		t.Fatalf("remove = %v %v %v", node, bytes, ok)
+	}
+	if c.CachedPartitions() != 0 {
+		t.Fatal("entry survived remove")
+	}
+}
+
+func TestEvictLRUOrder(t *testing.T) {
+	c := NewCacheTracker()
+	c.Insert(CacheKey{1, 0}, "n1", 100, 0)
+	c.Insert(CacheKey{1, 1}, "n1", 100, 1)
+	c.Insert(CacheKey{1, 2}, "n1", 100, 2)
+	c.Touch(CacheKey{1, 0}, 5) // oldest becomes freshest
+
+	reclaimed := c.EvictLRU("n1", 150)
+	if reclaimed != 200 {
+		t.Fatalf("reclaimed = %d, want 200 (two 100-byte partitions)", reclaimed)
+	}
+	if _, ok := c.Lookup(CacheKey{1, 0}); !ok {
+		t.Fatal("freshest entry evicted despite Touch")
+	}
+	if _, ok := c.Lookup(CacheKey{1, 1}); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if c.Evictions != 2 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestEvictLRUOtherNodesUntouched(t *testing.T) {
+	c := NewCacheTracker()
+	c.Insert(CacheKey{1, 0}, "n1", 100, 0)
+	c.Insert(CacheKey{1, 1}, "n2", 100, 0)
+	c.EvictLRU("n1", 1000)
+	if _, ok := c.Lookup(CacheKey{1, 1}); !ok {
+		t.Fatal("eviction leaked to another node")
+	}
+}
+
+func TestDropNode(t *testing.T) {
+	c := NewCacheTracker()
+	c.Insert(CacheKey{1, 0}, "n1", 100, 0)
+	c.Insert(CacheKey{1, 1}, "n1", 50, 0)
+	c.Insert(CacheKey{1, 2}, "n2", 25, 0)
+	if lost := c.DropNode("n1"); lost != 150 {
+		t.Fatalf("drop lost %d, want 150", lost)
+	}
+	if c.CachedPartitions() != 1 {
+		t.Fatalf("partitions = %d", c.CachedPartitions())
+	}
+}
+
+// Property: NodeBytes always equals the sum of live entries per node under
+// arbitrary insert/remove/evict sequences.
+func TestQuickCacheAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewCacheTracker()
+		mirror := map[CacheKey]struct {
+			node  string
+			bytes int64
+		}{}
+		nodes := []string{"a", "b", "c"}
+		for i, op := range ops {
+			key := CacheKey{RDD: int(op % 4), Partition: int(op / 4 % 4)}
+			node := nodes[int(op/16)%3]
+			switch i % 3 {
+			case 0:
+				b := int64(op%97) + 1
+				c.Insert(key, node, b, float64(i))
+				mirror[key] = struct {
+					node  string
+					bytes int64
+				}{node, b}
+			case 1:
+				c.Remove(key)
+				delete(mirror, key)
+			case 2:
+				c.EvictLRU(node, int64(op%50))
+				// Rebuild the mirror from truth: eviction order is
+				// internal, so verify only the node-bytes identity below.
+				for k := range mirror {
+					if _, ok := c.Lookup(k); !ok {
+						delete(mirror, k)
+					}
+				}
+			}
+			sums := map[string]int64{}
+			for k, v := range mirror {
+				if n, ok := c.Lookup(k); !ok || n != v.node {
+					return false
+				}
+				sums[v.node] += v.bytes
+			}
+			for _, n := range nodes {
+				if c.NodeBytes(n) != sums[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package executor models task execution on a node: the physical phases a
+// Spark task goes through (dispatch, deserialization, input read, shuffle
+// read, compute on CPU or GPU, garbage collection, cache materialization,
+// shuffle write, serialization and result send), each claiming the node's
+// shared simx resources so that co-located tasks contend realistically.
+//
+// It also owns the failure semantics the paper's evaluation leans on:
+// admission beyond the heap triggers an OutOfMemory task failure, and an
+// OOM can escalate to a JVM/worker crash that drops the node's cached
+// partitions and takes the executor offline for a restart period — the
+// source of default Spark's PageRank failures and large error bars in
+// Fig 5.
+package executor
+
+import (
+	"fmt"
+
+	"rupam/internal/cluster"
+	"rupam/internal/hdfs"
+	"rupam/internal/simx"
+	"rupam/internal/stats"
+	"rupam/internal/task"
+)
+
+// Outcome is the terminal state of one task attempt.
+type Outcome int
+
+// Attempt outcomes.
+const (
+	Success Outcome = iota
+	OOM             // attempt failed with an out-of-memory error
+	Killed          // attempt was terminated by the scheduler or a worker crash
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case OOM:
+		return "oom"
+	default:
+		return "killed"
+	}
+}
+
+// Config holds the physical constants of the execution model. The zero
+// value is completed by withDefaults; schedulers override HeapBytes (the
+// paper's static 14 GB for default Spark, per-node dynamic for RUPAM) and
+// DispatchDelay.
+type Config struct {
+	// HeapBytes is the executor's JVM heap, carved from node memory.
+	HeapBytes int64
+	// StorageFraction of the heap is usable by the RDD cache
+	// (spark.memory.storageFraction).
+	StorageFraction float64
+	// DriverNode receives result-task output flows.
+	DriverNode string
+	// DispatchDelay is the fixed scheduling/shipping latency per task.
+	DispatchDelay float64
+	// SerCPUPerByte is serialization compute cost in giga-cycles/byte.
+	SerCPUPerByte float64
+	// GCFactor scales garbage-collection time: seconds of GC per GB of
+	// allocation churn at the reference heap pressure.
+	GCFactor float64
+	// EvictGCPerGB is extra GC seconds per GB of cache evicted to admit a
+	// task (the LRU-management overhead of §IV-D).
+	EvictGCPerGB float64
+	// OOMRunFraction is how far through its compute estimate a doomed
+	// task gets before the allocation fails.
+	OOMRunFraction float64
+	// WorkerCrashProb is the probability an OOM kills the whole JVM.
+	WorkerCrashProb float64
+	// RestartDelay is worker recovery time after a crash.
+	RestartDelay float64
+	// RelocateCacheOnRemoteRead moves a cached partition to the reading
+	// node after a remote cache fetch. Stock Spark leaves blocks where
+	// they were computed; RUPAM's task migration carries the partition
+	// along so the next iteration is PROCESS_LOCAL on the better node.
+	RelocateCacheOnRemoteRead bool
+	// Seed drives the executor's failure randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StorageFraction == 0 {
+		c.StorageFraction = 0.5
+	}
+	if c.DispatchDelay == 0 {
+		c.DispatchDelay = 0.04
+	}
+	if c.SerCPUPerByte == 0 {
+		c.SerCPUPerByte = 2e-9
+	}
+	if c.GCFactor == 0 {
+		c.GCFactor = 0.8
+	}
+	if c.EvictGCPerGB == 0 {
+		c.EvictGCPerGB = 0.4
+	}
+	if c.OOMRunFraction == 0 {
+		c.OOMRunFraction = 0.5
+	}
+	if c.WorkerCrashProb == 0 {
+		c.WorkerCrashProb = 0.55
+	}
+	if c.RestartDelay == 0 {
+		c.RestartDelay = 30
+	}
+	return c
+}
+
+// Executor runs tasks on one node.
+type Executor struct {
+	eng   *simx.Engine
+	clu   *cluster.Cluster
+	node  *cluster.Node
+	cfg   Config
+	heap  *simx.Space
+	cache *CacheTracker
+	rng   *stats.Rand
+
+	peers map[string]*Executor // all executors by node, for remote reads
+
+	running map[*Run]struct{}
+	down    bool
+
+	// reserved is memory promised to launched-but-not-yet-started
+	// attempts; schedulers that admit by memory fit consult
+	// ProjectedFree so a burst of simultaneous launches cannot
+	// over-commit the heap before any allocation lands.
+	reserved int64
+
+	// OnRestart, if set, is invoked when the executor comes back after a
+	// crash; schedulers use it to resume offers.
+	OnRestart func()
+
+	// Counters for reporting.
+	TasksRun  int
+	OOMs      int
+	Crashes   int
+	KilledCnt int
+}
+
+// New creates an executor on node with the given heap size, registering it
+// in peers (shared by all executors of a run). The heap is clamped to the
+// node's free memory.
+func New(eng *simx.Engine, clu *cluster.Cluster, node *cluster.Node, cache *CacheTracker,
+	peers map[string]*Executor, cfg Config) *Executor {
+	cfg = cfg.withDefaults()
+	if cfg.HeapBytes <= 0 {
+		panic(fmt.Sprintf("executor: node %s: non-positive heap", node.Name()))
+	}
+	if cfg.HeapBytes > node.Mem.Free() {
+		cfg.HeapBytes = node.Mem.Free()
+	}
+	node.Mem.ForceAlloc(cfg.HeapBytes)
+	ex := &Executor{
+		eng:     eng,
+		clu:     clu,
+		node:    node,
+		cfg:     cfg,
+		heap:    simx.NewSpace(eng, node.Name()+"/heap", cfg.HeapBytes),
+		cache:   cache,
+		rng:     stats.NewRand(cfg.Seed ^ hashName(node.Name())),
+		peers:   peers,
+		running: make(map[*Run]struct{}),
+	}
+	peers[node.Name()] = ex
+	return ex
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Node returns the executor's node.
+func (ex *Executor) Node() *cluster.Node { return ex.node }
+
+// Heap returns the executor's heap space.
+func (ex *Executor) Heap() *simx.Space { return ex.heap }
+
+// HeapFree returns the executor's free heap bytes.
+func (ex *Executor) HeapFree() int64 { return ex.heap.Free() }
+
+// ProjectedFree returns free heap bytes minus reservations of launched
+// attempts that have not yet allocated.
+func (ex *Executor) ProjectedFree() int64 { return ex.heap.Free() - ex.reserved }
+
+// Down reports whether the executor is offline after a crash.
+func (ex *Executor) Down() bool { return ex.down }
+
+// RunningTasks returns the number of in-flight task attempts.
+func (ex *Executor) RunningTasks() int { return len(ex.running) }
+
+// Running returns the in-flight runs (deterministic order by launch).
+func (ex *Executor) Running() []*Run {
+	rs := make([]*Run, 0, len(ex.running))
+	for r := range ex.running {
+		rs = append(rs, r)
+	}
+	sortRuns(rs)
+	return rs
+}
+
+// Options controls one task attempt.
+type Options struct {
+	// Locality is the level the scheduler assigned (recorded in metrics
+	// and used to decide local vs remote input reads).
+	Locality hdfs.Locality
+	// ForbidGPU forces the CPU fallback path even on a GPU node — the
+	// CPU copy of RUPAM's dual-version straggler race.
+	ForbidGPU bool
+	// Speculative marks the attempt as a speculative copy.
+	Speculative bool
+}
+
+// Launch begins executing an attempt of t (whose stage is st) and returns
+// its Run handle. onDone fires exactly once with the terminal outcome,
+// unless the run is killed with notify=false. Launching on a downed
+// executor panics — schedulers must not offer downed nodes.
+func (ex *Executor) Launch(t *task.Task, st *task.Stage, opts Options, onDone func(*Run, Outcome)) *Run {
+	if ex.down {
+		panic("executor: launch on downed executor " + ex.node.Name())
+	}
+	m := &task.Metrics{
+		Executor: ex.node.Name(),
+		Locality: opts.Locality,
+		Launch:   ex.eng.Now(),
+	}
+	t.Attempts = append(t.Attempts, m)
+	r := &Run{ex: ex, t: t, st: st, m: m, opts: opts, onDone: onDone, seq: nextRunSeq()}
+	r.reservedMem = t.Demand.PeakMemory
+	ex.reserved += r.reservedMem
+	ex.running[r] = struct{}{}
+	ex.TasksRun++
+	r.armTimer(ex.cfg.DispatchDelay, r.start)
+	return r
+}

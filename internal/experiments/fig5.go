@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rupam/internal/stats"
+	"rupam/internal/workloads"
+)
+
+// Fig5Row is one workload's entry in the overall-performance comparison:
+// mean execution time with 95% confidence interval under each scheduler,
+// over Runs repetitions with DB_taskchar cleared between runs (§IV-B).
+type Fig5Row struct {
+	Workload   string
+	Spark      stats.Summary
+	RUPAM      stats.Summary
+	Speedup    float64 // Spark mean / RUPAM mean
+	SparkOOMs  int
+	RUPAMOOMs  int
+	SparkCrash int
+}
+
+// Fig5Result is the full Figure 5 dataset.
+type Fig5Result struct {
+	Runs int
+	Rows []Fig5Row
+}
+
+// Fig5 reproduces Figure 5: every Table III workload under default Spark
+// and RUPAM, runs repetitions each.
+func Fig5(runs int) Fig5Result {
+	if runs <= 0 {
+		runs = 5
+	}
+	res := Fig5Result{Runs: runs}
+	for _, w := range workloads.EvalNames() {
+		row := Fig5Row{Workload: w}
+		var sparkT, rupamT []float64
+		for i := 1; i <= runs; i++ {
+			rs := Run(RunSpec{Workload: w, Scheduler: SchedSpark, Seed: uint64(i)})
+			sparkT = append(sparkT, rs.Duration)
+			row.SparkOOMs += rs.OOMs
+			row.SparkCrash += rs.Crashes
+			rr := Run(RunSpec{Workload: w, Scheduler: SchedRUPAM, Seed: uint64(i)})
+			rupamT = append(rupamT, rr.Duration)
+			row.RUPAMOOMs += rr.OOMs
+		}
+		row.Spark = stats.Summarize(sparkT)
+		row.RUPAM = stats.Summarize(rupamT)
+		if row.RUPAM.Mean > 0 {
+			row.Speedup = row.Spark.Mean / row.RUPAM.Mean
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AvgImprovement returns the mean fractional execution-time reduction
+// across workloads (the paper reports 37.7%).
+func (r Fig5Result) AvgImprovement() float64 {
+	var sum float64
+	for _, row := range r.Rows {
+		if row.Spark.Mean > 0 {
+			sum += 1 - row.RUPAM.Mean/row.Spark.Mean
+		}
+	}
+	return sum / float64(len(r.Rows))
+}
+
+// IterativeSpeedup returns the mean speedup over the multi-iteration
+// workloads (PR, LR, TC, KMeans).
+func (r Fig5Result) IterativeSpeedup() float64 {
+	iter := map[string]bool{"PR": true, "LR": true, "TC": true, "KMeans": true}
+	var sum float64
+	var n int
+	for _, row := range r.Rows {
+		if iter[row.Workload] {
+			sum += row.Speedup
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Print writes the figure as a table.
+func (r Fig5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: overall performance (%d runs, mean ± 95%% CI, seconds)\n", r.Runs)
+	fmt.Fprintf(w, "%-10s %14s %14s %8s %10s %10s\n",
+		"workload", "Spark", "RUPAM", "speedup", "sparkOOMs", "rupamOOMs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %7.1f ±%5.1f %7.1f ±%5.1f %7.2fx %10d %10d\n",
+			row.Workload,
+			row.Spark.Mean, row.Spark.CI95,
+			row.RUPAM.Mean, row.RUPAM.CI95,
+			row.Speedup, row.SparkOOMs, row.RUPAMOOMs)
+	}
+	fmt.Fprintf(w, "average improvement: %.1f%%   iterative-workload speedup: %.2fx\n",
+		r.AvgImprovement()*100, r.IterativeSpeedup())
+}

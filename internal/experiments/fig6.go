@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rupam/internal/workloads"
+)
+
+// Fig6Point is one iteration-count's speedup of RUPAM over default Spark
+// on Logistic Regression.
+type Fig6Point struct {
+	Iterations int
+	SparkSec   float64
+	RUPAMSec   float64
+	Speedup    float64
+}
+
+// Fig6Result is the Figure 6 series.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// Fig6Iterations is the default sweep of LR iteration counts.
+var Fig6Iterations = []int{1, 2, 4, 6, 8, 12, 16, 20}
+
+// Fig6 reproduces Figure 6: LR speedup as a function of the workload's
+// iteration count — the paper's headline "up to 3.4×, growing with
+// iterations; never worse than Spark".
+func Fig6(iterations []int, seed uint64) Fig6Result {
+	if len(iterations) == 0 {
+		iterations = Fig6Iterations
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	var res Fig6Result
+	for _, it := range iterations {
+		p := workloads.Params{Iterations: it}
+		spark := Run(RunSpec{Workload: "LR", Scheduler: SchedSpark, Params: p, Seed: seed})
+		rupam := Run(RunSpec{Workload: "LR", Scheduler: SchedRUPAM, Params: p, Seed: seed})
+		pt := Fig6Point{
+			Iterations: it,
+			SparkSec:   spark.Duration,
+			RUPAMSec:   rupam.Duration,
+		}
+		if pt.RUPAMSec > 0 {
+			pt.Speedup = pt.SparkSec / pt.RUPAMSec
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// MaxSpeedup returns the largest observed speedup.
+func (r Fig6Result) MaxSpeedup() float64 {
+	m := 0.0
+	for _, p := range r.Points {
+		if p.Speedup > m {
+			m = p.Speedup
+		}
+	}
+	return m
+}
+
+// Monotone reports whether speedup never drops below ~parity (the paper's
+// "regardless of iterations, RUPAM is able to match or outperform").
+func (r Fig6Result) Monotone() bool {
+	for _, p := range r.Points {
+		if p.Speedup < 0.95 {
+			return false
+		}
+	}
+	return true
+}
+
+// Print writes the figure as a table.
+func (r Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: LR speedup vs iteration count")
+	fmt.Fprintf(w, "%-12s %10s %10s %8s\n", "iterations", "Spark(s)", "RUPAM(s)", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-12d %10.1f %10.1f %7.2fx\n", p.Iterations, p.SparkSec, p.RUPAMSec, p.Speedup)
+	}
+	fmt.Fprintf(w, "max speedup: %.2fx\n", r.MaxSpeedup())
+}

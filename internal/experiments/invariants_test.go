@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+
+	"rupam/internal/task"
+)
+
+// TestRunInvariants drives representative workload × scheduler pairs and
+// asserts the cross-cutting conservation properties the simulation must
+// uphold regardless of policy.
+func TestRunInvariants(t *testing.T) {
+	cases := []RunSpec{
+		{Workload: "LR", Scheduler: SchedRUPAM, Seed: 4},
+		{Workload: "PR", Scheduler: SchedSpark, Seed: 4},
+		{Workload: "KMeans", Scheduler: SchedRUPAM, Seed: 4},
+		{Workload: "TC", Scheduler: SchedSpark, Seed: 4},
+	}
+	for _, spec := range cases {
+		spec := spec
+		t.Run(spec.Workload+"-"+spec.Scheduler, func(t *testing.T) {
+			res := Run(spec)
+
+			// Every task finished with exactly one successful attempt.
+			for _, tk := range res.App.AllTasks() {
+				if tk.State != task.Finished {
+					t.Fatalf("%s not finished", tk)
+				}
+				succ := 0
+				for _, a := range tk.Attempts {
+					if !a.OOM && !a.Killed && a.End > 0 {
+						succ++
+					}
+					// Every attempt's timeline is ordered.
+					if a.End > 0 && (a.Start > a.End || a.Launch > a.Start+1e-9) {
+						if !a.OOM && !a.Killed {
+							t.Fatalf("%s: inconsistent attempt timeline %+v", tk, a)
+						}
+					}
+					// Attempt times never exceed the app duration window.
+					if a.End > res.Duration+1e-6 {
+						t.Fatalf("%s: attempt ends after the app: %v > %v", tk, a.End, res.Duration)
+					}
+					// Phase times are non-negative.
+					if a.ComputeTime < 0 || a.GCTime < 0 || a.ShuffleReadTime < 0 ||
+						a.ShuffleWriteTime < 0 || a.SchedulerDelay < -1e-9 {
+						t.Fatalf("%s: negative phase time %+v", tk, a)
+					}
+				}
+				if succ != 1 {
+					t.Fatalf("%s has %d successful attempts", tk, succ)
+				}
+			}
+
+			// Job completion times are monotone and end at the app end.
+			prev := 0.0
+			for _, je := range res.JobEnds {
+				if je < prev {
+					t.Fatalf("job ends not monotone: %v", res.JobEnds)
+				}
+				prev = je
+			}
+			if len(res.JobEnds) != len(res.App.Jobs) {
+				t.Fatalf("job ends = %d, jobs = %d", len(res.JobEnds), len(res.App.Jobs))
+			}
+
+			// Launch accounting: at least one attempt per task, and exactly
+			// as many attempts as launches.
+			attempts := 0
+			for _, tk := range res.App.AllTasks() {
+				attempts += len(tk.Attempts)
+			}
+			if attempts != res.Launches {
+				t.Fatalf("attempts %d != launches %d", attempts, res.Launches)
+			}
+		})
+	}
+}
+
+// TestResourceConservation verifies that after a run, no simulated
+// resource is still held: heaps contain only cached bytes, GPUs are idle,
+// and nothing is running.
+func TestResourceConservation(t *testing.T) {
+	// Use the harness pieces directly so the runtime's internals are
+	// inspectable after completion.
+	spec := RunSpec{Workload: "KMeans", Scheduler: SchedRUPAM, Seed: 6}
+	res, rt := runWithRuntime(t, spec)
+	_ = res
+	for name, ex := range rt.Execs {
+		if ex.RunningTasks() != 0 {
+			t.Errorf("%s: %d tasks still running", name, ex.RunningTasks())
+		}
+		node := rt.Clu.Node(name)
+		if node.GPU.InUse() != 0 {
+			t.Errorf("%s: GPU tokens leaked", name)
+		}
+		cached := rt.Cache.NodeBytes(name)
+		if ex.Heap().Used() != cached {
+			t.Errorf("%s: heap holds %d bytes but cache accounts for %d",
+				name, ex.Heap().Used(), cached)
+		}
+		if ex.ProjectedFree() != ex.HeapFree() {
+			t.Errorf("%s: dangling memory reservation", name)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQuickShapes prints one-seed speedups for calibration sessions; it is
+// informational and never fails.
+func TestQuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range []string{"LR", "TeraSort", "SQL", "PR", "TC", "GM", "KMeans"} {
+		sp := Run(RunSpec{Workload: w, Scheduler: SchedSpark, Seed: 2})
+		ru := Run(RunSpec{Workload: w, Scheduler: SchedRUPAM, Seed: 2})
+		fmt.Printf("%-9s spark=%7.1f (oom %2d) rupam=%7.1f (oom %2d) speedup=%.2fx\n",
+			w, sp.Duration, sp.OOMs, ru.Duration, ru.OOMs, sp.Duration/ru.Duration)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rupam/internal/cluster"
+	"rupam/internal/metrics"
+	"rupam/internal/simx"
+	"rupam/internal/sysbench"
+	"rupam/internal/workloads"
+)
+
+// ---- Table II -------------------------------------------------------------
+
+// TableII prints the Hydra node specifications.
+func TableII(w io.Writer) {
+	fmt.Fprintln(w, "Table II: Hydra cluster node specifications")
+	fmt.Fprintf(w, "%-6s %6s %9s %8s %9s %5s %5s %3s\n",
+		"name", "cores", "CPU(GHz)", "mem(GB)", "net(GbE)", "SSD", "GPU", "#")
+	eng := simx.NewEngine()
+	clu := cluster.New(eng)
+	cluster.NewHydra(clu)
+	seen := map[string]bool{}
+	for _, n := range clu.Nodes {
+		s := n.Spec
+		if seen[s.Class] {
+			continue
+		}
+		seen[s.Class] = true
+		fmt.Fprintf(w, "%-6s %6d %9.1f %8d %9.0f %5v %5d %3d\n",
+			s.Class, s.Cores, s.FreqGHz, s.MemBytes/cluster.GB,
+			s.NetBandwidth*8/1e9, s.SSD, s.GPUs, cluster.HydraCounts[s.Class])
+	}
+}
+
+// ---- Table IV -------------------------------------------------------------
+
+// TableIV prints the hardware-characterization benchmark results.
+func TableIV(w io.Writer) {
+	fmt.Fprintln(w, "Table IV: hardware characteristics benchmarks (simulated SysBench/Iperf)")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %12s\n",
+		"class", "CPU(sec)", "latency(ms)", "read(MB/s)", "write(MB/s)", "net(Mb/s)")
+	for _, r := range sysbench.TableIV() {
+		fmt.Fprintf(w, "%-8s %12.3f %12.3f %12.1f %12.1f %12.0f\n",
+			r.Class, r.CPUSec, r.LatencyMS, r.ReadMBps, r.WriteMBps, r.NetMbps)
+	}
+}
+
+// ---- Table V --------------------------------------------------------------
+
+// Tab5Row is one workload's locality-level counts under both schedulers.
+type Tab5Row struct {
+	Workload string
+	Spark    metrics.LocalityCounts
+	RUPAM    metrics.LocalityCounts
+}
+
+// Tab5Result is the full Table V.
+type Tab5Result struct {
+	Rows []Tab5Row
+}
+
+// Tab5 reproduces Table V: the number of successful tasks at each data
+// locality level. The expected shape: Spark holds more PROCESS_LOCAL
+// tasks; RUPAM trades locality (more ANY) for resource fit; RACK_LOCAL is
+// zero on the single-rack testbed.
+func Tab5(seed uint64) Tab5Result {
+	if seed == 0 {
+		seed = 1
+	}
+	var res Tab5Result
+	for _, w := range workloads.EvalNames() {
+		spark := Run(RunSpec{Workload: w, Scheduler: SchedSpark, Seed: seed})
+		rupam := Run(RunSpec{Workload: w, Scheduler: SchedRUPAM, Seed: seed})
+		res.Rows = append(res.Rows, Tab5Row{
+			Workload: w,
+			Spark:    metrics.AppLocality(spark.App),
+			RUPAM:    metrics.AppLocality(rupam.App),
+		})
+	}
+	return res
+}
+
+// Print writes the table.
+func (r Tab5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table V: tasks per locality level (successful attempts)")
+	fmt.Fprintf(w, "%-10s | %8s %8s | %8s %8s | %8s %8s\n",
+		"", "PROCESS", "", "NODE", "", "ANY", "")
+	fmt.Fprintf(w, "%-10s | %8s %8s | %8s %8s | %8s %8s\n",
+		"workload", "Spark", "RUPAM", "Spark", "RUPAM", "Spark", "RUPAM")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s | %8d %8d | %8d %8d | %8d %8d\n",
+			row.Workload,
+			row.Spark.Process, row.RUPAM.Process,
+			row.Spark.Node, row.RUPAM.Node,
+			row.Spark.Any, row.RUPAM.Any)
+	}
+}

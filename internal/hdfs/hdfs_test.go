@@ -1,0 +1,209 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var nodes = []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+
+func TestLocalityStrings(t *testing.T) {
+	want := map[Locality]string{
+		ProcessLocal: "PROCESS_LOCAL",
+		NodeLocal:    "NODE_LOCAL",
+		RackLocal:    "RACK_LOCAL",
+		Any:          "ANY",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), s)
+		}
+	}
+	if Locality(9).String() == "" {
+		t.Error("unknown locality has empty string")
+	}
+}
+
+func TestLocalityOrdering(t *testing.T) {
+	if !(ProcessLocal < NodeLocal && NodeLocal < RackLocal && RackLocal < Any) {
+		t.Fatal("locality levels not ordered best-first")
+	}
+	if len(Levels) != 4 {
+		t.Fatal("Levels incomplete")
+	}
+}
+
+func TestCreateEven(t *testing.T) {
+	s := NewStore(nodes, 2, 1)
+	d := s.CreateEven("data", 1000, 7)
+	if d.Partitions() != 7 {
+		t.Fatalf("partitions = %d", d.Partitions())
+	}
+	if d.TotalBytes() != 1000 {
+		t.Fatalf("total = %d", d.TotalBytes())
+	}
+	// Near-even split: sizes differ by at most 1.
+	min, max := d.PartitionBytes[0], d.PartitionBytes[0]
+	for _, b := range d.PartitionBytes {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("uneven split: min=%d max=%d", min, max)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	s := NewStore(nodes, 3, 1)
+	d := s.CreateEven("data", 600, 6)
+	for p := 0; p < 6; p++ {
+		reps := d.Replicas(p)
+		if len(reps) != 3 {
+			t.Fatalf("partition %d has %d replicas", p, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, r := range reps {
+			if seen[r] {
+				t.Fatalf("partition %d: duplicate replica %s", p, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestReplicationClamped(t *testing.T) {
+	s := NewStore([]string{"only"}, 5, 1)
+	if s.Replication() != 1 {
+		t.Fatalf("replication = %d, want clamped to 1", s.Replication())
+	}
+	s2 := NewStore(nodes, 0, 1)
+	if s2.Replication() != 1 {
+		t.Fatalf("replication = %d, want floor 1", s2.Replication())
+	}
+}
+
+func TestLocalityOn(t *testing.T) {
+	s := NewStore(nodes, 2, 1)
+	d := s.CreateEven("data", 100, 4)
+	for p := 0; p < 4; p++ {
+		for _, r := range d.Replicas(p) {
+			if d.LocalityOn(p, r) != NodeLocal {
+				t.Fatalf("replica node not NODE_LOCAL")
+			}
+		}
+		if d.LocalityOn(p, "not-a-node") != Any {
+			t.Fatal("foreign node not ANY")
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a := NewStore(nodes, 2, 42).CreateEven("d", 1000, 10)
+	b := NewStore(nodes, 2, 42).CreateEven("d", 1000, 10)
+	for p := 0; p < 10; p++ {
+		ra, rb := a.Replicas(p), b.Replicas(p)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("placement differs at partition %d", p)
+			}
+		}
+	}
+}
+
+func TestPlacementSpread(t *testing.T) {
+	s := NewStore(nodes, 1, 7)
+	d := s.CreateEven("d", 6000, 60)
+	counts := map[string]int{}
+	for p := 0; p < 60; p++ {
+		counts[d.Replicas(p)[0]]++
+	}
+	for _, n := range nodes {
+		if counts[n] != 10 {
+			t.Fatalf("round-robin spread broken: %v", counts)
+		}
+	}
+}
+
+func TestCreateSkewed(t *testing.T) {
+	s := NewStore(nodes, 2, 3)
+	d := s.CreateSkewed("skewed", 10000, 20, 0.5)
+	var total int64
+	min, max := d.PartitionBytes[0], d.PartitionBytes[0]
+	for _, b := range d.PartitionBytes {
+		total += b
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+		if b < 1 {
+			t.Fatal("zero-size partition")
+		}
+	}
+	if max <= min {
+		t.Fatal("skewed dataset has uniform partitions")
+	}
+	// Total is approximately preserved (integer truncation loses a little).
+	if total < 9000 || total > 11000 {
+		t.Fatalf("skewed total = %d, want ~10000", total)
+	}
+}
+
+func TestDuplicateDatasetPanics(t *testing.T) {
+	s := NewStore(nodes, 2, 1)
+	s.CreateEven("d", 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate dataset accepted")
+		}
+	}()
+	s.CreateEven("d", 10, 1)
+}
+
+func TestDatasetLookup(t *testing.T) {
+	s := NewStore(nodes, 2, 1)
+	d := s.CreateEven("d", 10, 1)
+	if s.Dataset("d") != d {
+		t.Fatal("Dataset lookup failed")
+	}
+	if s.Dataset("missing") != nil {
+		t.Fatal("missing dataset not nil")
+	}
+}
+
+// Property: every partition always has between 1 and replication distinct
+// replicas drawn from the store's nodes.
+func TestQuickReplicaInvariant(t *testing.T) {
+	nodeSet := map[string]bool{}
+	for _, n := range nodes {
+		nodeSet[n] = true
+	}
+	f := func(seed uint64, parts uint8, repl uint8) bool {
+		p := int(parts%32) + 1
+		r := int(repl%8) + 1
+		s := NewStore(nodes, r, seed)
+		d := s.CreateEven("d", int64(p*100), p)
+		for i := 0; i < p; i++ {
+			reps := d.Replicas(i)
+			if len(reps) != s.Replication() {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, rep := range reps {
+				if !nodeSet[rep] || seen[rep] {
+					return false
+				}
+				seen[rep] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTraceCSV emits a utilization trace as CSV, one row per (time,
+// node) sample — the raw material for replotting Figures 2, 8 and 9.
+func WriteTraceCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	header := []string{"time_s", "node", "cpu_util", "mem_gb",
+		"net_in_mbps", "net_out_mbps", "disk_read_mbps", "disk_write_mbps"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		for _, node := range tr.Nodes {
+			s := tr.Series[node][i]
+			rec := []string{
+				f(s.Time), node, f(s.CPU), f(s.MemGB),
+				f(s.NetInMBps), f(s.NetOutMBps), f(s.DiskReadMBps), f(s.DiskWriteMBps),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBalanceCSV emits a Figure 9 balance series as CSV.
+func WriteBalanceCSV(w io.Writer, b BalanceSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "cpu_sd_pp", "net_sd_mbps", "disk_sd_mbps"}); err != nil {
+		return err
+	}
+	for i := range b.Times {
+		rec := []string{f(b.Times[i]), f(b.CPU[i]), f(b.Net[i]), f(b.Disk[i])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTaskRowsCSV emits per-task breakdown rows (Figure 3/7 raw data).
+func WriteTaskRowsCSV(w io.Writer, rows []TaskRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"task_id", "stage_id", "executor", "compute_s",
+		"shuffle_s", "serialize_s", "sched_delay_s", "duration_s", "used_gpu"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.TaskID), strconv.Itoa(r.StageID), r.Executor,
+			f(r.Compute), f(r.Shuffle), f(r.Serialize), f(r.SchedDelay),
+			f(r.Duration), strconv.FormatBool(r.UsedGPU),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }

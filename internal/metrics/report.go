@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"rupam/internal/hdfs"
+	"rupam/internal/stats"
+	"rupam/internal/task"
+)
+
+// Breakdown is a per-category execution-time decomposition summed over the
+// successful attempts of an application — the categories of the paper's
+// Figure 7 (GC, Compute, Scheduler delay, Shuffle-disk, Shuffle-net).
+type Breakdown struct {
+	Compute     float64 // compute incl. (de)serialization, as in Fig 3/7
+	GC          float64
+	ShuffleNet  float64 // network-bound reads: remote shuffle, remote input
+	ShuffleDisk float64 // disk-bound shuffle reads/writes and local input
+	Scheduler   float64
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() float64 {
+	return b.Compute + b.GC + b.ShuffleNet + b.ShuffleDisk + b.Scheduler
+}
+
+// Add accumulates the categories of one attempt's metrics.
+func (b *Breakdown) Add(m *task.Metrics) {
+	b.Compute += m.ComputeTime + m.DeserializeTime + m.SerializeTime
+	b.GC += m.GCTime
+	b.ShuffleDisk += m.ShuffleWriteTime + m.InputDiskTime
+	b.Scheduler += m.SchedulerDelay
+	// Shuffle reads mix local disk and network; attribute by the remote
+	// byte share.
+	read := m.ShuffleReadTime
+	if read > 0 {
+		b.ShuffleNet += read // dominated by the slowest (usually remote) fetch
+	}
+	b.ShuffleNet += m.InputNetTime
+}
+
+// AppBreakdown sums the breakdown over all successful attempts.
+func AppBreakdown(app *task.Application) Breakdown {
+	var b Breakdown
+	for _, t := range app.AllTasks() {
+		if m := t.SuccessMetrics(); m != nil {
+			b.Add(m)
+		}
+	}
+	return b
+}
+
+// LocalityCounts tallies successful task attempts by locality level — the
+// rows of Table V.
+type LocalityCounts struct {
+	Process int
+	Node    int
+	Rack    int
+	Any     int
+}
+
+// Total returns the number of counted tasks.
+func (lc LocalityCounts) Total() int { return lc.Process + lc.Node + lc.Rack + lc.Any }
+
+// AppLocality tallies the application's successful attempts.
+func AppLocality(app *task.Application) LocalityCounts {
+	var lc LocalityCounts
+	for _, t := range app.AllTasks() {
+		m := t.SuccessMetrics()
+		if m == nil {
+			continue
+		}
+		switch m.Locality {
+		case hdfs.ProcessLocal:
+			lc.Process++
+		case hdfs.NodeLocal:
+			lc.Node++
+		case hdfs.RackLocal:
+			lc.Rack++
+		default:
+			lc.Any++
+		}
+	}
+	return lc
+}
+
+// TaskRow is one task's summary for the Fig 3 per-task plots.
+type TaskRow struct {
+	TaskID     int
+	StageID    int
+	Executor   string
+	Compute    float64
+	Shuffle    float64
+	Serialize  float64
+	SchedDelay float64
+	Duration   float64
+	UsedGPU    bool
+}
+
+// TaskRows extracts per-task rows (successful attempts only).
+func TaskRows(app *task.Application) []TaskRow {
+	var rows []TaskRow
+	for _, t := range app.AllTasks() {
+		m := t.SuccessMetrics()
+		if m == nil {
+			continue
+		}
+		rows = append(rows, TaskRow{
+			TaskID:     t.ID,
+			StageID:    t.StageID,
+			Executor:   m.Executor,
+			Compute:    m.ComputeTime + m.GCTime,
+			Shuffle:    m.ShuffleReadTime + m.ShuffleWriteTime + m.InputDiskTime + m.InputNetTime,
+			Serialize:  m.DeserializeTime + m.SerializeTime,
+			SchedDelay: m.SchedulerDelay,
+			Duration:   m.Duration(),
+			UsedGPU:    m.UsedGPU,
+		})
+	}
+	return rows
+}
+
+// UtilSummary is the Fig 8 row: average utilization across nodes and time.
+type UtilSummary struct {
+	CPUUserPct float64
+	MemUsedGB  float64
+	NetMBps    float64 // in+out
+	DiskKBps   float64 // read+write
+}
+
+// AvgUtilization reduces a trace to cluster-average utilization.
+func AvgUtilization(tr *Trace) UtilSummary {
+	var u UtilSummary
+	var n int
+	for _, node := range tr.Nodes {
+		for _, s := range tr.Series[node] {
+			u.CPUUserPct += s.CPU * 100
+			u.MemUsedGB += s.MemGB
+			u.NetMBps += s.NetInMBps + s.NetOutMBps
+			u.DiskKBps += (s.DiskReadMBps + s.DiskWriteMBps) * 1000
+			n++
+		}
+	}
+	if n > 0 {
+		u.CPUUserPct /= float64(n)
+		u.MemUsedGB /= float64(n)
+		u.NetMBps /= float64(n)
+		u.DiskKBps /= float64(n)
+	}
+	return u
+}
+
+// BalanceSeries is the Fig 9 series: per-sample standard deviation of node
+// utilization across the cluster.
+type BalanceSeries struct {
+	Times []float64
+	CPU   []float64 // stddev of CPU util (percent)
+	Net   []float64 // stddev of net rate (MB/s)
+	Disk  []float64 // stddev of disk rate (MB/s)
+}
+
+// NodeBalance computes the cross-node utilization spread over time.
+func NodeBalance(tr *Trace) BalanceSeries {
+	var bs BalanceSeries
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		var cpu, net, disk []float64
+		var t float64
+		for _, node := range tr.Nodes {
+			s := tr.Series[node][i]
+			t = s.Time
+			cpu = append(cpu, s.CPU*100)
+			net = append(net, s.NetInMBps+s.NetOutMBps)
+			disk = append(disk, s.DiskReadMBps+s.DiskWriteMBps)
+		}
+		bs.Times = append(bs.Times, t)
+		bs.CPU = append(bs.CPU, stats.PopStdDev(cpu))
+		bs.Net = append(bs.Net, stats.PopStdDev(net))
+		bs.Disk = append(bs.Disk, stats.PopStdDev(disk))
+	}
+	return bs
+}

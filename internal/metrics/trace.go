@@ -1,0 +1,126 @@
+// Package metrics turns raw run data into the paper's reporting artifacts:
+// periodic per-node utilization traces (Figures 2, 8 and 9), per-task
+// execution-time breakdowns (Figures 3 and 7), and locality tables
+// (Table V).
+package metrics
+
+import (
+	"rupam/internal/cluster"
+	"rupam/internal/simx"
+)
+
+// HeapReader exposes executor heap usage to the recorder without importing
+// the executor package.
+type HeapReader interface {
+	Heap() *simx.Space
+}
+
+// Sample is one node's utilization snapshot.
+type Sample struct {
+	Time          float64
+	CPU           float64 // [0,1]
+	MemGB         float64 // executor heap in use
+	NetInMBps     float64
+	NetOutMBps    float64
+	DiskReadMBps  float64
+	DiskWriteMBps float64
+}
+
+// Trace holds per-node utilization time series at a fixed interval.
+type Trace struct {
+	Interval float64
+	Nodes    []string
+	Series   map[string][]Sample
+}
+
+// NewTrace creates an empty trace for the given nodes.
+func NewTrace(nodes []string, interval float64) *Trace {
+	return &Trace{
+		Interval: interval,
+		Nodes:    append([]string(nil), nodes...),
+		Series:   make(map[string][]Sample),
+	}
+}
+
+// Len returns the number of samples recorded per node.
+func (tr *Trace) Len() int {
+	if len(tr.Nodes) == 0 {
+		return 0
+	}
+	return len(tr.Series[tr.Nodes[0]])
+}
+
+// Recorder samples every node on a fixed period.
+type Recorder struct {
+	eng      *simx.Engine
+	clu      *cluster.Cluster
+	heaps    map[string]HeapReader
+	interval float64
+	trace    *Trace
+	timer    *simx.Timer
+	stopped  bool
+}
+
+// NewRecorder builds a recorder over the cluster; heaps maps node name to
+// its executor (any type exposing Heap).
+func NewRecorder[H HeapReader](eng *simx.Engine, clu *cluster.Cluster, heaps map[string]H, interval float64) *Recorder {
+	hr := make(map[string]HeapReader, len(heaps))
+	for k, v := range heaps {
+		hr[k] = v
+	}
+	if interval <= 0 {
+		interval = 1
+	}
+	return &Recorder{
+		eng:      eng,
+		clu:      clu,
+		heaps:    hr,
+		interval: interval,
+		trace:    NewTrace(cluNames(clu), interval),
+	}
+}
+
+func cluNames(clu *cluster.Cluster) []string {
+	names := make([]string, len(clu.Nodes))
+	for i, n := range clu.Nodes {
+		names[i] = n.Name()
+	}
+	return names
+}
+
+// Start begins sampling.
+func (r *Recorder) Start() { r.tick() }
+
+// Stop halts sampling.
+func (r *Recorder) Stop() {
+	r.stopped = true
+	if r.timer != nil {
+		r.timer.Cancel()
+		r.timer = nil
+	}
+}
+
+// Trace returns the recorded series.
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+func (r *Recorder) tick() {
+	if r.stopped {
+		return
+	}
+	now := r.eng.Now()
+	for _, n := range r.clu.Nodes {
+		s := Sample{
+			Time:          now,
+			CPU:           n.CPUUtil(),
+			NetInMBps:     n.Net.IngressRate() / 1e6,
+			NetOutMBps:    n.Net.EgressRate() / 1e6,
+			DiskReadMBps:  n.DiskRead.Utilization() * n.DiskRead.Capacity() / 1e6,
+			DiskWriteMBps: n.DiskWrite.Utilization() * n.DiskWrite.Capacity() / 1e6,
+		}
+		if h, ok := r.heaps[n.Name()]; ok {
+			s.MemGB = float64(h.Heap().Used()) / float64(cluster.GB)
+		}
+		r.trace.Series[n.Name()] = append(r.trace.Series[n.Name()], s)
+	}
+	r.timer = r.eng.Schedule(r.interval, r.tick)
+}

@@ -1,0 +1,146 @@
+// Package monitor implements RUPAM's Resource Monitor (RM): a per-node
+// Collector samples the machine's multi-dimensional resource state and
+// piggy-backs it on the worker's periodic heartbeat to the master-side
+// Monitor, which keeps the freshest view per node (the paper's
+// executorDataMap reuse). The node-side metrics are the left-hand column
+// of Table I: CPU frequency, idle GPUs, SSD presence, network bandwidth,
+// free memory, and CPU/disk/network load.
+package monitor
+
+import (
+	"rupam/internal/cluster"
+	"rupam/internal/simx"
+)
+
+// NodeMetrics is one heartbeat's resource report (Table I, left side).
+type NodeMetrics struct {
+	Node string
+	Time float64
+
+	// Static properties, sent once at registration.
+	CPUFreq      float64 // GHz
+	Cores        int
+	SSD          bool
+	NetBandwidth float64 // bytes/sec
+	TotalGPUs    int
+
+	// Dynamic properties, refreshed every heartbeat.
+	IdleGPUs     int
+	FreeMemory   int64   // executor heap free bytes
+	CPUUtil      float64 // [0,1]
+	DiskUtil     float64 // [0,1]
+	NetUtil      float64 // [0,1]
+	RunningTasks int
+}
+
+// HeapProbe lets the monitor read executor-level free memory without
+// importing the executor package (the executor layer registers itself).
+type HeapProbe interface {
+	HeapFree() int64
+	RunningTasks() int
+	Down() bool
+}
+
+// Monitor is the master-side collector state.
+type Monitor struct {
+	eng      *simx.Engine
+	clu      *cluster.Cluster
+	interval float64
+	probes   map[string]HeapProbe
+	latest   map[string]*NodeMetrics
+
+	// OnHeartbeat, if set, fires after each node's report lands — the
+	// hook the task schedulers use to trigger a scheduling round, exactly
+	// as Spark schedules on heartbeat-driven offers.
+	OnHeartbeat func(node string, m *NodeMetrics)
+
+	timers  []*simx.Timer
+	stopped bool
+	// Heartbeats counts reports received (monitoring overhead accounting).
+	Heartbeats int
+}
+
+// New creates a monitor over the cluster with the given heartbeat
+// interval in seconds (the paper piggybacks on Spark's default 1 s
+// executor heartbeat).
+func New(eng *simx.Engine, clu *cluster.Cluster, interval float64) *Monitor {
+	if interval <= 0 {
+		interval = 1
+	}
+	return &Monitor{
+		eng:      eng,
+		clu:      clu,
+		interval: interval,
+		probes:   make(map[string]HeapProbe),
+		latest:   make(map[string]*NodeMetrics),
+	}
+}
+
+// RegisterProbe attaches an executor-level probe for a node.
+func (m *Monitor) RegisterProbe(node string, p HeapProbe) { m.probes[node] = p }
+
+// Start begins heartbeat collection, staggering nodes across the interval
+// the way independently-started workers would be.
+func (m *Monitor) Start() {
+	for i, n := range m.clu.Nodes {
+		node := n
+		offset := m.interval * float64(i) / float64(len(m.clu.Nodes))
+		m.timers = append(m.timers, m.eng.Schedule(offset, func() {
+			m.tick(node)
+		}))
+	}
+}
+
+// Stop halts future heartbeats.
+func (m *Monitor) Stop() {
+	m.stopped = true
+	for _, t := range m.timers {
+		t.Cancel()
+	}
+	m.timers = nil
+}
+
+func (m *Monitor) tick(node *cluster.Node) {
+	if m.stopped {
+		return
+	}
+	nm := m.Collect(node)
+	m.latest[node.Name()] = nm
+	m.Heartbeats++
+	if m.OnHeartbeat != nil {
+		m.OnHeartbeat(node.Name(), nm)
+	}
+	m.timers = append(m.timers, m.eng.Schedule(m.interval, func() {
+		m.tick(node)
+	}))
+}
+
+// Collect samples a node's current state (the Collector's job).
+func (m *Monitor) Collect(node *cluster.Node) *NodeMetrics {
+	nm := &NodeMetrics{
+		Node:         node.Name(),
+		Time:         m.eng.Now(),
+		CPUFreq:      node.Spec.FreqGHz,
+		Cores:        node.Spec.Cores,
+		SSD:          node.Spec.SSD,
+		NetBandwidth: node.Spec.NetBandwidth,
+		TotalGPUs:    node.Spec.GPUs,
+		IdleGPUs:     node.GPU.Idle(),
+		CPUUtil:      node.CPUUtil(),
+		DiskUtil:     node.DiskUtil(),
+		NetUtil:      node.NetUtil(),
+		FreeMemory:   node.Mem.Free(),
+	}
+	if p, ok := m.probes[node.Name()]; ok {
+		nm.FreeMemory = p.HeapFree()
+		nm.RunningTasks = p.RunningTasks()
+	}
+	return nm
+}
+
+// Latest returns the most recent report for a node (nil before the first
+// heartbeat).
+func (m *Monitor) Latest(node string) *NodeMetrics { return m.latest[node] }
+
+// Interval returns the heartbeat interval.
+func (m *Monitor) Interval() float64 { return m.interval }

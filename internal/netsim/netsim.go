@@ -1,0 +1,398 @@
+// Package netsim is a flow-level network simulator with max-min fair
+// bandwidth sharing. Each node has an egress and an ingress capacity (its
+// NIC, full duplex); a flow transfers a byte count from one node to
+// another and is throttled by whichever of the two directions is more
+// contended. Rates are recomputed by progressive filling (water-filling)
+// whenever a flow starts, finishes, or is cancelled.
+//
+// This reproduces the asymmetry RUPAM exploits in the paper: shuffles
+// terminating at a 1 GbE node are ~10× slower than at a 10 GbE node, and
+// concurrent shuffle waves contend for the same NICs.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rupam/internal/simx"
+	"rupam/internal/stats"
+)
+
+const bytesEps = 1e-6
+
+// loopbackRate is the service rate for flows whose source and destination
+// are the same node; such transfers are memory copies, effectively free at
+// the timescales simulated (but non-zero so event ordering stays sane).
+const loopbackRate = 8e9 // 8 GB/s
+
+// Iface holds one node's NIC state.
+type Iface struct {
+	name       string
+	egressCap  float64 // bytes/sec
+	ingressCap float64 // bytes/sec
+
+	egRate, inRate   float64 // currently allocated rates
+	egUtil, inUtil   stats.TimeAvg
+	egBytes, inBytes float64 // totals transferred
+}
+
+// Name returns the node name of the interface.
+func (i *Iface) Name() string { return i.name }
+
+// EgressCap returns the NIC's outbound capacity in bytes/sec.
+func (i *Iface) EgressCap() float64 { return i.egressCap }
+
+// IngressCap returns the NIC's inbound capacity in bytes/sec.
+func (i *Iface) IngressCap() float64 { return i.ingressCap }
+
+// EgressRate returns the currently allocated outbound rate in bytes/sec.
+func (i *Iface) EgressRate() float64 { return i.egRate }
+
+// IngressRate returns the currently allocated inbound rate in bytes/sec.
+func (i *Iface) IngressRate() float64 { return i.inRate }
+
+// TotalSent returns the total bytes sent by this node.
+func (i *Iface) TotalSent() float64 { return i.egBytes }
+
+// TotalReceived returns the total bytes received by this node.
+func (i *Iface) TotalReceived() float64 { return i.inBytes }
+
+// Utilization returns the instantaneous utilization fraction of the busier
+// direction.
+func (i *Iface) Utilization() float64 {
+	eg, in := 0.0, 0.0
+	if i.egressCap > 0 {
+		eg = i.egRate / i.egressCap
+	}
+	if i.ingressCap > 0 {
+		in = i.inRate / i.ingressCap
+	}
+	return math.Max(eg, in)
+}
+
+// Flow is an in-progress transfer.
+type Flow struct {
+	src, dst  *Iface
+	seq       uint64
+	remaining float64
+	rate      float64
+	onDone    func()
+	done      bool
+	loopback  bool
+}
+
+// Remaining returns the bytes left to transfer as of the last network
+// update (call Network.Sync first for an exact figure).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's currently allocated rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Network is the collection of interfaces and active flows.
+type Network struct {
+	eng        *simx.Engine
+	ifaces     map[string]*Iface
+	order      []string // deterministic iteration order
+	flows      map[*Flow]struct{}
+	flowSeq    uint64
+	lastUpdate float64
+	timer      *simx.Timer
+	target     *Flow // flow the armed timer is for; force-completed on fire
+}
+
+// New creates an empty network on the given engine.
+func New(eng *simx.Engine) *Network {
+	return &Network{
+		eng:    eng,
+		ifaces: make(map[string]*Iface),
+		flows:  make(map[*Flow]struct{}),
+	}
+}
+
+// AddNode registers a node with the given full-duplex NIC capacities in
+// bytes/sec. It panics on duplicates or non-positive capacities.
+func (n *Network) AddNode(name string, egress, ingress float64) *Iface {
+	if _, ok := n.ifaces[name]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	if egress <= 0 || ingress <= 0 {
+		panic(fmt.Sprintf("netsim: node %q with non-positive capacity", name))
+	}
+	i := &Iface{name: name, egressCap: egress, ingressCap: ingress}
+	n.ifaces[name] = i
+	n.order = append(n.order, name)
+	return i
+}
+
+// Iface returns the interface for the named node, or nil.
+func (n *Network) Iface(name string) *Iface { return n.ifaces[name] }
+
+// ActiveFlows returns the number of in-progress flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Start begins transferring bytes from src to dst; onDone fires at
+// completion. Transfers with src == dst run at loopback speed. A
+// non-positive byte count completes immediately (asynchronously).
+func (n *Network) Start(src, dst string, bytes float64, onDone func()) *Flow {
+	s, ok := n.ifaces[src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown source %q", src))
+	}
+	d, ok := n.ifaces[dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown destination %q", dst))
+	}
+	n.flowSeq++
+	f := &Flow{src: s, dst: d, seq: n.flowSeq, remaining: bytes, onDone: onDone, loopback: src == dst}
+	if bytes <= bytesEps {
+		f.done = true
+		n.eng.Schedule(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return f
+	}
+	n.advance()
+	n.flows[f] = struct{}{}
+	n.reallocate()
+	return f
+}
+
+// Cancel aborts a flow without firing its callback, returning the bytes
+// not yet transferred.
+func (n *Network) Cancel(f *Flow) float64 {
+	if f.done {
+		return 0
+	}
+	n.advance()
+	delete(n.flows, f)
+	f.done = true
+	rem := f.remaining
+	n.reallocate()
+	return rem
+}
+
+// Sync folds the elapsed interval into flow progress and utilization
+// accounting without changing allocations. Call before reading Remaining
+// or utilization statistics mid-simulation.
+func (n *Network) Sync() {
+	n.advance()
+	n.reallocate()
+}
+
+// AvgEgressRate returns the node's time-weighted average outbound rate in
+// bytes/sec.
+func (n *Network) AvgEgressRate(name string) float64 {
+	n.Sync()
+	return n.ifaces[name].egUtil.Value()
+}
+
+// AvgIngressRate returns the node's time-weighted average inbound rate in
+// bytes/sec.
+func (n *Network) AvgIngressRate(name string) float64 {
+	n.Sync()
+	return n.ifaces[name].inUtil.Value()
+}
+
+// advance applies transfer progress between lastUpdate and now.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	for _, name := range n.order {
+		i := n.ifaces[name]
+		i.egUtil.Observe(now, i.egRate)
+		i.inUtil.Observe(now, i.inRate)
+	}
+	dt := now - n.lastUpdate
+	if dt > 0 {
+		for f := range n.flows {
+			moved := f.rate * dt
+			f.remaining -= moved
+			f.src.egBytes += moved
+			f.dst.inBytes += moved
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reallocate recomputes max-min fair rates via progressive filling and
+// re-arms the completion timer.
+func (n *Network) reallocate() {
+	if n.timer != nil {
+		n.timer.Cancel()
+		n.timer = nil
+		n.target = nil
+	}
+	// Reset per-iface aggregates.
+	for _, name := range n.order {
+		i := n.ifaces[name]
+		i.egRate, i.inRate = 0, 0
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Collect flows deterministically.
+	active := make([]*Flow, 0, len(n.flows))
+	for f := range n.flows {
+		active = append(active, f)
+	}
+	sort.Slice(active, func(a, b int) bool { return active[a].seq < active[b].seq })
+
+	// Loopback flows bypass the NIC.
+	var netFlows []*Flow
+	for _, f := range active {
+		if f.loopback {
+			f.rate = loopbackRate
+		} else {
+			f.rate = 0
+			netFlows = append(netFlows, f)
+		}
+	}
+
+	n.waterfill(netFlows)
+
+	// Accumulate iface aggregate rates.
+	for _, f := range active {
+		if f.loopback {
+			continue
+		}
+		f.src.egRate += f.rate
+		f.dst.inRate += f.rate
+	}
+
+	// Earliest completion.
+	minT := math.Inf(1)
+	var target *Flow
+	for _, f := range active {
+		if f.rate > 0 {
+			t := f.remaining / f.rate
+			if t < minT {
+				minT = t
+				target = f
+			}
+		}
+	}
+	if target != nil {
+		if minT < 0 {
+			minT = 0
+		}
+		n.target = target
+		n.timer = n.eng.Schedule(minT, n.complete)
+	}
+}
+
+// link identifies one direction of one interface during water-filling.
+type link struct {
+	residual float64
+	count    int
+}
+
+// waterfill assigns max-min fair rates to flows constrained by source
+// egress and destination ingress capacities.
+func (n *Network) waterfill(flows []*Flow) {
+	if len(flows) == 0 {
+		return
+	}
+	eg := make(map[*Iface]*link)
+	in := make(map[*Iface]*link)
+	for _, f := range flows {
+		le, ok := eg[f.src]
+		if !ok {
+			le = &link{residual: f.src.egressCap}
+			eg[f.src] = le
+		}
+		le.count++
+		li, ok := in[f.dst]
+		if !ok {
+			li = &link{residual: f.dst.ingressCap}
+			in[f.dst] = li
+		}
+		li.count++
+	}
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+	for remaining > 0 {
+		// Find the bottleneck share among links with unfrozen flows.
+		share := math.Inf(1)
+		for _, l := range eg {
+			if l.count > 0 {
+				if s := l.residual / float64(l.count); s < share {
+					share = s
+				}
+			}
+		}
+		for _, l := range in {
+			if l.count > 0 {
+				if s := l.residual / float64(l.count); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			break
+		}
+		// Freeze every unfrozen flow crossing a bottleneck link at the
+		// bottleneck share.
+		progressed := false
+		for idx, f := range flows {
+			if frozen[idx] {
+				continue
+			}
+			le, li := eg[f.src], in[f.dst]
+			egShare := le.residual / float64(le.count)
+			inShare := li.residual / float64(li.count)
+			if egShare <= share+1e-9 || inShare <= share+1e-9 {
+				f.rate = share
+				frozen[idx] = true
+				remaining--
+				progressed = true
+				le.residual -= share
+				le.count--
+				li.residual -= share
+				li.count--
+			}
+		}
+		if !progressed {
+			// Numerical safety net: freeze everything at the current share.
+			for idx, f := range flows {
+				if !frozen[idx] {
+					f.rate = share
+					frozen[idx] = true
+					remaining--
+				}
+			}
+		}
+	}
+}
+
+// complete fires when the earliest flow(s) finish.
+func (n *Network) complete() {
+	n.timer = nil
+	n.advance()
+	// Force the targeted flow done: floating-point residue must not re-arm
+	// a zero-length timer forever (see PSResource.complete).
+	if t := n.target; t != nil && !t.done {
+		t.remaining = 0
+	}
+	n.target = nil
+	var finished []*Flow
+	for f := range n.flows {
+		if f.remaining <= bytesEps {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		delete(n.flows, f)
+		f.done = true
+		f.remaining = 0
+	}
+	n.reallocate()
+	sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+	for _, f := range finished {
+		if f.onDone != nil {
+			f.onDone()
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rupam/internal/simx"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func twoNodes(t *testing.T) (*simx.Engine, *Network) {
+	t.Helper()
+	eng := simx.NewEngine()
+	n := New(eng)
+	n.AddNode("a", 100, 100)
+	n.AddNode("b", 100, 100)
+	return eng, n
+}
+
+func TestSingleFlowTiming(t *testing.T) {
+	eng, n := twoNodes(t)
+	var done float64
+	n.Start("a", "b", 500, func() { done = eng.Now() })
+	eng.Run()
+	if !almost(done, 5, 1e-9) {
+		t.Fatalf("flow finished at %v, want 5", done)
+	}
+}
+
+func TestEgressSharing(t *testing.T) {
+	eng := simx.NewEngine()
+	n := New(eng)
+	n.AddNode("src", 100, 100)
+	n.AddNode("d1", 1000, 1000)
+	n.AddNode("d2", 1000, 1000)
+	var t1, t2 float64
+	n.Start("src", "d1", 100, func() { t1 = eng.Now() })
+	n.Start("src", "d2", 100, func() { t2 = eng.Now() })
+	eng.Run()
+	// Both bottlenecked on src egress: 50 each → 2 s.
+	if !almost(t1, 2, 1e-9) || !almost(t2, 2, 1e-9) {
+		t.Fatalf("t1=%v t2=%v, want 2, 2", t1, t2)
+	}
+}
+
+func TestIngressSharing(t *testing.T) {
+	eng := simx.NewEngine()
+	n := New(eng)
+	n.AddNode("s1", 1000, 1000)
+	n.AddNode("s2", 1000, 1000)
+	n.AddNode("dst", 1000, 100)
+	var t1, t2 float64
+	n.Start("s1", "dst", 100, func() { t1 = eng.Now() })
+	n.Start("s2", "dst", 100, func() { t2 = eng.Now() })
+	eng.Run()
+	if !almost(t1, 2, 1e-9) || !almost(t2, 2, 1e-9) {
+		t.Fatalf("t1=%v t2=%v, want 2, 2", t1, t2)
+	}
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	// Classic progressive-filling scenario: flows A→C and B→C contend at
+	// C (cap 100); flow A→D is limited only by A's leftover egress.
+	eng := simx.NewEngine()
+	n := New(eng)
+	n.AddNode("A", 150, 1000)
+	n.AddNode("B", 1000, 1000)
+	n.AddNode("C", 1000, 100)
+	n.AddNode("D", 1000, 1000)
+	fac := n.Start("A", "C", 1e9, nil)
+	fbc := n.Start("B", "C", 1e9, nil)
+	fad := n.Start("A", "D", 1e9, nil)
+	n.Sync()
+	// Max-min: A→C and B→C each get 50 at C. A→D gets A's remaining
+	// egress: 150-50 = 100.
+	if !almost(fac.Rate(), 50, 1e-6) || !almost(fbc.Rate(), 50, 1e-6) {
+		t.Fatalf("C-bound rates: %v, %v; want 50, 50", fac.Rate(), fbc.Rate())
+	}
+	if !almost(fad.Rate(), 100, 1e-6) {
+		t.Fatalf("A→D rate: %v, want 100", fad.Rate())
+	}
+}
+
+func TestFlowCompletionFreesBandwidth(t *testing.T) {
+	eng, n := twoNodes(t)
+	var tShort, tLong float64
+	n.Start("a", "b", 100, func() { tShort = eng.Now() })
+	n.Start("a", "b", 300, func() { tLong = eng.Now() })
+	eng.Run()
+	// Shared at 50 until short finishes (t=2); long has 200 left at 100 → t=4.
+	if !almost(tShort, 2, 1e-9) || !almost(tLong, 4, 1e-9) {
+		t.Fatalf("short=%v long=%v", tShort, tLong)
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	eng, n := twoNodes(t)
+	var done float64
+	f := n.Start("a", "b", 1000, nil)
+	n.Start("a", "b", 200, func() { done = eng.Now() })
+	eng.Schedule(1, func() {
+		rem := n.Cancel(f)
+		if !almost(rem, 950, 1e-6) {
+			t.Errorf("cancel remaining = %v, want 950", rem)
+		}
+	})
+	eng.Run()
+	// Second flow: 50 by t=1, then 150 at rate 100 → t=2.5.
+	if !almost(done, 2.5, 1e-6) {
+		t.Fatalf("done = %v, want 2.5", done)
+	}
+}
+
+func TestLoopbackFast(t *testing.T) {
+	eng, n := twoNodes(t)
+	var done float64
+	n.Start("a", "a", 8e9, func() { done = eng.Now() })
+	eng.Run()
+	if !almost(done, 1, 1e-6) {
+		t.Fatalf("loopback 8 GB took %v, want ~1 s", done)
+	}
+}
+
+func TestZeroByteFlowAsync(t *testing.T) {
+	eng, n := twoNodes(t)
+	fired := false
+	n.Start("a", "b", 0, func() { fired = true })
+	if fired {
+		t.Fatal("zero-byte flow fired synchronously")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-byte flow never completed")
+	}
+}
+
+func TestIfaceAccounting(t *testing.T) {
+	eng, n := twoNodes(t)
+	n.Start("a", "b", 500, nil)
+	eng.Run()
+	n.Sync()
+	a, b := n.Iface("a"), n.Iface("b")
+	if !almost(a.TotalSent(), 500, 1e-6) || !almost(b.TotalReceived(), 500, 1e-6) {
+		t.Fatalf("sent=%v received=%v", a.TotalSent(), b.TotalReceived())
+	}
+}
+
+func TestUtilizationInstantaneous(t *testing.T) {
+	eng, n := twoNodes(t)
+	n.Start("a", "b", 1000, nil)
+	n.Sync()
+	if u := n.Iface("a").Utilization(); !almost(u, 1, 1e-9) {
+		t.Fatalf("utilization = %v, want 1", u)
+	}
+	_ = eng
+}
+
+func TestAvgRates(t *testing.T) {
+	eng, n := twoNodes(t)
+	n.Start("a", "b", 100, nil) // 1 s at 100
+	eng.Run()
+	eng.Schedule(1, func() {}) // 1 s idle
+	eng.Run()
+	if got := n.AvgEgressRate("a"); !almost(got, 50, 1e-6) {
+		t.Fatalf("avg egress = %v, want 50", got)
+	}
+	if got := n.AvgIngressRate("b"); !almost(got, 50, 1e-6) {
+		t.Fatalf("avg ingress = %v, want 50", got)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for duplicate node")
+		}
+	}()
+	n := New(simx.NewEngine())
+	n.AddNode("x", 1, 1)
+	n.AddNode("x", 1, 1)
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown source")
+		}
+	}()
+	n := New(simx.NewEngine())
+	n.AddNode("x", 1, 1)
+	n.Start("nope", "x", 1, nil)
+}
+
+// Property: byte conservation — total bytes delivered equals the sum of
+// flow sizes, for arbitrary flow matrices.
+func TestQuickByteConservation(t *testing.T) {
+	f := func(flows []uint16) bool {
+		eng := simx.NewEngine()
+		n := New(eng)
+		names := []string{"n0", "n1", "n2", "n3"}
+		for _, nm := range names {
+			n.AddNode(nm, 50+float64(nm[1]-'0')*30, 60)
+		}
+		var want float64
+		for i, b := range flows {
+			src := names[i%4]
+			dst := names[(i/4+1)%4]
+			if src == dst {
+				continue
+			}
+			bytes := float64(b%1000) + 1
+			want += bytes
+			n.Start(src, dst, bytes, nil)
+		}
+		eng.Run()
+		n.Sync()
+		var got float64
+		for _, nm := range names {
+			got += n.Iface(nm).TotalReceived()
+		}
+		return almost(got, want, 1e-3*(1+want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocated rates never exceed any interface capacity.
+func TestQuickCapacityRespected(t *testing.T) {
+	f := func(flows []uint8) bool {
+		eng := simx.NewEngine()
+		n := New(eng)
+		names := []string{"a", "b", "c"}
+		caps := []float64{40, 70, 100}
+		for i, nm := range names {
+			n.AddNode(nm, caps[i], caps[i])
+		}
+		for i := range flows {
+			src := names[i%3]
+			dst := names[(i+1)%3]
+			n.Start(src, dst, float64(flows[i])+1, nil)
+		}
+		n.Sync()
+		for i, nm := range names {
+			ifc := n.Iface(nm)
+			if ifc.EgressRate() > caps[i]+1e-6 || ifc.IngressRate() > caps[i]+1e-6 {
+				return false
+			}
+		}
+		eng.Run()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	if h.Len() != 0 {
+		t.Fatalf("new heap has Len %d", h.Len())
+	}
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7} {
+		h.Push(v)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d: got %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after draining: %d", h.Len())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(4)
+	h.Push(2)
+	if h.Peek() != 2 {
+		t.Fatalf("peek = %d, want 2", h.Peek())
+	}
+	if h.Len() != 2 {
+		t.Fatalf("peek removed an element")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	for i := 0; i < 5; i++ {
+		h.Push(7)
+	}
+	for i := 0; i < 5; i++ {
+		if got := h.Pop(); got != 7 {
+			t.Fatalf("pop = %d, want 7", got)
+		}
+	}
+}
+
+func TestMaxHeapOrdering(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	for _, v := range []int{1, 9, 5} {
+		h.Push(v)
+	}
+	if got := h.Pop(); got != 9 {
+		t.Fatalf("max-heap pop = %d, want 9", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(1)
+	h.Push(2)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatalf("Clear left %d elements", h.Len())
+	}
+	h.Push(3)
+	if h.Pop() != 3 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func TestStructElements(t *testing.T) {
+	type ev struct {
+		t   float64
+		seq int
+	}
+	h := New(func(a, b ev) bool {
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		return a.seq < b.seq
+	})
+	h.Push(ev{1.0, 2})
+	h.Push(ev{1.0, 1})
+	h.Push(ev{0.5, 3})
+	if got := h.Pop(); got != (ev{0.5, 3}) {
+		t.Fatalf("pop = %+v", got)
+	}
+	if got := h.Pop(); got != (ev{1.0, 1}) {
+		t.Fatalf("tie-break pop = %+v", got)
+	}
+}
+
+// Property: draining the heap yields the input in sorted order.
+func TestQuickSortedDrain(t *testing.T) {
+	f := func(xs []int) bool {
+		h := New(func(a, b int) bool { return a < b })
+		for _, x := range xs {
+			h.Push(x)
+		}
+		var out []int
+		for h.Len() > 0 {
+			out = append(out, h.Pop())
+		}
+		return sort.IntsAreSorted(out) && len(out) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved pushes and pops still always pop the minimum of
+// the current contents.
+func TestQuickInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := New(func(a, b int) bool { return a < b })
+	var mirror []int
+	for i := 0; i < 5000; i++ {
+		if len(mirror) == 0 || rng.Intn(3) != 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			mirror = append(mirror, v)
+			continue
+		}
+		sort.Ints(mirror)
+		want := mirror[0]
+		mirror = mirror[1:]
+		if got := h.Pop(); got != want {
+			t.Fatalf("step %d: pop = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	h := New(func(a, b int) bool { return a < b })
+	for i := 0; i < b.N; i++ {
+		h.Push(i ^ 0x2545)
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}

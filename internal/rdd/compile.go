@@ -1,0 +1,245 @@
+package rdd
+
+import (
+	"fmt"
+
+	"rupam/internal/stats"
+	"rupam/internal/task"
+)
+
+// RunJob compiles the DAG reachable from r into a Job triggered by an
+// action whose own per-byte cost is actionProf (its OutRatio scales the
+// result bytes sent back to the driver), appends the job to the context's
+// application, and returns it. Cached RDDs that an earlier job of this
+// application materialized become cache sources: their lineage is not
+// recompiled, mirroring Spark's cache short-circuit.
+func (r *RDD) RunJob(name string, actionProf Profile) *task.Job {
+	c := r.ctx
+	job := &task.Job{ID: c.jobID(), Name: name}
+	b := &jobBuilder{ctx: c, job: job, stages: make(map[int]*task.Stage)}
+	final := b.stageFor(r, task.Result, &actionProf)
+	job.Final = final
+	// Fixup pass: a stage that reads RDD X from the cache must wait for
+	// the stage that materializes X when both are in this job (e.g. the
+	// first PageRank iteration joining the cached links the same job
+	// parses).
+	for _, st := range job.Stages {
+		if st.RDDID == 0 {
+			continue
+		}
+		if ms, ok := b.stages[st.RDDID]; ok && ms != st && !hasParent(st, ms) {
+			st.Parent = append(st.Parent, ms)
+		}
+	}
+	c.app.Jobs = append(c.app.Jobs, job)
+	return job
+}
+
+// Count is RunJob with a trivial action profile — the common case for the
+// benchmark drivers.
+func (r *RDD) Count(name string) *task.Job {
+	return r.RunJob(name, Profile{CPUPerByte: 0, OutRatio: 1e-6})
+}
+
+func hasParent(st, p *task.Stage) bool {
+	for _, x := range st.Parent {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+type jobBuilder struct {
+	ctx    *Context
+	job    *task.Job
+	stages map[int]*task.Stage // by final RDD id, within this job
+}
+
+// stageFor returns the stage computing r within the job, creating it (and
+// its parent stages) if needed. kind is ShuffleMap when the stage feeds a
+// downstream shuffle and Result for the action stage; actionProf is
+// non-nil only for the Result stage.
+func (b *jobBuilder) stageFor(r *RDD, kind task.Kind, actionProf *Profile) *task.Stage {
+	if st, ok := b.stages[r.id]; ok {
+		return st
+	}
+	// Walk the narrow chain back to the pipeline head. chain holds the
+	// RDDs whose work executes inside this stage, head-first.
+	var chain []*RDD
+	cur := r
+	for {
+		if cur.source != nil {
+			break // leaf: input read from the block store
+		}
+		if cur.materialized && cur.cached {
+			// Cache source: an earlier job materialized this RDD, so the
+			// stage starts from the cache instead of recompiling lineage.
+			// This also covers cur == r: a shuffle-map stage over a
+			// cached RDD (e.g. joining a cached graph) just reads the
+			// cached partitions and writes shuffle output.
+			break
+		}
+		chain = append([]*RDD{cur}, chain...)
+		if cur.wide {
+			break // shuffle boundary: this stage starts with the shuffle read
+		}
+		cur = cur.parent
+	}
+
+	st := &task.Stage{
+		ID:        b.ctx.stageID(),
+		Name:      fmt.Sprintf("%s@%s", b.job.Name, r.name),
+		JobID:     b.job.ID,
+		Signature: r.name,
+		Kind:      kind,
+	}
+	b.stages[r.id] = st
+	b.job.Stages = append(b.job.Stages, st)
+
+	// Classify the pipeline head and wire parent stages.
+	var (
+		head       *RDD // first RDD in chain doing work, nil if chain empty
+		srcDS      = cur.source
+		cacheSrc   *RDD
+		shuffleSrc *RDD
+	)
+	if len(chain) > 0 {
+		head = chain[0]
+	}
+	switch {
+	case head != nil && head.wide:
+		shuffleSrc = head
+		st.Parent = append(st.Parent, b.stageFor(head.parent, task.ShuffleMap, nil))
+		if head.parent2 != nil {
+			st.Parent = append(st.Parent, b.stageFor(head.parent2, task.ShuffleMap, nil))
+		}
+	case srcDS != nil:
+		// leaf input
+	default:
+		cacheSrc = cur
+		st.RDDID = cur.id
+	}
+
+	// The stage materializes a cached RDD if the pipeline computes one —
+	// persistence is a side effect of the first computation, wherever in
+	// the chain the .Cache() call sits (Spark caches the partition as the
+	// iterator passes through). With several cached RDDs in one chain the
+	// most downstream wins; a stage reading r from the cache stores
+	// nothing new.
+	var cacheRDD *RDD
+	for _, rr := range chain {
+		if rr.cached && !rr.materialized {
+			cacheRDD = rr
+		}
+	}
+	if cacheRDD != nil {
+		st.CacheRDDID = cacheRDD.id
+		cacheRDD.materialized = true
+		cacheRDD.recomputeCPU = make([]float64, r.partitions)
+	}
+
+	// Build tasks.
+	n := r.partitions
+	st.Tasks = make([]*task.Task, n)
+
+	// Per-profile compute-skew factors for narrow transformations (wide
+	// skew is already baked into partition bytes).
+	skews := make([][]float64, len(chain))
+	for pi, rr := range chain {
+		if !rr.wide && rr.prof.Skew > 0 {
+			skews[pi] = stats.SkewFactors(b.ctx.rng, n, rr.prof.Skew)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		var d task.Demand
+		var t task.Task
+
+		// Head input bytes.
+		var bytes int64
+		switch {
+		case shuffleSrc != nil:
+			bytes = shuffleSrc.shuffleInBytes[i]
+			d.ShuffleReadBytes = bytes
+		case srcDS != nil:
+			bytes = srcDS.PartitionBytes[i%srcDS.Partitions()]
+			d.InputBytes = bytes
+			t.PrefNodes = append([]string(nil), srcDS.Replicas(i%srcDS.Partitions())...)
+		case cacheSrc != nil:
+			bytes = cacheSrc.partBytes[i%len(cacheSrc.partBytes)]
+			d.InputBytes = bytes
+			t.CacheRDD = cacheSrc.id
+			if len(cacheSrc.recomputeCPU) > 0 {
+				d.FallbackCPUWork = cacheSrc.recomputeCPU[i%len(cacheSrc.recomputeCPU)]
+			}
+			if cacheSrc.rootDS != nil {
+				t.PrefNodes = append([]string(nil), cacheSrc.rootDS.Replicas(i%cacheSrc.rootDS.Partitions())...)
+			}
+		}
+
+		// Pipeline the chain's work.
+		flow := float64(bytes)
+		for pi, rr := range chain {
+			p := rr.prof
+			factor := 1.0
+			if skews[pi] != nil {
+				factor = skews[pi][i]
+			}
+			d.CPUWork += p.CPUPerByte * flow * factor
+			d.GPUWork += p.GPUPerByte * flow * factor
+			mem := int64(p.MemPerByte*flow*factor) + p.MemBase
+			if mem > d.PeakMemory {
+				d.PeakMemory = mem
+			}
+			ratio := p.OutRatio
+			if ratio == 0 {
+				ratio = 1
+			}
+			flow *= ratio
+		}
+		if cacheSrc != nil || srcDS != nil {
+			// Reading the head input still costs deserialize-level memory.
+			if d.PeakMemory < bytes/4 {
+				d.PeakMemory = bytes / 4
+			}
+		}
+
+		switch kind {
+		case task.ShuffleMap:
+			d.ShuffleWriteBytes = int64(flow)
+		case task.Result:
+			if actionProf != nil {
+				d.CPUWork += actionProf.CPUPerByte * flow
+				d.GPUWork += actionProf.GPUPerByte * flow
+				mem := int64(actionProf.MemPerByte*flow) + actionProf.MemBase
+				if mem > d.PeakMemory {
+					d.PeakMemory = mem
+				}
+				outR := actionProf.OutRatio
+				if outR == 0 {
+					outR = 1
+				}
+				d.OutputBytes = int64(flow * outR)
+			} else {
+				d.OutputBytes = int64(flow)
+			}
+		}
+		if cacheRDD != nil {
+			d.CacheBytes = cacheRDD.partBytes[i%len(cacheRDD.partBytes)]
+			// Rebuilding this partition from lineage costs the chain's
+			// CPU work up to the cached RDD (approximated by the whole
+			// pipeline's compute for mid-chain caches).
+			cacheRDD.recomputeCPU[i] = d.CPUWork
+		}
+
+		t.ID = b.ctx.taskID()
+		t.StageID = st.ID
+		t.Index = i
+		t.Kind = kind
+		t.Demand = d
+		tt := t
+		st.Tasks[i] = &tt
+	}
+	return st
+}

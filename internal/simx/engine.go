@@ -1,0 +1,139 @@
+// Package simx is the discrete-event simulation kernel underneath the
+// whole reproduction: a virtual clock with a cancellable event heap, plus
+// the three resource abstractions the cluster model needs —
+// processor-sharing resources (CPU, disk bandwidth), space resources
+// (memory), and token resources (GPUs).
+//
+// The simulation is strictly single-threaded and deterministic: events at
+// equal timestamps fire in scheduling order, and no wall-clock or global
+// PRNG state is consulted. Running the same experiment twice produces
+// byte-identical output, which the test suite relies on.
+package simx
+
+import (
+	"fmt"
+	"math"
+
+	"rupam/internal/pq"
+)
+
+// Timer is a handle to a scheduled event; Cancel prevents it from firing.
+type Timer struct {
+	t        float64
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.canceled = true
+		t.fn = nil
+	}
+}
+
+// Canceled reports whether Cancel was called before the timer fired.
+func (t *Timer) Canceled() bool { return t == nil || t.canceled }
+
+// Engine is the event loop. The zero value is not usable; use NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  *pq.Heap[*Timer]
+	running bool
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{
+		events: pq.New(func(a, b *Timer) bool {
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			return a.seq < b.seq
+		}),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds of virtual time. A non-positive
+// delay fires the event at the current time, after already-queued events
+// at this time. It returns a Timer that can cancel the callback.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t (clamped to now if in the past).
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	tm := &Timer{t: t, seq: e.seq, fn: fn}
+	e.events.Push(tm)
+	return tm
+}
+
+// Run processes events until the queue is empty. It panics if called
+// re-entrantly from an event callback.
+func (e *Engine) Run() {
+	e.RunUntil(math.Inf(1))
+}
+
+// RunUntil processes events with timestamps <= limit, then advances the
+// clock to limit (if finite). Events scheduled during the run are
+// processed if they fall within the limit.
+func (e *Engine) RunUntil(limit float64) {
+	if e.running {
+		panic("simx: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		tm := e.events.Peek()
+		if tm.t > limit {
+			break
+		}
+		e.events.Pop()
+		if tm.canceled {
+			continue
+		}
+		if tm.t < e.now {
+			panic(fmt.Sprintf("simx: event time %v before now %v", tm.t, e.now))
+		}
+		e.now = tm.t
+		fn := tm.fn
+		tm.fn = nil
+		fn()
+	}
+	if !math.IsInf(limit, 1) && limit > e.now {
+		e.now = limit
+	}
+}
+
+// Step processes the single earliest pending event and reports whether one
+// existed. Primarily useful in tests.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		tm := e.events.Pop()
+		if tm.canceled {
+			continue
+		}
+		e.now = tm.t
+		fn := tm.fn
+		tm.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return e.events.Len() }

@@ -1,0 +1,274 @@
+package simx
+
+import (
+	"fmt"
+	"sort"
+
+	"rupam/internal/stats"
+)
+
+const demandEps = 1e-9
+
+// PSResource models a processor-sharing resource: a server with a total
+// service rate (capacity) shared equally among active claims, optionally
+// capped per claim. It models:
+//
+//   - CPU: capacity = cores × GHz, per-claim cap = GHz (a task cannot use
+//     more than one core), so contention only appears once active tasks
+//     exceed the core count — exactly the over-commit regime the paper's
+//     §III-C2 discusses;
+//   - disk bandwidth: capacity = device MB/s, no per-claim cap.
+//
+// Claims carry a service demand (e.g. giga-cycles, bytes) and a completion
+// callback. Whenever membership changes, remaining demands are advanced and
+// the next completion event is rescheduled.
+type PSResource struct {
+	eng         *Engine
+	name        string
+	capacity    float64
+	perClaimCap float64
+	claims      map[*Claim]struct{}
+	lastUpdate  float64
+	timer       *Timer
+	target      *Claim        // claim the armed timer is for; force-completed on fire
+	util        stats.TimeAvg // fraction of capacity in use over time
+	load        stats.TimeAvg // number of active claims over time
+	served      float64       // total demand served
+	claimSeq    uint64
+}
+
+// Claim is an in-progress request for service from a PSResource.
+type Claim struct {
+	res       *PSResource
+	seq       uint64
+	remaining float64
+	onDone    func()
+	done      bool
+}
+
+// NewPSResource creates a processor-sharing resource. capacity is the total
+// service rate per second; perClaimCap (0 = unlimited) bounds the rate any
+// single claim may receive.
+func NewPSResource(eng *Engine, name string, capacity, perClaimCap float64) *PSResource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simx: resource %q with non-positive capacity", name))
+	}
+	return &PSResource{
+		eng:         eng,
+		name:        name,
+		capacity:    capacity,
+		perClaimCap: perClaimCap,
+		claims:      make(map[*Claim]struct{}),
+		lastUpdate:  eng.Now(),
+	}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *PSResource) Name() string { return r.name }
+
+// Capacity returns the total service rate.
+func (r *PSResource) Capacity() float64 { return r.capacity }
+
+// SetCapacity changes the total service rate (used to model DVFS-style
+// frequency changes). In-flight claims are advanced at the old rate first.
+func (r *PSResource) SetCapacity(c float64) {
+	if c <= 0 {
+		panic("simx: SetCapacity with non-positive capacity")
+	}
+	r.advance()
+	r.capacity = c
+	r.reschedule()
+}
+
+// SetPerClaimCap changes the per-claim rate bound (DVFS changes the speed
+// of a single core, not just the aggregate). In-flight claims are advanced
+// at the old rate first.
+func (r *PSResource) SetPerClaimCap(c float64) {
+	if c < 0 {
+		panic("simx: SetPerClaimCap with negative cap")
+	}
+	r.advance()
+	r.perClaimCap = c
+	r.reschedule()
+}
+
+// ratePerClaim returns the current service rate each claim receives.
+func (r *PSResource) ratePerClaim() float64 {
+	n := len(r.claims)
+	if n == 0 {
+		return 0
+	}
+	rate := r.capacity / float64(n)
+	if r.perClaimCap > 0 && rate > r.perClaimCap {
+		rate = r.perClaimCap
+	}
+	return rate
+}
+
+// Utilization returns the instantaneous fraction of capacity in use.
+func (r *PSResource) Utilization() float64 {
+	if r.capacity == 0 {
+		return 0
+	}
+	return r.ratePerClaim() * float64(len(r.claims)) / r.capacity
+}
+
+// ActiveClaims returns the number of claims currently being served.
+func (r *PSResource) ActiveClaims() int { return len(r.claims) }
+
+// AvgUtilization returns the time-weighted average utilization fraction
+// since the resource was created.
+func (r *PSResource) AvgUtilization() float64 {
+	r.advance() // fold in the current interval
+	r.reschedule()
+	return r.util.Value()
+}
+
+// TotalServed returns the total demand served so far.
+func (r *PSResource) TotalServed() float64 {
+	r.advance()
+	r.reschedule()
+	return r.served
+}
+
+// Acquire starts serving a claim with the given demand; onDone fires when
+// the demand has been fully served. A non-positive demand completes at the
+// current time (asynchronously, preserving event ordering).
+func (r *PSResource) Acquire(demand float64, onDone func()) *Claim {
+	r.claimSeq++
+	c := &Claim{res: r, seq: r.claimSeq, remaining: demand, onDone: onDone}
+	if demand <= demandEps {
+		c.done = true
+		r.eng.Schedule(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return c
+	}
+	r.advance()
+	r.claims[c] = struct{}{}
+	r.reschedule()
+	return c
+}
+
+// Cancel aborts an in-progress claim without firing its callback. It
+// returns the remaining (unserved) demand; cancelling a finished claim
+// returns 0.
+func (c *Claim) Cancel() float64 {
+	if c.done {
+		return 0
+	}
+	r := c.res
+	r.advance()
+	delete(r.claims, c)
+	c.done = true
+	rem := c.remaining
+	r.reschedule()
+	return rem
+}
+
+// Remaining returns the unserved demand of the claim at the current time.
+func (c *Claim) Remaining() float64 {
+	if c.done {
+		return 0
+	}
+	r := c.res
+	r.advance()
+	r.reschedule()
+	return c.remaining
+}
+
+// advance applies service between lastUpdate and now to all active claims
+// and accumulates utilization statistics. It does not fire completions —
+// reschedule does, via the event queue, so that callbacks never run inside
+// another resource's mutation.
+func (r *PSResource) advance() {
+	now := r.eng.Now()
+	rate := r.ratePerClaim()
+	n := float64(len(r.claims))
+	r.util.Observe(now, rate*n/r.capacity)
+	r.load.Observe(now, n)
+	dt := now - r.lastUpdate
+	if dt > 0 && rate > 0 {
+		servedEach := rate * dt
+		for c := range r.claims {
+			c.remaining -= servedEach
+			r.served += servedEach
+		}
+	}
+	r.lastUpdate = now
+}
+
+// reschedule computes the earliest completion among active claims and
+// (re)arms the completion timer.
+func (r *PSResource) reschedule() {
+	if r.timer != nil {
+		r.timer.Cancel()
+		r.timer = nil
+		r.target = nil
+	}
+	rate := r.ratePerClaim()
+	if rate <= 0 {
+		return
+	}
+	var target *Claim
+	for c := range r.claims {
+		if target == nil || c.remaining < target.remaining ||
+			(c.remaining == target.remaining && c.seq < target.seq) {
+			target = c
+		}
+	}
+	if target == nil {
+		return
+	}
+	delay := target.remaining / rate
+	if delay < 0 {
+		delay = 0
+	}
+	r.target = target
+	r.timer = r.eng.Schedule(delay, r.complete)
+}
+
+// complete fires when the earliest claim(s) finish: it advances service,
+// removes every claim whose demand is exhausted, invokes their callbacks,
+// and re-arms the timer.
+func (r *PSResource) complete() {
+	r.timer = nil
+	r.advance()
+	// The timer was armed for r.target's exact completion; floating-point
+	// rounding can leave a vanishing residue that would otherwise re-arm
+	// a zero-length timer forever, so the target is completed by fiat.
+	if t := r.target; t != nil && !t.done {
+		t.remaining = 0
+	}
+	r.target = nil
+	var finished []*Claim
+	for c := range r.claims {
+		if c.remaining <= demandEps {
+			finished = append(finished, c)
+		}
+	}
+	for _, c := range finished {
+		delete(r.claims, c)
+		c.done = true
+		c.remaining = 0
+	}
+	r.reschedule()
+	// Callbacks run after bookkeeping so they observe a consistent
+	// resource state and may immediately Acquire again. Order is made
+	// deterministic below.
+	sortClaims(finished)
+	for _, c := range finished {
+		if c.onDone != nil {
+			c.onDone()
+		}
+	}
+}
+
+// sortClaims orders simultaneously-finishing claims by acquisition order
+// so that callback sequences — and therefore entire simulation runs — are
+// deterministic despite Go's randomized map iteration.
+func sortClaims(cs []*Claim) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+}

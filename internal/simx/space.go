@@ -1,0 +1,115 @@
+package simx
+
+import (
+	"fmt"
+
+	"rupam/internal/stats"
+)
+
+// Space models a capacity resource that is occupied rather than served:
+// executor heap memory. Allocations either fit or fail immediately — the
+// OutOfMemory semantics the paper's §III-C3 builds its memory-straggler
+// handling around.
+type Space struct {
+	eng      *Engine
+	name     string
+	capacity int64
+	used     int64
+	peak     int64
+	usage    stats.TimeAvg // bytes in use over time
+}
+
+// NewSpace creates a space resource with the given capacity in bytes.
+func NewSpace(eng *Engine, name string, capacity int64) *Space {
+	if capacity < 0 {
+		panic(fmt.Sprintf("simx: space %q with negative capacity", name))
+	}
+	return &Space{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (s *Space) Name() string { return s.name }
+
+// Capacity returns the total capacity in bytes.
+func (s *Space) Capacity() int64 { return s.capacity }
+
+// SetCapacity resizes the space (dynamic executor sizing in RUPAM). It
+// panics if the new capacity is below current usage.
+func (s *Space) SetCapacity(c int64) {
+	if c < s.used {
+		panic(fmt.Sprintf("simx: space %q shrink below usage (%d < %d)", s.name, c, s.used))
+	}
+	s.capacity = c
+}
+
+// Used returns the bytes currently allocated.
+func (s *Space) Used() int64 { return s.used }
+
+// Free returns the bytes currently available.
+func (s *Space) Free() int64 { return s.capacity - s.used }
+
+// Peak returns the high-water mark of usage.
+func (s *Space) Peak() int64 { return s.peak }
+
+// Utilization returns the instantaneous fraction of capacity in use.
+func (s *Space) Utilization() float64 {
+	if s.capacity == 0 {
+		return 0
+	}
+	return float64(s.used) / float64(s.capacity)
+}
+
+// AvgUsed returns the time-weighted average bytes in use.
+func (s *Space) AvgUsed() float64 {
+	s.usage.Observe(s.eng.Now(), float64(s.used))
+	return s.usage.Value()
+}
+
+// TryAlloc reserves n bytes, reporting whether the allocation fit. A failed
+// allocation changes nothing.
+func (s *Space) TryAlloc(n int64) bool {
+	if n < 0 {
+		panic("simx: negative allocation")
+	}
+	if s.used+n > s.capacity {
+		return false
+	}
+	s.usage.Observe(s.eng.Now(), float64(s.used))
+	s.used += n
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+	return true
+}
+
+// ForceAlloc reserves n bytes even beyond capacity. The default Spark
+// scheduler admits tasks by core count alone, so the sum of task working
+// sets can exceed the heap — that over-commit (and the OOM it triggers) is
+// decided by the executor model, which uses ForceAlloc and then checks
+// Overcommitted.
+func (s *Space) ForceAlloc(n int64) {
+	if n < 0 {
+		panic("simx: negative allocation")
+	}
+	s.usage.Observe(s.eng.Now(), float64(s.used))
+	s.used += n
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+}
+
+// Overcommitted reports whether usage currently exceeds capacity.
+func (s *Space) Overcommitted() bool { return s.used > s.capacity }
+
+// Release returns n bytes to the pool. It panics on underflow, which would
+// indicate an accounting bug in the executor layer.
+func (s *Space) Release(n int64) {
+	if n < 0 {
+		panic("simx: negative release")
+	}
+	if n > s.used {
+		panic(fmt.Sprintf("simx: space %q release underflow (%d > %d)", s.name, n, s.used))
+	}
+	s.usage.Observe(s.eng.Now(), float64(s.used))
+	s.used -= n
+}

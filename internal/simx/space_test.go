@@ -1,0 +1,146 @@
+package simx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceAllocRelease(t *testing.T) {
+	eng := NewEngine()
+	s := NewSpace(eng, "mem", 100)
+	if !s.TryAlloc(60) {
+		t.Fatal("alloc 60/100 failed")
+	}
+	if s.TryAlloc(50) {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if s.Used() != 60 || s.Free() != 40 {
+		t.Fatalf("used=%d free=%d", s.Used(), s.Free())
+	}
+	s.Release(60)
+	if s.Used() != 0 {
+		t.Fatalf("used=%d after release", s.Used())
+	}
+}
+
+func TestSpaceForceAllocOvercommit(t *testing.T) {
+	eng := NewEngine()
+	s := NewSpace(eng, "mem", 100)
+	s.ForceAlloc(150)
+	if !s.Overcommitted() {
+		t.Fatal("overcommit not detected")
+	}
+	if s.Peak() != 150 {
+		t.Fatalf("peak = %d", s.Peak())
+	}
+	s.Release(150)
+	if s.Overcommitted() {
+		t.Fatal("still overcommitted after release")
+	}
+}
+
+func TestSpaceUtilizationAndAvg(t *testing.T) {
+	eng := NewEngine()
+	s := NewSpace(eng, "mem", 200)
+	s.ForceAlloc(100) // 50% from t=0
+	eng.Schedule(10, func() { s.Release(100) })
+	eng.Run()
+	eng.Schedule(10, func() {})
+	eng.Run() // idle [10,20]
+	if got := s.Utilization(); got != 0 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if got := s.AvgUsed(); got < 49 || got > 51 {
+		t.Fatalf("avg used = %v, want ~50", got)
+	}
+}
+
+func TestSpaceReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on release underflow")
+		}
+	}()
+	s := NewSpace(NewEngine(), "mem", 10)
+	s.Release(1)
+}
+
+func TestSpaceSetCapacity(t *testing.T) {
+	eng := NewEngine()
+	s := NewSpace(eng, "mem", 100)
+	s.ForceAlloc(50)
+	s.SetCapacity(60)
+	if s.Free() != 10 {
+		t.Fatalf("free = %d after shrink", s.Free())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic shrinking below usage")
+		}
+	}()
+	s.SetCapacity(40)
+}
+
+func TestTokensAcquireRelease(t *testing.T) {
+	eng := NewEngine()
+	g := NewTokens(eng, "gpu", 2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("could not take both tokens")
+	}
+	if g.TryAcquire() {
+		t.Fatal("third token granted from pool of 2")
+	}
+	if g.Idle() != 0 || g.InUse() != 2 || g.Utilization() != 1 {
+		t.Fatalf("state: idle=%d inuse=%d util=%v", g.Idle(), g.InUse(), g.Utilization())
+	}
+	g.Release()
+	if g.Idle() != 1 {
+		t.Fatalf("idle = %d after release", g.Idle())
+	}
+}
+
+func TestTokensEmptyPool(t *testing.T) {
+	g := NewTokens(NewEngine(), "gpu", 0)
+	if g.TryAcquire() {
+		t.Fatal("token from empty pool")
+	}
+	if g.Utilization() != 0 {
+		t.Fatal("empty pool utilization not 0")
+	}
+}
+
+func TestTokensReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on token underflow")
+		}
+	}()
+	NewTokens(NewEngine(), "gpu", 1).Release()
+}
+
+// Property: any interleaving of TryAlloc/Release keeps 0 <= used <=
+// capacity and free+used == capacity.
+func TestQuickSpaceInvariant(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := NewSpace(NewEngine(), "mem", 1000)
+		var held []int64
+		for _, op := range ops {
+			if op >= 0 {
+				n := int64(op % 300)
+				if s.TryAlloc(n) {
+					held = append(held, n)
+				}
+			} else if len(held) > 0 {
+				s.Release(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if s.Used() < 0 || s.Used() > 1000 || s.Used()+s.Free() != 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

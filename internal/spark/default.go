@@ -1,0 +1,237 @@
+package spark
+
+import (
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
+	"rupam/internal/hdfs"
+	"rupam/internal/monitor"
+	"rupam/internal/task"
+)
+
+// DefaultScheduler reproduces Spark's stock task scheduler: one task slot
+// per CPU core, a single static executor size on every node, and delay
+// scheduling over locality levels (a task set waits spark.locality.wait
+// seconds at each level before accepting worse locality). It is
+// deliberately blind to CPU speed, memory pressure, disk class, network
+// bandwidth and GPUs — the mismatch the paper's §II demonstrates.
+type DefaultScheduler struct {
+	rt *Runtime
+
+	pending    map[int][]*task.Task // pending tasks by stage ID
+	order      []int                // stage submission order
+	allowed    map[int]hdfs.Locality
+	lastLaunch map[int]float64
+	rot        int
+
+	// oomBackoff halves a stage's per-node parallelism each time its
+	// tasks die of OOM — the task-failure backoff real Spark gets from
+	// TaskSetManager failure tracking and executor blacklisting. Without
+	// it, a memory-starved stage relaunches a full slot-width wave that
+	// OOMs (and crashes workers) forever. Successes slowly claw the
+	// parallelism back (AIMD), so a stage that was merely unlucky does
+	// not stay throttled — and one that truly doesn't fit keeps paying.
+	oomBackoff map[int]int
+	// successStreak counts a stage's successes since its last OOM, for
+	// the backoff decay.
+	successStreak map[int]int
+	// runningByNodeStage counts this scheduler's in-flight attempts per
+	// node per stage, for the backoff cap.
+	runningByNodeStage map[string]map[int]int
+}
+
+// NewDefaultScheduler returns Spark's stock policy.
+func NewDefaultScheduler() *DefaultScheduler {
+	return &DefaultScheduler{
+		pending:            make(map[int][]*task.Task),
+		allowed:            make(map[int]hdfs.Locality),
+		lastLaunch:         make(map[int]float64),
+		oomBackoff:         make(map[int]int),
+		successStreak:      make(map[int]int),
+		runningByNodeStage: make(map[string]map[int]int),
+	}
+}
+
+// Name implements Scheduler.
+func (s *DefaultScheduler) Name() string { return "spark" }
+
+// Bind implements Scheduler.
+func (s *DefaultScheduler) Bind(rt *Runtime) { s.rt = rt }
+
+// HeapFor implements Scheduler: the same static heap everywhere, sized to
+// fit the smallest machine (the paper's 14 GB).
+func (s *DefaultScheduler) HeapFor(node *cluster.Node) int64 {
+	return s.rt.Cfg.StaticHeapBytes
+}
+
+// StageSubmitted implements Scheduler.
+func (s *DefaultScheduler) StageSubmitted(st *task.Stage) {
+	s.pending[st.ID] = append([]*task.Task(nil), st.Tasks...)
+	s.order = append(s.order, st.ID)
+	s.allowed[st.ID] = bestPossibleLevel(st)
+	s.lastLaunch[st.ID] = s.rt.Eng.Now()
+}
+
+// bestPossibleLevel returns the tightest locality the stage's tasks can
+// hope for, which is where delay scheduling starts waiting.
+func bestPossibleLevel(st *task.Stage) hdfs.Locality {
+	best := hdfs.Any
+	for _, t := range st.Tasks {
+		if t.CachedOn != "" {
+			return hdfs.ProcessLocal
+		}
+		if len(t.PrefNodes) > 0 && best > hdfs.NodeLocal {
+			best = hdfs.NodeLocal
+		}
+	}
+	return best
+}
+
+// Resubmit implements Scheduler.
+func (s *DefaultScheduler) Resubmit(t *task.Task, st *task.Stage) {
+	s.pending[st.ID] = append(s.pending[st.ID], t)
+}
+
+// TaskEnded implements Scheduler: maintain per-node stage counts and back
+// off a stage's parallelism when its tasks OOM.
+func (s *DefaultScheduler) TaskEnded(t *task.Task, r *executor.Run, out executor.Outcome) {
+	node := r.Metrics().Executor
+	if m := s.runningByNodeStage[node]; m != nil && m[t.StageID] > 0 {
+		m[t.StageID]--
+	}
+	switch out {
+	case executor.OOM:
+		s.successStreak[t.StageID] = 0
+		b := s.oomBackoff[t.StageID]
+		if b == 0 {
+			b = 1
+		}
+		if b < 16 {
+			s.oomBackoff[t.StageID] = b * 2
+		}
+	case executor.Success:
+		if s.oomBackoff[t.StageID] > 1 {
+			s.successStreak[t.StageID]++
+			if s.successStreak[t.StageID] >= 12 {
+				s.successStreak[t.StageID] = 0
+				s.oomBackoff[t.StageID] /= 2
+			}
+		}
+	}
+}
+
+// stageCap returns the per-node concurrency allowed for a stage on a node.
+func (s *DefaultScheduler) stageCap(node string, stageID int) int {
+	b := s.oomBackoff[stageID]
+	if b <= 1 {
+		return 1 << 30 // uncapped until the stage misbehaves
+	}
+	cores := s.rt.Clu.Node(node).Spec.Cores
+	cap := cores / b
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+func (s *DefaultScheduler) noteLaunch(node string, stageID int) {
+	m := s.runningByNodeStage[node]
+	if m == nil {
+		m = make(map[int]int)
+		s.runningByNodeStage[node] = m
+	}
+	m[stageID]++
+}
+
+// Heartbeat implements Scheduler (the stock scheduler ignores resource
+// reports; the heartbeat-triggered Schedule call is its offer).
+func (s *DefaultScheduler) Heartbeat(node string, nm *monitor.NodeMetrics) {}
+
+// Schedule implements Scheduler: fill free core slots with the
+// best-locality pending task each node can get, then spend leftover slots
+// on speculative copies.
+func (s *DefaultScheduler) Schedule() {
+	rt := s.rt
+	now := rt.Eng.Now()
+
+	// Delay-scheduling relaxation.
+	for id, lvl := range s.allowed {
+		if len(s.pending[id]) == 0 {
+			continue
+		}
+		if lvl < hdfs.Any && now-s.lastLaunch[id] > rt.Cfg.LocalityWait {
+			s.allowed[id] = lvl + 1
+			s.lastLaunch[id] = now
+		}
+	}
+
+	nodes := rt.Clu.Nodes
+	for launchedAny := true; launchedAny; {
+		launchedAny = false
+		s.rot++
+		for i := range nodes {
+			node := nodes[(i+s.rot)%len(nodes)]
+			name := node.Name()
+			ex := rt.Execs[name]
+			if ex == nil || ex.Down() || ex.RunningTasks() >= node.Spec.Cores {
+				continue
+			}
+			if s.launchOn(name) {
+				launchedAny = true
+			}
+		}
+	}
+}
+
+// launchOn places at most one task on the node; speculative copies fill
+// slots when no pending task qualifies.
+func (s *DefaultScheduler) launchOn(node string) bool {
+	rt := s.rt
+	// Pending tasks first, stages in submission order (FIFO).
+	for _, id := range s.order {
+		q := s.pending[id]
+		if len(q) == 0 {
+			continue
+		}
+		if s.runningByNodeStage[node][id] >= s.stageCap(node, id) {
+			continue // stage backed off on this node after OOMs
+		}
+		allowed := s.allowed[id]
+		bestIdx, bestLvl := -1, hdfs.Any+1
+		for i, t := range q {
+			lvl := t.LocalityOn(node)
+			if lvl <= allowed && lvl < bestLvl {
+				bestIdx, bestLvl = i, lvl
+			}
+		}
+		if bestIdx < 0 {
+			continue
+		}
+		t := q[bestIdx]
+		s.pending[id] = append(q[:bestIdx], q[bestIdx+1:]...)
+		if rt.Launch(t, node, executor.Options{Locality: t.LocalityOn(node)}) != nil {
+			s.noteLaunch(node, id)
+			s.lastLaunch[id] = rt.Eng.Now()
+			return true
+		}
+		// Launch refused (executor just went down): put it back.
+		s.pending[id] = append(s.pending[id], t)
+		return false
+	}
+	// No pending work for this node: try a speculative copy.
+	for _, t := range rt.SpeculativeTasks() {
+		runs := rt.RunningAttempts(t)
+		if len(runs) != 1 || runs[0].Metrics().Executor == node {
+			continue
+		}
+		rt.ClearSpeculatable(t)
+		if rt.Launch(t, node, executor.Options{
+			Locality:    t.LocalityOn(node),
+			Speculative: true,
+		}) != nil {
+			s.noteLaunch(node, t.StageID)
+			return true
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+package spark
+
+import (
+	"sort"
+
+	"rupam/internal/executor"
+	"rupam/internal/stats"
+	"rupam/internal/task"
+)
+
+// submitJob activates job j: resolves cache locations for its tasks and
+// submits every stage whose parents are complete.
+func (rt *Runtime) submitJob(j int) {
+	rt.jobIdx = j
+	job := rt.app.Jobs[j]
+	for _, st := range job.Stages {
+		rt.stages[st.ID] = st
+		for _, t := range st.Tasks {
+			rt.stageOf[t.ID] = st
+		}
+	}
+	for _, st := range job.Stages {
+		rt.maybeSubmitStage(st)
+	}
+	rt.sched.Schedule()
+}
+
+// maybeSubmitStage submits st to the scheduler if all parents are complete
+// and it has not been submitted yet.
+func (rt *Runtime) maybeSubmitStage(st *task.Stage) {
+	if rt.submitted[st.ID] {
+		return
+	}
+	for _, p := range st.Parent {
+		if !p.IsComplete() {
+			return
+		}
+	}
+	rt.submitted[st.ID] = true
+	rt.activeStages[st.ID] = st
+	for _, t := range st.Tasks {
+		rt.resolveCacheLocation(t)
+		t.State = task.Pending
+	}
+	rt.sched.StageSubmitted(st)
+}
+
+// resolveCacheLocation fills in the task's PROCESS_LOCAL node from the
+// cache tracker — Spark's DAGScheduler.getCacheLocs step.
+func (rt *Runtime) resolveCacheLocation(t *task.Task) {
+	t.CachedOn = ""
+	if t.CacheRDD == 0 {
+		return
+	}
+	if node, ok := rt.Cache.Lookup(executor.CacheKey{RDD: t.CacheRDD, Partition: t.Index}); ok {
+		t.CachedOn = node
+	}
+}
+
+// CanRunOn reports whether node's executor exists and is up.
+func (rt *Runtime) CanRunOn(node string) bool {
+	ex, ok := rt.Execs[node]
+	return ok && !ex.Down()
+}
+
+// Launch starts an attempt of t on node, returning the attempt's Run (nil
+// if the launch was refused). All schedulers place tasks through this
+// single entry point.
+func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *executor.Run {
+	ex, ok := rt.Execs[node]
+	if !ok || ex.Down() {
+		return nil
+	}
+	st, ok := rt.stageOf[t.ID]
+	if !ok {
+		return nil
+	}
+	if t.State == task.Finished {
+		return nil
+	}
+	t.State = task.Running
+	rt.LaunchCount++
+	if opts.Speculative {
+		rt.SpecCopies++
+	}
+	r := ex.Launch(t, st, opts, rt.onTaskEnd)
+	rt.runningAtt[t.ID] = append(rt.runningAtt[t.ID], r)
+	return r
+}
+
+// RunningAttempts returns the live attempts of a task.
+func (rt *Runtime) RunningAttempts(t *task.Task) []*executor.Run { return rt.runningAtt[t.ID] }
+
+// onTaskEnd is the single completion path for every attempt.
+func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
+	t := r.Task()
+	st := r.Stage()
+
+	// Drop the attempt from the live set.
+	live := rt.runningAtt[t.ID]
+	for i, a := range live {
+		if a == r {
+			live = append(live[:i], live[i+1:]...)
+			break
+		}
+	}
+	rt.runningAtt[t.ID] = live
+
+	rt.sched.TaskEnded(t, r, out)
+
+	switch out {
+	case executor.Success:
+		if t.State != task.Finished {
+			t.State = task.Finished
+			delete(rt.speculatable, t.ID)
+			// The losing copies are cancelled; the driver does not route
+			// them through the failure path (no resubmission), but the
+			// scheduler still hears about each so its per-node accounting
+			// stays truthful.
+			for _, a := range append([]*executor.Run(nil), live...) {
+				a.Kill(false)
+				rt.sched.TaskEnded(t, a, executor.Killed)
+			}
+			rt.runningAtt[t.ID] = nil
+			if st.MarkCompleted() {
+				rt.onStageComplete(st)
+			}
+		}
+	case executor.OOM, executor.Killed:
+		if t.State == task.Finished {
+			break // a lost speculative copy; nothing to do
+		}
+		if len(rt.runningAtt[t.ID]) > 0 {
+			break // another copy is still running; let it race
+		}
+		t.State = task.Pending
+		rt.resolveCacheLocation(t) // cache may have moved or been dropped
+		rt.sched.Resubmit(t, st)
+	}
+	rt.sched.Schedule()
+}
+
+// onStageComplete advances the DAG: submits newly-ready stages, and when
+// the job's final stage lands, moves to the next job or finishes the app.
+func (rt *Runtime) onStageComplete(st *task.Stage) {
+	delete(rt.activeStages, st.ID)
+	job := rt.app.Jobs[rt.jobIdx]
+	for _, s := range job.Stages {
+		rt.maybeSubmitStage(s)
+	}
+	if st == job.Final {
+		rt.jobEnds = append(rt.jobEnds, rt.Eng.Now())
+		if rt.jobIdx+1 < len(rt.app.Jobs) {
+			rt.submitJob(rt.jobIdx + 1)
+			return
+		}
+		rt.finishApp()
+	}
+}
+
+func (rt *Runtime) finishApp() {
+	rt.appDone = true
+	rt.appEnd = rt.Eng.Now()
+	rt.Mon.Stop()
+	if rt.Rec != nil {
+		rt.Rec.Stop()
+	}
+	if rt.specTimer != nil {
+		rt.specTimer.Cancel()
+		rt.specTimer = nil
+	}
+}
+
+// ---- speculative execution ---------------------------------------------
+
+// scheduleSpeculationScan arms the periodic straggler check.
+func (rt *Runtime) scheduleSpeculationScan() {
+	rt.specTimer = rt.Eng.Schedule(rt.Cfg.SpeculationInterval, func() {
+		if rt.appDone {
+			return
+		}
+		rt.scanForStragglers()
+		rt.scheduleSpeculationScan()
+		rt.sched.Schedule()
+	})
+}
+
+// scanForStragglers implements Spark's speculation rule: once a stage is
+// SpeculationQuantile complete, any running task older than
+// SpeculationMultiplier × the mean successful duration becomes
+// speculatable.
+func (rt *Runtime) scanForStragglers() {
+	now := rt.Eng.Now()
+	for _, st := range rt.sortedActiveStages() {
+		n := st.NumTasks()
+		if n <= 1 || float64(st.Completed()) < rt.Cfg.SpeculationQuantile*float64(n) {
+			continue
+		}
+		var durs []float64
+		for _, t := range st.Tasks {
+			if m := t.SuccessMetrics(); m != nil {
+				durs = append(durs, m.Duration())
+			}
+		}
+		if len(durs) == 0 {
+			continue
+		}
+		threshold := rt.Cfg.SpeculationMultiplier * stats.Mean(durs)
+		if threshold < 0.1 {
+			threshold = 0.1
+		}
+		for _, t := range st.Tasks {
+			if t.State != task.Running || len(rt.runningAtt[t.ID]) != 1 {
+				continue
+			}
+			att := rt.runningAtt[t.ID][0]
+			if now-att.Metrics().Launch > threshold {
+				rt.speculatable[t.ID] = t
+			}
+		}
+	}
+}
+
+// SpeculativeTasks returns the current straggler set in deterministic
+// order; schedulers launch copies of these when they have spare resources
+// (Algorithm 2's speculativeTaskSet path).
+func (rt *Runtime) SpeculativeTasks() []*task.Task {
+	ts := make([]*task.Task, 0, len(rt.speculatable))
+	for _, t := range rt.speculatable {
+		if t.State == task.Running {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	return ts
+}
+
+// MarkSpeculatable force-adds a task to the straggler set (RUPAM's
+// resource-straggler extension of checkSpeculatableTasks).
+func (rt *Runtime) MarkSpeculatable(t *task.Task) {
+	if t.State == task.Running {
+		rt.speculatable[t.ID] = t
+	}
+}
+
+// ClearSpeculatable removes a task from the straggler set (a copy was
+// launched or the task finished).
+func (rt *Runtime) ClearSpeculatable(t *task.Task) { delete(rt.speculatable, t.ID) }
+
+// StageOf returns the stage owning the task.
+func (rt *Runtime) StageOf(t *task.Task) *task.Stage { return rt.stageOf[t.ID] }
+
+// ActiveStages returns the currently active stages ordered by ID.
+func (rt *Runtime) sortedActiveStages() []*task.Stage {
+	ss := make([]*task.Stage, 0, len(rt.activeStages))
+	for _, s := range rt.activeStages {
+		ss = append(ss, s)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].ID < ss[j].ID })
+	return ss
+}
+
+// ActiveStages returns active stages in deterministic (ID) order.
+func (rt *Runtime) ActiveStages() []*task.Stage { return rt.sortedActiveStages() }

@@ -1,0 +1,286 @@
+// Package spark is the execution-framework substrate: a faithful model of
+// Spark's driver-side machinery — sequential jobs, stages submitted as
+// their shuffle dependencies complete, per-stage task sets, task retries
+// on failure, speculative execution — with the task-to-node placement
+// policy abstracted behind the Scheduler interface. Two schedulers plug
+// in: this package's DefaultScheduler (locality-wait over core-count
+// slots, Spark's stock policy) and package core's RUPAM.
+package spark
+
+import (
+	"fmt"
+
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
+	"rupam/internal/metrics"
+	"rupam/internal/monitor"
+	"rupam/internal/simx"
+	"rupam/internal/task"
+)
+
+// Config carries the framework's tunables; zero fields take the Spark
+// defaults noted per field.
+type Config struct {
+	// DriverNode hosts the driver program (result flows land here);
+	// defaults to the first cluster node, matching the paper's master
+	// co-located on a worker.
+	DriverNode string
+	// StaticHeapBytes is the executor heap the default scheduler uses on
+	// every node (the paper sets 14 GB to fit the 16 GB thor machines).
+	StaticHeapBytes int64
+	// LocalityWait is the delay-scheduling relaxation timeout per level
+	// (spark.locality.wait, default 3 s).
+	LocalityWait float64
+	// SpeculationInterval is how often stragglers are re-evaluated
+	// (default 0.5 s).
+	SpeculationInterval float64
+	// SpeculationQuantile is the completed fraction before speculation
+	// kicks in (default 0.75).
+	SpeculationQuantile float64
+	// SpeculationMultiplier times the mean successful duration marks a
+	// straggler (default 1.5).
+	SpeculationMultiplier float64
+	// HeartbeatInterval is the worker heartbeat period (default 1 s).
+	HeartbeatInterval float64
+	// MaxAttempts bounds per-task attempts before the task is forced onto
+	// the highest-memory node (default 8).
+	MaxAttempts int
+	// SampleInterval is the utilization-trace sampling period (default
+	// 1 s; 0 keeps the default, negative disables tracing).
+	SampleInterval float64
+	// MaxSimTime aborts (panics) a run whose virtual clock exceeds this
+	// many seconds — a watchdog against scheduler livelocks (default
+	// 86400, one simulated day).
+	MaxSimTime float64
+	// Exec carries the physical execution-model constants.
+	Exec executor.Config
+	// Seed drives all run randomness (failure coin flips).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StaticHeapBytes == 0 {
+		c.StaticHeapBytes = 14 * cluster.GB
+	}
+	if c.LocalityWait == 0 {
+		c.LocalityWait = 3
+	}
+	if c.SpeculationInterval == 0 {
+		c.SpeculationInterval = 0.5
+	}
+	if c.SpeculationQuantile == 0 {
+		c.SpeculationQuantile = 0.75
+	}
+	if c.SpeculationMultiplier == 0 {
+		c.SpeculationMultiplier = 1.5
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 1
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 1
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 86400
+	}
+	return c
+}
+
+// CacheRelocator is an optional Scheduler capability: a scheduler that
+// migrates tasks deliberately wants cached partitions to follow them.
+type CacheRelocator interface {
+	RelocatesCache() bool
+}
+
+// Scheduler is the task-placement policy. The Runtime notifies it of
+// schedulable work and cluster events; the scheduler responds by calling
+// Runtime.Launch.
+type Scheduler interface {
+	// Name identifies the scheduler in reports ("spark", "rupam", ...).
+	Name() string
+	// Bind attaches the scheduler to a runtime before the app starts.
+	Bind(rt *Runtime)
+	// HeapFor sizes the executor heap for a node (static for default
+	// Spark, per-node for RUPAM).
+	HeapFor(node *cluster.Node) int64
+	// StageSubmitted hands the scheduler a ready stage's tasks.
+	StageSubmitted(st *task.Stage)
+	// Resubmit returns a failed task to the pending pool.
+	Resubmit(t *task.Task, st *task.Stage)
+	// TaskEnded reports a finished attempt (for bookkeeping such as
+	// RUPAM's task-characteristics database).
+	TaskEnded(t *task.Task, r *executor.Run, out executor.Outcome)
+	// Heartbeat delivers a node's resource report.
+	Heartbeat(node string, nm *monitor.NodeMetrics)
+	// Schedule launches as many pending tasks as current resources allow.
+	Schedule()
+}
+
+// Runtime wires a cluster, an application, and a scheduler together and
+// runs the app to completion on the simulation engine.
+type Runtime struct {
+	Eng   *simx.Engine
+	Clu   *cluster.Cluster
+	Cfg   Config
+	Cache *executor.CacheTracker
+	Mon   *monitor.Monitor
+	Execs map[string]*executor.Executor
+	Rec   *metrics.Recorder
+
+	sched Scheduler
+	app   *task.Application
+
+	// driver state (driver.go)
+	stages       map[int]*task.Stage
+	stageOf      map[int]*task.Stage // by task ID
+	jobIdx       int
+	activeStages map[int]*task.Stage
+	submitted    map[int]bool
+	runningAtt   map[int][]*executor.Run // live attempts by task ID
+	speculatable map[int]*task.Task
+	specTimer    *simx.Timer
+	appDone      bool
+	appStart     float64
+	appEnd       float64
+	jobEnds      []float64
+
+	// counters
+	SpecCopies  int
+	MemKills    int
+	TotalOOMs   int
+	TotalCrash  int
+	LaunchCount int
+}
+
+// NewRuntime builds a runtime over the cluster for the given scheduler.
+// Executors are created lazily in Run, sized by the scheduler.
+func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	if cfg.DriverNode == "" && len(clu.Nodes) > 0 {
+		cfg.DriverNode = clu.Nodes[0].Name()
+	}
+	cfg.Exec.DriverNode = cfg.DriverNode
+	cfg.Exec.Seed = cfg.Seed
+	if cr, ok := sched.(CacheRelocator); ok {
+		cfg.Exec.RelocateCacheOnRemoteRead = cr.RelocatesCache()
+	}
+	rt := &Runtime{
+		Eng:          eng,
+		Clu:          clu,
+		Cfg:          cfg,
+		Cache:        executor.NewCacheTracker(),
+		Execs:        make(map[string]*executor.Executor),
+		sched:        sched,
+		stages:       make(map[int]*task.Stage),
+		stageOf:      make(map[int]*task.Stage),
+		activeStages: make(map[int]*task.Stage),
+		submitted:    make(map[int]bool),
+		runningAtt:   make(map[int][]*executor.Run),
+		speculatable: make(map[int]*task.Task),
+	}
+	sched.Bind(rt)
+	return rt
+}
+
+// Scheduler returns the bound scheduler.
+func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
+
+// Result summarizes one application run.
+type Result struct {
+	App        *task.Application
+	Scheduler  string
+	Duration   float64 // seconds of simulated time
+	JobEnds    []float64
+	OOMs       int
+	Crashes    int
+	Evictions  int
+	SpecCopies int
+	MemKills   int
+	Launches   int
+	Heartbeats int
+	Trace      *metrics.Trace
+}
+
+// Run executes the application to completion and returns its Result. It
+// panics if called twice on the same Runtime.
+func (rt *Runtime) Run(app *task.Application) *Result {
+	if rt.app != nil {
+		panic("spark: Runtime.Run called twice")
+	}
+	if len(app.Jobs) == 0 {
+		panic("spark: application with no jobs")
+	}
+	rt.app = app
+	rt.appStart = rt.Eng.Now()
+
+	// Executors, sized by the scheduler's policy.
+	peers := rt.Execs
+	for i, n := range rt.Clu.Nodes {
+		cfg := rt.Cfg.Exec
+		cfg.HeapBytes = rt.sched.HeapFor(n)
+		cfg.Seed = rt.Cfg.Seed + uint64(i)*7919
+		ex := executor.New(rt.Eng, rt.Clu, n, rt.Cache, peers, cfg)
+		ex.OnRestart = func() { rt.sched.Schedule() }
+	}
+
+	// Heartbeats drive scheduling rounds (and RUPAM's RM).
+	rt.Mon = monitor.New(rt.Eng, rt.Clu, rt.Cfg.HeartbeatInterval)
+	for name, ex := range rt.Execs {
+		rt.Mon.RegisterProbe(name, ex)
+	}
+	rt.Mon.OnHeartbeat = func(node string, nm *monitor.NodeMetrics) {
+		rt.sched.Heartbeat(node, nm)
+		rt.sched.Schedule()
+	}
+	rt.Mon.Start()
+
+	// Utilization tracing.
+	if rt.Cfg.SampleInterval > 0 {
+		rt.Rec = metrics.NewRecorder(rt.Eng, rt.Clu, rt.Execs, rt.Cfg.SampleInterval)
+		rt.Rec.Start()
+	}
+
+	// Speculation scan.
+	rt.scheduleSpeculationScan()
+
+	// Go.
+	rt.submitJob(0)
+	rt.Eng.RunUntil(rt.Cfg.MaxSimTime)
+	if !rt.appDone && rt.Eng.Pending() > 0 {
+		done := 0
+		for _, t := range app.AllTasks() {
+			if t.State == task.Finished {
+				done++
+			}
+		}
+		panic(fmt.Sprintf("spark: app %q exceeded MaxSimTime=%v (job %d/%d, %d/%d tasks done) — scheduler livelock?",
+			app.Name, rt.Cfg.MaxSimTime, rt.jobIdx+1, len(app.Jobs), done, app.NumTasks()))
+	}
+	if !rt.appDone {
+		panic(fmt.Sprintf("spark: app %q deadlocked at t=%.2f (job %d of %d)",
+			app.Name, rt.Eng.Now(), rt.jobIdx+1, len(app.Jobs)))
+	}
+
+	res := &Result{
+		App:        app,
+		Scheduler:  rt.sched.Name(),
+		Duration:   rt.appEnd - rt.appStart,
+		JobEnds:    rt.jobEnds,
+		Evictions:  rt.Cache.Evictions,
+		SpecCopies: rt.SpecCopies,
+		MemKills:   rt.MemKills,
+		Launches:   rt.LaunchCount,
+		Heartbeats: rt.Mon.Heartbeats,
+	}
+	for _, ex := range rt.Execs {
+		res.OOMs += ex.OOMs
+		res.Crashes += ex.Crashes
+	}
+	if rt.Rec != nil {
+		res.Trace = rt.Rec.Trace()
+	}
+	return res
+}

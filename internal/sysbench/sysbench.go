@@ -1,0 +1,157 @@
+// Package sysbench reproduces the hardware-characterization benchmarks of
+// the paper's Table IV against the simulated node models: the SysBench
+// CPU test (prime counting on all cores), the SysBench file-I/O test
+// (1 GB direct sequential read/write), and the Iperf UDP throughput test
+// between a worker and the master. Running them validates that the
+// cluster model reproduces the capability ratios the paper measured —
+// thor fastest per core with the best disk, hulk slightly ahead of stack
+// on CPU, hulk alone on 10 GbE.
+package sysbench
+
+import (
+	"rupam/internal/cluster"
+	"rupam/internal/netsim"
+	"rupam/internal/simx"
+)
+
+// CPUResult is the SysBench CPU test outcome.
+type CPUResult struct {
+	Node      string
+	Seconds   float64 // total time for the fixed event budget on all cores
+	LatencyMS float64 // per-event latency (single core)
+}
+
+// CPUEvents is the fixed event budget of the test (SysBench's default
+// 10000 events computing primes below 20000).
+const CPUEvents = 10000
+
+// cpuEventWork is the compute demand of one prime-count event in
+// giga-cycles, calibrated so a 3.2 GHz core takes ~0.55 ms per event.
+const cpuEventWork = 1.75e-3
+
+// CPU runs the prime-counting benchmark on a node: the event budget is
+// divided across all cores, each event served at the per-core rate.
+func CPU(spec cluster.NodeSpec) CPUResult {
+	eng := simx.NewEngine()
+	res := simx.NewPSResource(eng, spec.Name+"/cpu", spec.CPUCapacity(), spec.FreqGHz)
+	remaining := CPUEvents
+	// One worker goroutine per core, each processing events sequentially;
+	// modelled as `cores` chains of claims.
+	var chain func()
+	done := 0
+	chain = func() {
+		done++
+		if remaining > 0 {
+			remaining--
+			res.Acquire(cpuEventWork, chain)
+		}
+	}
+	for i := 0; i < spec.Cores && remaining > 0; i++ {
+		remaining--
+		res.Acquire(cpuEventWork, chain)
+	}
+	eng.Run()
+	return CPUResult{
+		Node:      spec.Name,
+		Seconds:   eng.Now(),
+		LatencyMS: cpuEventWork / spec.FreqGHz * 1e3,
+	}
+}
+
+// IOResult is the file-I/O test outcome.
+type IOResult struct {
+	Node      string
+	ReadMBps  float64
+	WriteMBps float64
+}
+
+// IOBytes is the test file size (the paper uses a 1 GB file with direct
+// I/O to defeat the page cache).
+const IOBytes = 1 << 30
+
+// IO runs the sequential direct-I/O benchmark on a node's disk model.
+func IO(spec cluster.NodeSpec) IOResult {
+	eng := simx.NewEngine()
+	read := simx.NewPSResource(eng, spec.Name+"/dr", spec.DiskReadBW, 0)
+	write := simx.NewPSResource(eng, spec.Name+"/dw", spec.DiskWriteBW, 0)
+
+	var readTime, writeTime float64
+	start := eng.Now()
+	read.Acquire(IOBytes, func() {
+		readTime = eng.Now() - start
+		ws := eng.Now()
+		write.Acquire(IOBytes, func() {
+			writeTime = eng.Now() - ws
+		})
+	})
+	eng.Run()
+	return IOResult{
+		Node:      spec.Name,
+		ReadMBps:  IOBytes / readTime / 1e6,
+		WriteMBps: IOBytes / writeTime / 1e6,
+	}
+}
+
+// NetResult is the Iperf-style UDP throughput outcome.
+type NetResult struct {
+	From, To  string
+	Mbps      float64
+	TransferS float64
+}
+
+// NetBytes is the volume streamed by the throughput test.
+const NetBytes = 4 << 30
+
+// Net streams NetBytes from one node spec to another over a fresh
+// two-node network and reports achieved throughput.
+func Net(from, to cluster.NodeSpec) NetResult {
+	eng := simx.NewEngine()
+	net := netsim.New(eng)
+	net.AddNode("src", from.NetBandwidth, from.NetBandwidth)
+	net.AddNode("dst", to.NetBandwidth, to.NetBandwidth)
+	start := eng.Now()
+	var dur float64
+	net.Start("src", "dst", NetBytes, func() { dur = eng.Now() - start })
+	eng.Run()
+	return NetResult{
+		From:      from.Name,
+		To:        to.Name,
+		Mbps:      NetBytes * 8 / dur / 1e6,
+		TransferS: dur,
+	}
+}
+
+// Row is one Table IV row for a hardware class.
+type Row struct {
+	Class     string
+	CPUSec    float64
+	LatencyMS float64
+	ReadMBps  float64
+	WriteMBps float64
+	NetMbps   float64
+}
+
+// TableIV characterizes the three Hydra hardware classes against the
+// master's class (stack, where the paper runs the Iperf server).
+func TableIV() []Row {
+	classes := []cluster.NodeSpec{cluster.StackSpec, cluster.HulkSpec, cluster.ThorSpec}
+	names := []string{"stack", "hulk", "thor"}
+	master := cluster.StackSpec
+	master.Name = "master"
+	rows := make([]Row, 0, len(classes))
+	for i, spec := range classes {
+		spec.Name = names[i]
+		cpu := CPU(spec)
+		io := IO(spec)
+		net := Net(spec, master)
+		rows = append(rows, Row{
+			Class:     names[i],
+			CPUSec:    cpu.Seconds,
+			LatencyMS: cpu.LatencyMS,
+			ReadMBps:  io.ReadMBps,
+			WriteMBps: io.WriteMBps,
+			NetMbps:   net.Mbps,
+		})
+	}
+	return rows
+}

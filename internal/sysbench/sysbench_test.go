@@ -1,0 +1,83 @@
+package sysbench
+
+import (
+	"math"
+	"testing"
+
+	"rupam/internal/cluster"
+)
+
+func TestCPUOrdering(t *testing.T) {
+	rows := TableIV()
+	byClass := map[string]Row{}
+	for _, r := range rows {
+		byClass[r.Class] = r
+	}
+	// Table IV shape: thor has by far the lowest per-event latency; hulk
+	// is slightly ahead of stack.
+	if !(byClass["thor"].LatencyMS < byClass["hulk"].LatencyMS) {
+		t.Error("thor should have the lowest CPU latency")
+	}
+	if !(byClass["hulk"].LatencyMS < byClass["stack"].LatencyMS) {
+		t.Error("hulk should be slightly faster than stack")
+	}
+	if byClass["thor"].LatencyMS*2.5 > byClass["stack"].LatencyMS {
+		t.Errorf("thor/stack latency contrast too small: %v vs %v",
+			byClass["thor"].LatencyMS, byClass["stack"].LatencyMS)
+	}
+}
+
+func TestIOOrdering(t *testing.T) {
+	rows := TableIV()
+	byClass := map[string]Row{}
+	for _, r := range rows {
+		byClass[r.Class] = r
+	}
+	// thor's SSD dominates read and write.
+	if byClass["thor"].ReadMBps <= byClass["hulk"].ReadMBps ||
+		byClass["thor"].WriteMBps <= byClass["stack"].WriteMBps {
+		t.Error("thor's SSD should lead both read and write")
+	}
+	// HDD classes are close to each other.
+	if math.Abs(byClass["hulk"].ReadMBps-byClass["stack"].ReadMBps) > 50 {
+		t.Error("HDD classes should be comparable")
+	}
+}
+
+func TestNetLimitedByServer(t *testing.T) {
+	rows := TableIV()
+	// The Iperf server sits on a 1 GbE stack node, so every class measures
+	// ~1 Gb/s — the paper's "results are similar for all the machines".
+	for _, r := range rows {
+		if r.NetMbps < 900 || r.NetMbps > 1100 {
+			t.Errorf("%s: net = %v Mb/s, want ~1000", r.Class, r.NetMbps)
+		}
+	}
+}
+
+func TestIOMatchesSpec(t *testing.T) {
+	res := IO(cluster.ThorSpec)
+	if math.Abs(res.ReadMBps-520) > 5 || math.Abs(res.WriteMBps-480) > 5 {
+		t.Fatalf("thor I/O = %v/%v, want 520/480", res.ReadMBps, res.WriteMBps)
+	}
+}
+
+func TestNetBetween10GbENodes(t *testing.T) {
+	res := Net(cluster.HulkSpec, cluster.HulkSpec)
+	if res.Mbps < 9000 {
+		t.Fatalf("hulk-to-hulk throughput = %v Mb/s, want ~10000", res.Mbps)
+	}
+}
+
+func TestCPUScalesWithCores(t *testing.T) {
+	small := cluster.NodeSpec{Name: "s", Cores: 2, FreqGHz: 2}
+	big := cluster.NodeSpec{Name: "b", Cores: 8, FreqGHz: 2}
+	ts, tb := CPU(small), CPU(big)
+	ratio := ts.Seconds / tb.Seconds
+	if math.Abs(ratio-4) > 0.2 {
+		t.Fatalf("4x cores gave %vx speedup", ratio)
+	}
+	if ts.LatencyMS != tb.LatencyMS {
+		t.Fatal("latency should depend on frequency only")
+	}
+}

@@ -1,0 +1,33 @@
+package workloads
+
+import (
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// Gramian builds the GPU-intensive Gramian Matrix workload of the paper
+// (A^T·A over an 8K×8K matrix, the kernel of [37]): one pass of
+// BLAS-dominated block products that NVBLAS offloads to a GPU when one is
+// present, followed by a block-sum shuffle. With a single iteration RUPAM
+// cannot learn which tasks are GPU tasks before the run ends, which is why
+// the paper measures a negligible 1.4% improvement — the contrast case to
+// KMeans.
+func Gramian(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("GM", store, p.Seed)
+	ds := store.CreateEven("gm-matrix", p.inputBytes(), p.Partitions)
+
+	products := ctx.Read(ds).Map("gm-blas", rdd.Profile{
+		CPUPerByte: 200e-9, // packing, bookkeeping
+		GPUPerByte: 3.2e-6, // the O(n³) DGEMM itself — offloadable
+		MemPerByte: 6,      // block operands and accumulators
+		OutRatio:   0.5,
+	})
+	gram := products.Shuffle("gm-sum", rdd.Profile{
+		CPUPerByte: 20e-9,
+		MemPerByte: 3,
+		OutRatio:   0.1,
+	}, 32)
+	gram.Count("gm-run")
+	return ctx.App()
+}

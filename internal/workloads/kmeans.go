@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// KMeans builds the second GPU workload: points are parsed and cached,
+// then Iterations assignment/update rounds run as separate jobs. The
+// distance computation is BLAS-shaped and GPU-offloadable. Unlike Gramian
+// Matrix, the five iterations give RUPAM time to mark the stage as a GPU
+// stage, route tasks to the accelerator nodes, race CPU-stranded copies
+// onto idle GPUs, and pin tasks to their best nodes — the paper's 2.49×.
+func KMeans(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("KMeans", store, p.Seed)
+	ds := store.CreateEven("km-points", p.inputBytes(), p.Partitions)
+
+	points := ctx.Read(ds).Map("km-parse", rdd.Profile{
+		CPUPerByte: 15e-9,
+		MemPerByte: 1.6,
+		OutRatio:   1.0,
+	}).Cache()
+
+	for i := 1; i <= p.Iterations; i++ {
+		assigned := points.Map("km-assign", rdd.Profile{
+			CPUPerByte: 15e-9,  // bookkeeping + argmin
+			GPUPerByte: 220e-9, // point-to-centroid distance GEMM
+			MemPerByte: 1.3,
+			OutRatio:   3e-5, // per-cluster partial sums
+			Skew:       0.1,
+		})
+		centers := assigned.Shuffle("km-update", rdd.Profile{
+			CPUPerByte: 40e-9,
+			OutRatio:   1,
+		}, 8)
+		centers.Count(fmt.Sprintf("km-iter%02d", i))
+	}
+	return ctx.App()
+}

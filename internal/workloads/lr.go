@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// LogisticRegression builds the LR workload: parse and cache the training
+// points, then Iterations gradient-descent jobs. Each iteration maps a
+// compute-heavy partial-gradient over the cached points and tree-reduces a
+// tiny weight update — the classic compute-bound iterative workload whose
+// speedup under RUPAM grows with iteration count (Fig 6): the scheduler
+// learns the tasks are CPU-bound, migrates them (and therefore their
+// cached partitions) to the fast-core nodes, and locks them there.
+func LogisticRegression(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("LR", store, p.Seed)
+	ds := store.CreateEven("lr-input", p.inputBytes(), p.Partitions)
+
+	points := ctx.Read(ds).Map("lr-parse", rdd.Profile{
+		CPUPerByte: 25e-9, // tokenize + vectorize
+		MemPerByte: 1.6,
+		OutRatio:   1.0,
+	}).Cache()
+
+	for i := 1; i <= p.Iterations; i++ {
+		grad := points.Map("lr-grad", rdd.Profile{
+			CPUPerByte: 460e-9, // dense dot products dominate
+			MemPerByte: 1.2,
+			OutRatio:   2e-5, // partial gradient vector
+			Skew:       0.15,
+		})
+		update := grad.Shuffle("lr-sum", rdd.Profile{
+			CPUPerByte: 50e-9,
+			OutRatio:   1,
+		}, 8)
+		update.Count(fmt.Sprintf("lr-iter%02d", i))
+	}
+	return ctx.App()
+}

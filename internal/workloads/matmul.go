@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// MatrixMult builds the §II-B motivation workload: a 4K×4K dense matrix
+// multiplication (two 128 MB operands at double precision). Its phases
+// reproduce the utilization timeline of Fig 2: an initial CPU spike and
+// network burst while operand blocks are exchanged (the block join), a
+// long memory-resident compute phase for the block products, and a final
+// network-heavy reduce with disk writes at each shuffle boundary.
+func MatrixMult(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("MatMul", store, p.Seed)
+	half := p.inputBytes() / 2
+	a := store.CreateEven("mm-a", half, p.Partitions)
+	b := store.CreateEven("mm-b", half, p.Partitions)
+
+	// Block distribution: parse operands (CPU spike at start).
+	left := ctx.Read(a).Map("mm-parse-a", rdd.Profile{
+		CPUPerByte: 60e-9,
+		MemPerByte: 2,
+		OutRatio:   1,
+	})
+	right := ctx.Read(b).Map("mm-parse-b", rdd.Profile{
+		CPUPerByte: 60e-9,
+		MemPerByte: 2,
+		OutRatio:   1,
+	})
+
+	// Pair up blocks (network burst #1) and hold operands in memory.
+	pairs := left.Join(right, "mm-pair", rdd.Profile{
+		CPUPerByte: 10e-9,
+		MemPerByte: 14, // both operand panels resident
+		OutRatio:   2,
+	}, p.Partitions)
+
+	// Block products: the long compute phase with high, ramping memory.
+	prods := pairs.Map("mm-multiply", rdd.Profile{
+		CPUPerByte: 550e-9, // O(n^3) flops over the panels
+		MemPerByte: 3,
+		OutRatio:   0.5,
+	})
+
+	// Combine partial products (network burst #2, disk at the shuffle).
+	result := prods.Shuffle("mm-combine", rdd.Profile{
+		CPUPerByte: 25e-9,
+		MemPerByte: 2,
+		OutRatio:   0.5,
+	}, p.Partitions)
+	result.Count("mm-run")
+	return ctx.App()
+}

@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// SQL builds the database workload: Iterations analytical queries over a
+// fact table and a dimension table, each query scanning both sides with a
+// selective filter, hash-joining them (the memory-hungry step — SQL has
+// the highest memory footprint of the studied workloads, Fig 8b), and
+// aggregating the join output. Each query is one job with fresh lineage —
+// no data survives between queries, so RUPAM's characterization has
+// nothing to reuse and the paper sees only 1.19×, with extra GC from
+// RUPAM's larger heaps (Fig 7b).
+func SQL(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("SQL", store, p.Seed)
+	factBytes := int64(float64(p.inputBytes()) * 0.6)
+	dimBytes := p.inputBytes() - factBytes
+	factParts := p.Partitions * 3 / 5
+	if factParts < 1 {
+		factParts = 1
+	}
+	dimParts := p.Partitions - factParts
+	if dimParts < 1 {
+		dimParts = 1
+	}
+	fact := store.CreateEven("sql-fact", factBytes, factParts)
+	dim := store.CreateEven("sql-dim", dimBytes, dimParts)
+
+	for q := 1; q <= p.Iterations; q++ {
+		factScan := ctx.Read(fact).Map(fmt.Sprintf("sql-scan-fact-q%d", q), rdd.Profile{
+			CPUPerByte: 18e-9, // decode + predicate
+			MemPerByte: 1.3,
+			OutRatio:   0.5,
+		})
+		dimScan := ctx.Read(dim).Map(fmt.Sprintf("sql-scan-dim-q%d", q), rdd.Profile{
+			CPUPerByte: 14e-9,
+			MemPerByte: 1.3,
+			OutRatio:   0.7,
+		})
+		joined := factScan.Join(dimScan, fmt.Sprintf("sql-join-q%d", q), rdd.Profile{
+			CPUPerByte: 35e-9,
+			MemPerByte: 6.0, // build-side hash tables
+			OutRatio:   0.6,
+			Skew:       0.35, // key skew in the join
+		}, p.Partitions/2)
+		agg := joined.Shuffle(fmt.Sprintf("sql-agg-q%d", q), rdd.Profile{
+			CPUPerByte: 20e-9,
+			MemPerByte: 1.2,
+			OutRatio:   1e-3,
+		}, 24)
+		agg.Count(fmt.Sprintf("sql-q%d", q))
+	}
+	return ctx.App()
+}

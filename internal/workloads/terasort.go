@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// TeraSort builds the sort benchmark: a sampling/partitioning map over the
+// input, a full-data range-partition shuffle whose reduce side sorts and
+// rewrites every byte, and a small output summary stage. It is the
+// shuffle-I/O-bound single-pass workload: map output lands on local disk
+// (SSD vs HDD matters), and the sort stage moves the whole dataset across
+// the network (1 GbE vs 10 GbE matters). With only one pass there is
+// little for RUPAM to learn, so the paper reports a modest 1.32×.
+func TeraSort(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("TeraSort", store, p.Seed)
+	ds := store.CreateEven("ts-input", p.inputBytes(), p.Partitions)
+
+	partitioned := ctx.Read(ds).Map("ts-partition", rdd.Profile{
+		CPUPerByte: 8e-9, // key extraction + range lookup
+		MemPerByte: 1.2,
+		OutRatio:   1.0,
+	})
+	sorted := partitioned.Shuffle("ts-sort", rdd.Profile{
+		CPUPerByte: 28e-9, // merge sort of the received range
+		MemPerByte: 10,    // sort buffers: the whole range is resident
+		OutRatio:   1.0,
+		Skew:       0.25, // imperfect range sampling
+	}, p.Partitions)
+	summary := sorted.Shuffle("ts-validate", rdd.Profile{
+		CPUPerByte: 2e-9,
+		OutRatio:   1e-4, // per-range checksums
+	}, 32)
+	summary.Count("ts-run")
+	return ctx.App()
+}

@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rupam/internal/hdfs"
+	"rupam/internal/rdd"
+	"rupam/internal/task"
+)
+
+// TriangleCount builds the second graph workload: a cached edge list is
+// self-joined round after round to enumerate and count closing wedges.
+// The join rounds mix memory pressure and shuffle traffic, and the
+// repeated rounds let RUPAM's characterization converge, giving a
+// multi-iteration speedup between LR's and PageRank's.
+func TriangleCount(store *hdfs.Store, p Params) *task.Application {
+	ctx := rdd.NewContext("TC", store, p.Seed)
+	ds := store.CreateSkewed("tc-edges", p.inputBytes(), p.Partitions, 0.2)
+
+	edges := ctx.Read(ds).Map("tc-parse", rdd.Profile{
+		CPUPerByte: 30e-9,
+		MemPerByte: 8, // canonicalized edge set in memory
+		OutRatio:   2.0,
+	}).Cache()
+
+	for r := 1; r <= p.Iterations; r++ {
+		wedges := edges.Join(edges, "tc-wedges", rdd.Profile{
+			CPUPerByte: 140e-9, // neighbor-list intersections dominate
+			MemPerByte: 8,      // candidate wedge sets held in memory
+			MemBase:    300 * 1024 * 1024,
+			OutRatio:   0.3,
+			Skew:       0.4, // hub vertices dominate wedge counts
+		}, p.Partitions)
+		triangles := wedges.Shuffle("tc-close", rdd.Profile{
+			CPUPerByte: 25e-9,
+			MemPerByte: 1.4,
+			OutRatio:   0.01,
+		}, p.Partitions/2)
+		triangles.Count(fmt.Sprintf("tc-round%d", r))
+	}
+	return ctx.App()
+}

@@ -1,0 +1,128 @@
+// Package workloads generates the paper's evaluation applications — the
+// SparkBench suite of Table III (Logistic Regression, TeraSort, SQL,
+// PageRank, Triangle Count, Gramian Matrix, KMeans) plus the §II-B
+// motivation workloads (4K×4K matrix multiplication and 2 GB PageRank) —
+// as rdd logical plans with per-task demand vectors whose shapes match
+// the resource-usage patterns the paper reports: compute-bound gradient
+// tasks, shuffle-bound sorts, memory-hungry graph joins, and
+// GPU-offloadable linear algebra.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"rupam/internal/cluster"
+	"rupam/internal/hdfs"
+	"rupam/internal/task"
+)
+
+// Params configures one workload instance. Zero fields take the
+// workload's Table III defaults.
+type Params struct {
+	// InputGB is the input dataset size (Table III).
+	InputGB float64
+	// Partitions is the input partition count.
+	Partitions int
+	// Iterations is the iteration count for iterative workloads (LR,
+	// PageRank, TriangleCount, KMeans).
+	Iterations int
+	// Seed drives skew and placement randomness.
+	Seed uint64
+}
+
+func (p Params) withDefaults(d Params) Params {
+	if p.InputGB == 0 {
+		p.InputGB = d.InputGB
+	}
+	if p.Partitions == 0 {
+		p.Partitions = d.Partitions
+	}
+	if p.Iterations == 0 {
+		p.Iterations = d.Iterations
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+func (p Params) inputBytes() int64 {
+	return int64(p.InputGB * float64(cluster.GB))
+}
+
+// Builder constructs a workload application over a block store.
+type Builder func(store *hdfs.Store, p Params) *task.Application
+
+// workloadInfo couples a builder with its paper defaults.
+type workloadInfo struct {
+	build    Builder
+	defaults Params
+}
+
+// registry of the evaluated workloads, keyed by the paper's names.
+var registry = map[string]workloadInfo{
+	"LR":       {LogisticRegression, Params{InputGB: 6, Partitions: 48, Iterations: 8, Seed: 11}},
+	"TeraSort": {TeraSort, Params{InputGB: 40, Partitions: 320, Iterations: 1, Seed: 12}},
+	"SQL":      {SQL, Params{InputGB: 35, Partitions: 280, Iterations: 3, Seed: 13}},
+	"PR":       {PageRank, Params{InputGB: 0.95, Partitions: 24, Iterations: 5, Seed: 14}},
+	"TC":       {TriangleCount, Params{InputGB: 0.95, Partitions: 24, Iterations: 5, Seed: 15}},
+	"GM":       {Gramian, Params{InputGB: 0.96, Partitions: 192, Iterations: 1, Seed: 16}},
+	"KMeans":   {KMeans, Params{InputGB: 3.7, Partitions: 48, Iterations: 5, Seed: 17}},
+	"MatMul":   {MatrixMult, Params{InputGB: 0.25, Partitions: 32, Iterations: 1, Seed: 18}},
+}
+
+// Names returns the registered workload names, Table III order first.
+func Names() []string {
+	order := []string{"LR", "TeraSort", "SQL", "PR", "TC", "GM", "KMeans", "MatMul"}
+	var names []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			names = append(names, n)
+		}
+	}
+	// Any extras, sorted.
+	var extra []string
+	for n := range registry {
+		if !containsStr(names, n) {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// EvalNames returns the seven Table III workloads (no motivation-only
+// workloads).
+func EvalNames() []string {
+	return []string{"LR", "TeraSort", "SQL", "PR", "TC", "GM", "KMeans"}
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Defaults returns a workload's Table III parameters. It panics on an
+// unknown name.
+func Defaults(name string) Params {
+	info, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: unknown workload %q", name))
+	}
+	return info.defaults
+}
+
+// Build constructs the named workload with p (zero fields defaulted). It
+// panics on an unknown name.
+func Build(name string, store *hdfs.Store, p Params) *task.Application {
+	info, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: unknown workload %q", name))
+	}
+	return info.build(store, p.withDefaults(info.defaults))
+}

@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"testing"
+
+	"rupam/internal/hdfs"
+	"rupam/internal/task"
+)
+
+var nodes = []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+
+func newStore() *hdfs.Store { return hdfs.NewStore(nodes, 2, 1) }
+
+func TestNamesAndDefaults(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, n := range EvalNames() {
+		d := Defaults(n)
+		if d.InputGB <= 0 || d.Partitions <= 0 || d.Iterations <= 0 {
+			t.Errorf("%s defaults incomplete: %+v", n, d)
+		}
+	}
+	// Table III input sizes.
+	sizes := map[string]float64{
+		"LR": 6, "TeraSort": 40, "SQL": 35, "PR": 0.95,
+		"TC": 0.95, "GM": 0.96, "KMeans": 3.7,
+	}
+	for w, gb := range sizes {
+		if got := Defaults(w).InputGB; got != gb {
+			t.Errorf("%s input = %v GB, want %v (Table III)", w, got, gb)
+		}
+	}
+}
+
+func TestUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload accepted")
+		}
+	}()
+	Defaults("NotAWorkload")
+}
+
+func TestBuildAllWorkloads(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app := Build(name, hdfs.NewStore(nodes, 2, 1), Params{})
+			if app.NumTasks() == 0 {
+				t.Fatal("no tasks")
+			}
+			if len(app.Jobs) == 0 {
+				t.Fatal("no jobs")
+			}
+			for _, tk := range app.AllTasks() {
+				d := tk.Demand
+				if d.CPUWork < 0 || d.PeakMemory < 0 || d.InputBytes < 0 ||
+					d.ShuffleReadBytes < 0 || d.ShuffleWriteBytes < 0 {
+					t.Fatalf("%s: negative demand %+v", tk, d)
+				}
+				if d.TotalComputeWork() == 0 && d.InputBytes == 0 && d.ShuffleReadBytes == 0 {
+					t.Fatalf("%s: empty task", tk)
+				}
+			}
+		})
+	}
+}
+
+func TestIterativeWorkloadsHaveJobsPerIteration(t *testing.T) {
+	app := Build("LR", newStore(), Params{Iterations: 5})
+	if len(app.Jobs) != 5 {
+		t.Fatalf("LR with 5 iterations built %d jobs", len(app.Jobs))
+	}
+	km := Build("KMeans", hdfs.NewStore(nodes, 2, 2), Params{Iterations: 3})
+	if len(km.Jobs) != 3 {
+		t.Fatalf("KMeans with 3 iterations built %d jobs", len(km.Jobs))
+	}
+	sql := Build("SQL", hdfs.NewStore(nodes, 2, 3), Params{Iterations: 2})
+	if len(sql.Jobs) != 2 {
+		t.Fatalf("SQL with 2 queries built %d jobs", len(sql.Jobs))
+	}
+}
+
+func TestPageRankSingleJobChainsIterations(t *testing.T) {
+	app := Build("PR", newStore(), Params{Iterations: 4})
+	if len(app.Jobs) != 1 {
+		t.Fatalf("PR built %d jobs, want 1 (lazy chaining)", len(app.Jobs))
+	}
+	// 1 links + 1 init + 4×(contrib, update) stages + shared structure.
+	if len(app.Jobs[0].Stages) < 1+1+4*2 {
+		t.Fatalf("PR stages = %d", len(app.Jobs[0].Stages))
+	}
+}
+
+func TestGPUWorkloadsAreGPUCapable(t *testing.T) {
+	for _, name := range []string{"GM", "KMeans"} {
+		app := Build(name, hdfs.NewStore(nodes, 2, 4), Params{})
+		capable := 0
+		for _, tk := range app.AllTasks() {
+			if tk.Demand.GPUCapable() {
+				capable++
+			}
+		}
+		if capable == 0 {
+			t.Errorf("%s has no GPU-capable tasks", name)
+		}
+	}
+	lr := Build("LR", hdfs.NewStore(nodes, 2, 5), Params{})
+	for _, tk := range lr.AllTasks() {
+		if tk.Demand.GPUCapable() {
+			t.Fatal("LR should not be GPU-capable")
+		}
+	}
+}
+
+func TestIterationSignaturesMatch(t *testing.T) {
+	app := Build("LR", newStore(), Params{Iterations: 3})
+	sigs := map[string]int{}
+	for _, j := range app.Jobs {
+		for _, st := range j.Stages {
+			sigs[st.Signature]++
+		}
+	}
+	if sigs["lr-sum"] != 3 {
+		t.Fatalf("lr-sum signature count = %d, want one per iteration", sigs["lr-sum"])
+	}
+}
+
+func TestCachingStructure(t *testing.T) {
+	app := Build("LR", newStore(), Params{Iterations: 2})
+	// Job 1 caches the parsed points; job 2 reads them from cache.
+	cached := false
+	for _, st := range app.Jobs[0].Stages {
+		if st.CacheRDDID != 0 {
+			cached = true
+		}
+	}
+	if !cached {
+		t.Fatal("first LR job caches nothing")
+	}
+	cacheRead := false
+	for _, st := range app.Jobs[1].Stages {
+		for _, tk := range st.Tasks {
+			if tk.CacheRDD != 0 {
+				cacheRead = true
+			}
+		}
+	}
+	if !cacheRead {
+		t.Fatal("second LR job does not read the cache")
+	}
+}
+
+func TestPRMemoryHeavyTasks(t *testing.T) {
+	app := Build("PR", newStore(), Params{})
+	var maxPeak int64
+	for _, tk := range app.AllTasks() {
+		if tk.Demand.PeakMemory > maxPeak {
+			maxPeak = tk.Demand.PeakMemory
+		}
+	}
+	if maxPeak < 1<<30 {
+		t.Fatalf("PR max task peak = %d, want multi-GB join working sets", maxPeak)
+	}
+}
+
+func TestTeraSortMovesAllBytes(t *testing.T) {
+	app := Build("TeraSort", newStore(), Params{InputGB: 1, Partitions: 16})
+	var shuffleWrite int64
+	for _, tk := range app.AllTasks() {
+		shuffleWrite += tk.Demand.ShuffleWriteBytes
+	}
+	// The sort shuffles ~the full dataset at least twice (partition +
+	// sort stages write shuffle output).
+	if shuffleWrite < 1<<30 {
+		t.Fatalf("TeraSort shuffle volume = %d, want >= input size", shuffleWrite)
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	a := Build("SQL", hdfs.NewStore(nodes, 2, 7), Params{Seed: 7})
+	b := Build("SQL", hdfs.NewStore(nodes, 2, 7), Params{Seed: 7})
+	at, bt := a.AllTasks(), b.AllTasks()
+	if len(at) != len(bt) {
+		t.Fatal("builds differ in size")
+	}
+	for i := range at {
+		if at[i].Demand != bt[i].Demand {
+			t.Fatalf("task %d differs", i)
+		}
+	}
+}
+
+func TestSeedChangesSkew(t *testing.T) {
+	a := Build("PR", hdfs.NewStore(nodes, 2, 7), Params{Seed: 7})
+	b := Build("PR", hdfs.NewStore(nodes, 2, 8), Params{Seed: 8})
+	diff := false
+	at, bt := a.AllTasks(), b.AllTasks()
+	for i := range at {
+		if i < len(bt) && at[i].Demand != bt[i].Demand {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical demands")
+	}
+}
+
+func TestParamsOverride(t *testing.T) {
+	app := Build("LR", newStore(), Params{InputGB: 1, Partitions: 10, Iterations: 2})
+	if len(app.Jobs) != 2 {
+		t.Fatalf("iterations override ignored: %d jobs", len(app.Jobs))
+	}
+	first := app.Jobs[0].Stages[len(app.Jobs[0].Stages)-1]
+	_ = first
+	var input int64
+	for _, tk := range app.AllTasks() {
+		input += tk.Demand.InputBytes
+	}
+	if input > 3<<30 {
+		t.Fatalf("1 GB override ignored: total input %d", input)
+	}
+}
+
+func TestMatMulPhases(t *testing.T) {
+	app := Build("MatMul", newStore(), Params{})
+	if len(app.Jobs) != 1 {
+		t.Fatalf("MatMul jobs = %d", len(app.Jobs))
+	}
+	kinds := map[task.Kind]int{}
+	for _, tk := range app.AllTasks() {
+		kinds[tk.Kind]++
+	}
+	if kinds[task.ShuffleMap] == 0 || kinds[task.Result] == 0 {
+		t.Fatalf("MatMul task kinds = %v", kinds)
+	}
+}
