@@ -122,6 +122,19 @@ func BenchmarkFig9Balance(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultRecovery regenerates the fault-recovery experiment:
+// PageRank under both schedulers, fault-free vs an identical seeded fault
+// plan (crash+recover, permanent map-output loss, NIC degrade, heartbeat
+// partition).
+func BenchmarkFaultRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FaultRecovery(uint64(i + 1))
+		if !r.Completed() {
+			b.Fatalf("a faulted run aborted: %+v", r.Rows)
+		}
+	}
+}
+
 // ---- per-workload single runs -----------------------------------------------
 
 func benchWorkload(b *testing.B, workload, sched string) {

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults]
 //	            [-runs N] [-seed N] [-csv DIR]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
 // the raw series behind Figures 2, 3 and 9 are also written as CSV files
-// into DIR for replotting.
+// into DIR for replotting. The faults experiment (PageRank under a seeded
+// fault plan, both schedulers) must be requested explicitly — it is not
+// part of "all", which stays fault-free and byte-reproducible.
 package main
 
 import (
@@ -18,18 +20,46 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"rupam/internal/experiments"
 	"rupam/internal/metrics"
 )
 
+// experimentNames is every value -experiment accepts. "faults" is the only
+// one outside "all": it injects failures, so the default artifact sweep
+// stays byte-identical run to run.
+var experimentNames = []string{
+	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
+	"fig7", "fig8", "fig9", "ablations", "faults",
+}
+
 func main() {
-	exp := flag.String("experiment", "all", "experiment to regenerate")
+	exp := flag.String("experiment", "all", "experiment to regenerate: "+strings.Join(experimentNames, "|"))
 	runs := flag.Int("runs", 5, "repetitions for fig5")
 	seed := flag.Uint64("seed", 1, "base PRNG seed")
 	csvDir := flag.String("csv", "", "directory for raw CSV series (fig2, fig3, fig9)")
 	flag.Parse()
+
+	known := false
+	for _, n := range experimentNames {
+		if *exp == n {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "rupam-bench: unknown experiment %q (have: %s)\n",
+			*exp, strings.Join(experimentNames, ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "rupam-bench: -runs must be at least 1, got %d\n", *runs)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	writeCSV := func(name string, write func(f *os.File) error) {
 		if *csvDir == "" {
@@ -126,8 +156,11 @@ func main() {
 		matched = true
 		run("Ablations", func() { experiments.Ablations(*seed).Print(w) })
 	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "rupam-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	// Deliberately NOT part of "all": fault injection would perturb the
+	// deterministic artifact sweep above.
+	if *exp == "faults" {
+		matched = true
+		run("Fault recovery", func() { experiments.FaultRecovery(*seed).Print(w) })
 	}
+	_ = matched
 }

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"rupam/internal/experiments"
@@ -24,6 +25,14 @@ import (
 	"rupam/internal/spark"
 	"rupam/internal/workloads"
 )
+
+// usageError prints the problem plus usage and exits 2 — bad flag values
+// must not surface as panics from deep inside the simulator.
+func usageError(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rupam-sim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	workload := flag.String("workload", "PR", "workload: "+strings.Join(workloads.Names(), ", "))
@@ -36,6 +45,19 @@ func main() {
 	compare := flag.Bool("compare", false, "run under both schedulers and compare")
 	charDB := flag.String("chardb", "", "persist RUPAM's DB_taskchar across invocations")
 	flag.Parse()
+
+	if !workloads.Known(*workload) {
+		usageError("unknown workload %q (have: %s)", *workload, strings.Join(workloads.Names(), ", "))
+	}
+	if *scheduler != experiments.SchedSpark && *scheduler != experiments.SchedRUPAM {
+		usageError("unknown scheduler %q (have: spark, rupam)", *scheduler)
+	}
+	if *clusterName != "hydra" && *clusterName != "motivation" {
+		usageError("unknown cluster %q (have: hydra, motivation)", *clusterName)
+	}
+	if *input < 0 || *partitions < 0 || *iterations < 0 {
+		usageError("-input, -partitions and -iterations must be non-negative")
+	}
 
 	params := workloads.Params{
 		InputGB:    *input,
@@ -76,6 +98,13 @@ func report(r *spark.Result) {
 	fmt.Printf("failures: %d OOMs, %d worker crashes, %d cache evictions, %d memory-straggler kills\n",
 		r.OOMs, r.Crashes, r.Evictions, r.MemKills)
 	fmt.Printf("speculative copies: %d   heartbeats: %d\n", r.SpecCopies, r.Heartbeats)
+	if r.ExecutorsLost+r.FetchFailures+r.Resubmissions+r.NodesBlacklisted+r.FailStops > 0 || r.Aborted != nil {
+		fmt.Printf("fault tolerance: %d fail-stops, %d executors lost (%d rejoined), %d fetch failures, %d resubmissions, %d blacklistings\n",
+			r.FailStops, r.ExecutorsLost, r.ExecutorsRejoined, r.FetchFailures, r.Resubmissions, r.NodesBlacklisted)
+	}
+	if r.Aborted != nil {
+		fmt.Printf("ABORTED: %v\n", r.Aborted)
+	}
 
 	prev := 0.0
 	for i, je := range r.JobEnds {

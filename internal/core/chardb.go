@@ -195,3 +195,18 @@ func (db *CharDB) Clear() {
 	db.store = make(map[TaskKey]*Record)
 	db.queue = nil
 }
+
+// ForgetNode erases a lost node from every record: best-node locks naming
+// it are released (the lock would otherwise pin tasks to a corpse until
+// timeout) and its OOM entries are dropped, since a recovered node comes
+// back with a fresh heap.
+func (db *CharDB) ForgetNode(node string) {
+	db.Flush()
+	for _, rec := range db.store {
+		if rec.OptExecutor == node {
+			rec.OptExecutor = ""
+			rec.BestTime = 0
+		}
+		delete(rec.OOMNodes, node)
+	}
+}

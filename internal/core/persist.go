@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"io"
+	"log"
 	"sort"
 
 	"rupam/internal/task"
@@ -88,11 +89,17 @@ func resourceByName(s string) (Resource, bool) {
 	return CPU, false
 }
 
-// Load replaces the database's contents with previously saved records.
+// Load replaces the database's contents with previously saved records. A
+// corrupt or truncated file (a crash mid-Save, a partial copy) is not
+// fatal: the characterization history is a performance hint, not
+// correctness state, so Load logs the problem and starts empty rather
+// than refusing to schedule.
 func (db *CharDB) Load(r io.Reader) error {
 	var in []persistedRecord
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return err
+		log.Printf("chardb: unreadable task-characteristics data (%v); starting with an empty database", err)
+		db.Clear()
+		return nil
 	}
 	db.Clear()
 	for _, p := range in {

@@ -77,10 +77,43 @@ func TestSaveIsDeterministic(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsGarbage(t *testing.T) {
-	db := NewCharDB()
-	if err := db.Load(strings.NewReader("not json")); err == nil {
-		t.Fatal("garbage accepted")
+func TestLoadSurvivesGarbage(t *testing.T) {
+	// A corrupt characterization file must not be fatal: Load logs and
+	// starts empty (the history is a hint, not correctness state).
+	db := populatedDB(t)
+	if err := db.Load(strings.NewReader("not json")); err != nil {
+		t.Fatalf("garbage should be survivable, got %v", err)
+	}
+	if db.Size() != 0 {
+		t.Fatalf("corrupt load left %d stale records", db.Size())
+	}
+}
+
+func TestLoadSurvivesTruncatedFile(t *testing.T) {
+	// A crash mid-Save leaves a truncated JSON document; Load must start
+	// empty instead of erroring out or keeping a partial view.
+	src := populatedDB(t)
+	var buf strings.Builder
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	truncated := full[:len(full)/2]
+
+	db := populatedDB(t)
+	if err := db.Load(strings.NewReader(truncated)); err != nil {
+		t.Fatalf("truncated file should be survivable, got %v", err)
+	}
+	if db.Size() != 0 {
+		t.Fatalf("truncated load left %d records", db.Size())
+	}
+
+	// And the intact file still round-trips after the failed load.
+	if err := db.Load(strings.NewReader(full)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != src.Size() {
+		t.Fatalf("recovered load has %d records, want %d", db.Size(), src.Size())
 	}
 }
 

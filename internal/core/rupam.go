@@ -287,6 +287,24 @@ func (s *RUPAM) Resubmit(t *task.Task, st *task.Stage) {
 	s.enqueue(st, t)
 }
 
+// ExecutorLost implements spark.ExecutorLossAware: a dead node's offers
+// are purged from every resource queue, its in-flight accounting dropped,
+// and the characteristics database forgets it — best-node locks naming the
+// corpse would otherwise pin their tasks to it until lock timeout.
+func (s *RUPAM) ExecutorLost(node string) {
+	for r := range s.nodeQ {
+		q := s.nodeQ[r][:0]
+		for _, o := range s.nodeQ[r] {
+			if o.node != node {
+				q = append(q, o)
+			}
+		}
+		s.nodeQ[r] = q
+	}
+	delete(s.inFlight, node)
+	s.db.ForgetNode(node)
+}
+
 // TaskEnded implements spark.Scheduler: record the observation in the
 // characteristics DB, propagate stage-level GPU marking, and re-offer the
 // node that just freed capacity.
@@ -421,7 +439,7 @@ func (s *RUPAM) raceGPUTasks() {
 func (s *RUPAM) offerNode(node *cluster.Node) {
 	name := node.Name()
 	ex := s.rt.Execs[name]
-	if ex == nil || ex.Down() {
+	if ex == nil || !s.rt.CanRunOn(name) {
 		return
 	}
 	running := ex.RunningTasks()
@@ -501,6 +519,13 @@ func (s *RUPAM) Schedule() {
 			// The node may still have capacity; offer it again so a
 			// single heartbeat can fill a whole machine.
 			s.reofferNode(offer.node)
+		} else if t.State == task.Pending {
+			// The runtime refused the launch (node lost mid-round, parent
+			// outputs rolled back, blacklist): pickTask already removed the
+			// task from its queue, so put it back or it is silently dropped.
+			if st := s.rt.StageOf(t); st != nil {
+				s.enqueue(st, t)
+			}
 		}
 	}
 	s.rescueStarvation()
@@ -622,6 +647,9 @@ func (s *RUPAM) pickTask(res Resource, node string) (*task.Task, hdfs.Locality) 
 
 scan:
 	for _, t := range live {
+		if s.rt.TaskBlockedOn(t.ID, node) {
+			continue // blacklisted pairing after repeated failures there
+		}
 		rec := s.db.Lookup(keyByRuntime(s.rt, t))
 		// Over-commit is only for tasks whose bottleneck is known to
 		// leave the cores idle; an uncharacterized task gets a real core
@@ -800,6 +828,9 @@ func (s *RUPAM) pickSpeculative(res Resource, node string) (*task.Task, hdfs.Loc
 		if res == GPU && !t.Demand.GPUCapable() {
 			continue
 		}
+		if s.rt.TaskBlockedOn(t.ID, node) {
+			continue
+		}
 		if !s.cfg.DisableMemAware && ex != nil && t.Demand.PeakMemory > ex.ProjectedFree() {
 			continue
 		}
@@ -869,7 +900,7 @@ func (s *RUPAM) rescueStarvation() {
 	var bestFree int64 = -1
 	for _, n := range s.rt.Clu.Nodes {
 		ex := s.rt.Execs[n.Name()]
-		if ex == nil || ex.Down() {
+		if ex == nil || !s.rt.CanRunOn(n.Name()) {
 			continue
 		}
 		if ex.HeapFree() > bestFree {

@@ -27,9 +27,11 @@ type Outcome int
 
 // Attempt outcomes.
 const (
-	Success Outcome = iota
-	OOM             // attempt failed with an out-of-memory error
-	Killed          // attempt was terminated by the scheduler or a worker crash
+	Success     Outcome = iota
+	OOM                 // attempt failed with an out-of-memory error
+	Killed              // attempt was terminated by the scheduler or a worker crash
+	Lost                // attempt vanished with its executor (fail-stop node loss)
+	FetchFailed         // attempt could not fetch shuffle data from a lost node
 )
 
 // String names the outcome.
@@ -39,6 +41,10 @@ func (o Outcome) String() string {
 		return "success"
 	case OOM:
 		return "oom"
+	case Lost:
+		return "lost"
+	case FetchFailed:
+		return "fetch-failed"
 	default:
 		return "killed"
 	}
@@ -122,8 +128,9 @@ type Executor struct {
 
 	peers map[string]*Executor // all executors by node, for remote reads
 
-	running map[*Run]struct{}
-	down    bool
+	running     map[*Run]struct{}
+	down        bool
+	failStopped bool
 
 	// reserved is memory promised to launched-but-not-yet-started
 	// attempts; schedulers that admit by memory fit consult
@@ -140,6 +147,13 @@ type Executor struct {
 	OOMs      int
 	Crashes   int
 	KilledCnt int
+	FailStops int
+
+	// Incarnation counts fail-stop recoveries. Real Spark sees a restarted
+	// worker as a brand-new executor ID registering; the driver compares
+	// incarnations across heartbeats to catch a crash+restart cycle shorter
+	// than the heartbeat timeout, whose attempt deaths were silent.
+	Incarnation int
 }
 
 // New creates an executor on node with the given heap size, registering it
@@ -194,6 +208,40 @@ func (ex *Executor) ProjectedFree() int64 { return ex.heap.Free() - ex.reserved 
 
 // Down reports whether the executor is offline after a crash.
 func (ex *Executor) Down() bool { return ex.down }
+
+// FailStopped reports whether the executor's node is fail-stopped: unlike
+// an OOM-induced JVM restart (where the machine keeps heartbeating), a
+// fail-stopped node is silent until it recovers.
+func (ex *Executor) FailStopped() bool { return ex.failStopped }
+
+// FailStop takes the whole node down at once: every running attempt dies
+// with it (unreported — the driver only learns via heartbeat timeout),
+// cached partitions and shuffle files are gone, and the executor stays
+// offline for recoverAfter seconds (<= 0 means it never comes back).
+func (ex *Executor) FailStop(recoverAfter float64) {
+	if ex.failStopped {
+		return
+	}
+	ex.failStopped = true
+	ex.down = true
+	ex.FailStops++
+	for _, r := range ex.Running() {
+		r.Kill(false)
+	}
+	if lost := ex.cache.DropNode(ex.node.Name()); lost > 0 {
+		ex.heap.Release(lost)
+	}
+	if recoverAfter > 0 {
+		ex.eng.Schedule(recoverAfter, func() {
+			ex.failStopped = false
+			ex.down = false
+			ex.Incarnation++
+			if ex.OnRestart != nil {
+				ex.OnRestart()
+			}
+		})
+	}
+}
 
 // RunningTasks returns the number of in-flight task attempts.
 func (ex *Executor) RunningTasks() int { return len(ex.running) }

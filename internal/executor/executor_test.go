@@ -421,3 +421,67 @@ func TestLaunchOnDownExecutorPanics(t *testing.T) {
 	tk2, st2 := mkTask(2, task.Demand{CPUWork: 1})
 	r.a.Launch(tk2, st2, Options{}, nil)
 }
+
+func TestFailStopMidShuffleWrite(t *testing.T) {
+	// Fail-stop node a while a task is inside its shuffle-write phase: the
+	// attempt and its co-resident must die silently (Killed metrics, no
+	// callback), the half-written output must not be registered, cached
+	// partitions must be gone, and the engine must quiesce with no orphaned
+	// claims or flows.
+	r := newRig(t, 8*cluster.GB, Config{})
+	r.cache.Insert(CacheKey{RDD: 1, Partition: 0}, "a", 100*cluster.MB, 0)
+	r.a.Heap().ForceAlloc(100 * cluster.MB)
+
+	// 200 MB at 100 MB/s disk write: the write phase spans ~2 s after ~1 s
+	// of compute (CPUWork 2 at 2 GHz on 1 core of 4... compute is 1 s).
+	wrTk, wrSt := mkTask(1, task.Demand{
+		CPUWork: 2, PeakMemory: 100 * cluster.MB, ShuffleWriteBytes: 200 * 1e6,
+	})
+	var wrFired, coFired bool
+	r.a.Launch(wrTk, wrSt, Options{}, func(*Run, Outcome) { wrFired = true })
+	coTk, coSt := mkTask(2, task.Demand{CPUWork: 1000, PeakMemory: cluster.GB})
+	r.a.Launch(coTk, coSt, Options{}, func(*Run, Outcome) { coFired = true })
+
+	r.eng.Schedule(2.0, func() { r.a.FailStop(0) }) // mid shuffle write
+	r.eng.Run()
+
+	if wrFired || coFired {
+		t.Fatal("fail-stop must be silent: a completion callback fired")
+	}
+	if !wrTk.Attempts[0].Killed || !coTk.Attempts[0].Killed {
+		t.Fatal("attempts not marked killed")
+	}
+	if len(wrSt.ShuffleOutputByNode) != 0 || wrSt.OutputNodeOf(wrTk.Index) != "" {
+		t.Fatalf("half-written shuffle output registered: %v", wrSt.ShuffleOutputByNode)
+	}
+	if r.cache.NodeBytes("a") != 0 {
+		t.Fatalf("node cache survived the crash: %d bytes", r.cache.NodeBytes("a"))
+	}
+	if r.a.RunningTasks() != 0 {
+		t.Fatalf("%d attempts still running on the corpse", r.a.RunningTasks())
+	}
+	if r.a.FailStops != 1 || r.a.Incarnation != 0 {
+		t.Fatalf("FailStops=%d Incarnation=%d, want 1 and 0 (no recovery)", r.a.FailStops, r.a.Incarnation)
+	}
+	if pend := r.eng.Pending(); pend != 0 {
+		t.Fatalf("engine left %d events pending (orphaned claims?)", pend)
+	}
+	_ = coSt
+}
+
+func TestFailStopRecoveryBumpsIncarnation(t *testing.T) {
+	r := newRig(t, 8*cluster.GB, Config{})
+	restarted := false
+	r.a.OnRestart = func() { restarted = true }
+	r.a.FailStop(5)
+	if !r.a.Down() || !r.a.FailStopped() {
+		t.Fatal("node not down after fail-stop")
+	}
+	r.eng.Run()
+	if !restarted || r.a.Down() || r.a.FailStopped() {
+		t.Fatal("node did not recover")
+	}
+	if r.a.Incarnation != 1 {
+		t.Fatalf("incarnation = %d, want 1", r.a.Incarnation)
+	}
+}

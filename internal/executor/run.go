@@ -39,6 +39,11 @@ type Run struct {
 	flows  []*netsim.Flow
 	timer  *simx.Timer
 
+	// fetchSrcs names the remote nodes the in-progress shuffle read is
+	// streaming from; cleared when the phase completes. The driver uses it
+	// to fail attempts whose fetch source just died.
+	fetchSrcs []string
+
 	pending int // barrier counter for parallel transfers
 	done    bool
 }
@@ -59,6 +64,9 @@ func (r *Run) Metrics() *task.Metrics { return r.m }
 
 // Speculative reports whether this attempt is a speculative copy.
 func (r *Run) Speculative() bool { return r.opts.Speculative }
+
+// Done reports whether the attempt has reached a terminal state.
+func (r *Run) Done() bool { return r.done }
 
 // Executor returns the executor running the attempt.
 func (r *Run) Executor() *Executor { return r.ex }
@@ -194,6 +202,9 @@ func (ex *Executor) crash() {
 		ex.heap.Release(lost)
 	}
 	ex.eng.Schedule(ex.cfg.RestartDelay, func() {
+		if ex.failStopped {
+			return // the node fail-stopped meanwhile; its recovery governs
+		}
 		ex.down = false
 		if ex.OnRestart != nil {
 			ex.OnRestart()
@@ -365,6 +376,7 @@ func (r *Run) readShuffle() {
 	sort.Strings(nodes)
 
 	done := func() {
+		r.fetchSrcs = nil
 		r.m.ShuffleReadTime = r.ex.eng.Now() - r.phaseStart
 		r.compute()
 	}
@@ -383,6 +395,7 @@ func (r *Run) readShuffle() {
 		}
 		r.m.BytesReadRemote += share
 		r.pending++
+		r.fetchSrcs = append(r.fetchSrcs, n)
 		r.startFlow(n, me, share, barrier)
 		if peer := r.ex.peers[n]; peer != nil {
 			r.pending++
@@ -492,7 +505,7 @@ func (r *Run) writeShuffle() {
 	r.phaseStart = r.ex.eng.Now()
 	r.claimDisk(r.ex.node.DiskWrite, d.ShuffleWriteBytes, func() {
 		r.m.ShuffleWriteTime = r.ex.eng.Now() - r.phaseStart
-		r.st.AddShuffleOutput(r.ex.node.Name(), d.ShuffleWriteBytes)
+		r.st.RecordShuffleOutput(r.t.Index, r.ex.node.Name(), d.ShuffleWriteBytes)
 		r.serialize()
 	})
 }
@@ -535,6 +548,28 @@ func (r *Run) finish(o Outcome) {
 	}
 }
 
+// FetchingFrom reports whether the attempt's in-progress shuffle read is
+// streaming from node.
+func (r *Run) FetchingFrom(node string) bool {
+	for _, s := range r.fetchSrcs {
+		if s == node {
+			return true
+		}
+	}
+	return false
+}
+
+// FailFetch terminates the attempt with a FetchFailed outcome — its
+// shuffle-read source died and the map output it was fetching is gone.
+// The onDone callback fires with FetchFailed.
+func (r *Run) FailFetch() {
+	if r.done {
+		return
+	}
+	r.m.FetchFailed = true
+	r.finish(FetchFailed)
+}
+
 // Kill terminates the attempt (speculative loser, memory-straggler
 // reclaim, or worker crash). If notify is true the onDone callback fires
 // with Killed; otherwise the attempt ends silently.
@@ -574,6 +609,7 @@ func (r *Run) release() {
 		r.ex.clu.Net.Cancel(f)
 	}
 	r.flows = nil
+	r.fetchSrcs = nil
 	if r.memHeld > 0 {
 		r.ex.heap.Release(r.memHeld)
 		r.memHeld = 0

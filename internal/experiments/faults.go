@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rupam/internal/faults"
+	"rupam/internal/spark"
+)
+
+// FaultSchedule is the canonical fault plan for the fault-recovery
+// experiment: a permanent fail-stop of a busy map-output holder mid-run
+// (forcing FetchFailed → parent-stage resubmission), repeated crashes of a
+// second node (feeding the blacklist), a degraded NIC window and a
+// driver-side heartbeat partition (executor declared lost, then rejoining).
+// The same schedule is applied to both schedulers, so the comparison is
+// apples to apples.
+func FaultSchedule() *faults.Schedule {
+	return &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.NodeCrash, Node: "thor2", At: 45},                                // permanent
+		{Kind: faults.NodeCrash, Node: "hulk2", At: 30, Duration: 25},                  // crash + recover
+		{Kind: faults.NodeCrash, Node: "hulk2", At: 80, Duration: 25},                  // again
+		{Kind: faults.NICDegrade, Node: "thor3", At: 20, Duration: 40, Factor: 0.25},   // flaky link
+		{Kind: faults.HeartbeatLoss, Node: "hulk1", At: 50, Duration: 12},              // partition > timeout
+	}}
+}
+
+// FaultRow is one scheduler's outcome with and without the fault plan.
+type FaultRow struct {
+	Scheduler   string
+	BaselineSec float64
+	FaultedSec  float64
+	// Overhead is FaultedSec/BaselineSec — how much the fault plan cost.
+	Overhead float64
+
+	ExecutorsLost     int
+	ExecutorsRejoined int
+	FetchFailures     int
+	Resubmissions     int
+	NodesBlacklisted  int
+	FailStops         int
+	Aborted           bool
+}
+
+// FaultResult is the fault-recovery experiment's output.
+type FaultResult struct {
+	Rows []FaultRow
+}
+
+// faultSpec is the common run shape: PageRank (shuffle-heavy, so map-output
+// loss actually bites) on the Hydra testbed with fault tolerance armed.
+func faultSpec(scheduler string, seed uint64, plan *faults.Schedule) RunSpec {
+	return RunSpec{
+		Workload:  "PR",
+		Scheduler: scheduler,
+		Seed:      seed,
+		Spark: spark.Config{
+			Faults:          plan,
+			TaskMaxFailures: 12,
+			Blacklist:       spark.BlacklistConfig{Enabled: true},
+		},
+	}
+}
+
+// FaultRecovery runs each scheduler twice — once fault-free, once under
+// FaultSchedule — and reports completion times and recovery counters. Both
+// runs keep blacklisting and bounded retries armed so the baseline measures
+// the fault-tolerance machinery's overhead, not just its absence.
+func FaultRecovery(seed uint64) FaultResult {
+	if seed == 0 {
+		seed = 1
+	}
+	var res FaultResult
+	for _, sched := range []string{SchedSpark, SchedRUPAM} {
+		base := Run(faultSpec(sched, seed, nil))
+		faulted := Run(faultSpec(sched, seed, FaultSchedule()))
+		row := FaultRow{
+			Scheduler:         sched,
+			BaselineSec:       base.Duration,
+			FaultedSec:        faulted.Duration,
+			ExecutorsLost:     faulted.ExecutorsLost,
+			ExecutorsRejoined: faulted.ExecutorsRejoined,
+			FetchFailures:     faulted.FetchFailures,
+			Resubmissions:     faulted.Resubmissions,
+			NodesBlacklisted:  faulted.NodesBlacklisted,
+			FailStops:         faulted.FailStops,
+			Aborted:           faulted.Aborted != nil,
+		}
+		if row.BaselineSec > 0 {
+			row.Overhead = row.FaultedSec / row.BaselineSec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Completed reports whether every faulted run finished instead of aborting.
+func (r FaultResult) Completed() bool {
+	for _, row := range r.Rows {
+		if row.Aborted {
+			return false
+		}
+	}
+	return true
+}
+
+// Print writes the experiment as a table.
+func (r FaultResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fault recovery: PageRank under an identical fault plan (crash+recover,")
+	fmt.Fprintln(w, "permanent loss of a map-output holder, degraded NIC, heartbeat partition)")
+	fmt.Fprintf(w, "%-10s %10s %10s %9s %5s %7s %6s %7s %6s %6s\n",
+		"scheduler", "clean(s)", "faulted(s)", "overhead", "lost", "rejoin", "fetch", "resub", "blist", "abort")
+	for _, row := range r.Rows {
+		abort := "no"
+		if row.Aborted {
+			abort = "YES"
+		}
+		fmt.Fprintf(w, "%-10s %10.1f %10.1f %8.2fx %5d %7d %6d %7d %6d %6s\n",
+			row.Scheduler, row.BaselineSec, row.FaultedSec, row.Overhead,
+			row.ExecutorsLost, row.ExecutorsRejoined, row.FetchFailures,
+			row.Resubmissions, row.NodesBlacklisted, abort)
+	}
+	if r.Completed() {
+		fmt.Fprintln(w, "all faulted runs completed (no aborts)")
+	} else {
+		fmt.Fprintln(w, "WARNING: at least one faulted run aborted")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultRecoveryBothSchedulersComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full PageRank runs under faults")
+	}
+	res := FaultRecovery(1)
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(res.Rows))
+	}
+	if !res.Completed() {
+		t.Fatalf("a faulted run aborted: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.ExecutorsLost == 0 {
+			t.Errorf("%s: crashes never surfaced as executor losses", row.Scheduler)
+		}
+		if row.ExecutorsRejoined == 0 {
+			t.Errorf("%s: no executor ever rejoined (recoveries + heartbeat partition)", row.Scheduler)
+		}
+		if row.Resubmissions == 0 && row.FetchFailures == 0 {
+			t.Errorf("%s: losing a map-output holder caused no fetch failures or resubmissions", row.Scheduler)
+		}
+		if row.FailStops == 0 {
+			t.Errorf("%s: injector crashes not counted", row.Scheduler)
+		}
+		if row.FaultedSec <= row.BaselineSec {
+			t.Errorf("%s: faulted run (%.1fs) not slower than clean run (%.1fs)",
+				row.Scheduler, row.FaultedSec, row.BaselineSec)
+		}
+	}
+}
+
+func TestFaultRecoveryDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full PageRank runs under faults")
+	}
+	for _, sched := range []string{SchedSpark, SchedRUPAM} {
+		a := Run(faultSpec(sched, 1, FaultSchedule()))
+		b := Run(faultSpec(sched, 1, FaultSchedule()))
+		if a.Duration != b.Duration || a.Launches != b.Launches ||
+			a.ExecutorsLost != b.ExecutorsLost || a.FetchFailures != b.FetchFailures ||
+			a.Resubmissions != b.Resubmissions || a.NodesBlacklisted != b.NodesBlacklisted {
+			t.Errorf("%s: identical seeded fault runs diverged:\n%+v\n%+v", sched, a, b)
+		}
+	}
+}
+
+func TestFaultSchedulePrintsSomething(t *testing.T) {
+	if err := FaultSchedule().Validate(); err != nil {
+		t.Fatalf("canonical schedule invalid: %v", err)
+	}
+	var sb strings.Builder
+	FaultResult{Rows: []FaultRow{{Scheduler: "spark", BaselineSec: 100, FaultedSec: 130, Overhead: 1.3}}}.Print(&sb)
+	if !strings.Contains(sb.String(), "spark") || !strings.Contains(sb.String(), "1.30x") {
+		t.Fatalf("unexpected Print output:\n%s", sb.String())
+	}
+}

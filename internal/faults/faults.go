@@ -1,0 +1,235 @@
+// Package faults is a deterministic, seeded fault-injection subsystem
+// driven by the simulation's virtual clock. A Schedule is a list of timed
+// events — fail-stop node crashes (with optional recovery), transient NIC
+// degradation windows, fail-slow disks, and heartbeat-loss windows — that
+// an Injector applies to a running cluster. Everything is derived from the
+// schedule and the engine's event order, so a fixed seed reproduces the
+// exact same failure trace run after run; an empty schedule leaves the
+// simulation byte-identical to one with no fault layer at all.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"rupam/internal/stats"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// NodeCrash fail-stops a node: every running attempt dies silently,
+	// cached partitions and shuffle files are lost, and the node stops
+	// heartbeating. Duration > 0 brings it back after that long;
+	// Duration == 0 is a permanent loss.
+	NodeCrash Kind = iota
+	// NICDegrade rescales a node's NIC to Factor × nominal for Duration
+	// seconds (a flaky link, incast pause, or duplex mismatch).
+	NICDegrade
+	// DiskDegrade rescales a node's disk read/write bandwidth to
+	// Factor × nominal for Duration seconds (a fail-slow disk).
+	DiskDegrade
+	// HeartbeatLoss suppresses a node's heartbeats for Duration seconds
+	// without stopping its work — a driver-side network partition. The
+	// driver will declare the executor lost even though its tasks are
+	// still running; the simulation must survive the rejoin.
+	HeartbeatLoss
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case NICDegrade:
+		return "nic-degrade"
+	case DiskDegrade:
+		return "disk-degrade"
+	case HeartbeatLoss:
+		return "heartbeat-loss"
+	default:
+		return fmt.Sprintf("faults.Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+	Node string
+	// At is the virtual time the fault strikes.
+	At float64
+	// Duration is how long the fault lasts; 0 means permanent for
+	// NodeCrash and is invalid for the windowed kinds.
+	Duration float64
+	// Factor is the capacity multiplier for NICDegrade/DiskDegrade,
+	// in (0, 1].
+	Factor float64
+}
+
+// String describes the event for traces.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s at %.2fs (dur %.2fs, factor %.2f)", e.Kind, e.Node, e.At, e.Duration, e.Factor)
+}
+
+// Validate reports the first problem with the event, or nil.
+func (e Event) Validate() error {
+	switch {
+	case e.Node == "":
+		return fmt.Errorf("faults: %s event without a node", e.Kind)
+	case e.At < 0:
+		return fmt.Errorf("faults: %s %s: negative time %g", e.Kind, e.Node, e.At)
+	case e.Duration < 0:
+		return fmt.Errorf("faults: %s %s: negative duration %g", e.Kind, e.Node, e.Duration)
+	}
+	switch e.Kind {
+	case NICDegrade, DiskDegrade:
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("faults: %s %s: factor %g outside (0,1]", e.Kind, e.Node, e.Factor)
+		}
+		if e.Duration == 0 {
+			return fmt.Errorf("faults: %s %s: windowed fault needs a duration", e.Kind, e.Node)
+		}
+	case HeartbeatLoss:
+		if e.Duration == 0 {
+			return fmt.Errorf("faults: %s %s: windowed fault needs a duration", e.Kind, e.Node)
+		}
+	case NodeCrash:
+	default:
+		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Schedule is a full fault plan for one simulation run.
+type Schedule struct {
+	Events []Event
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Validate checks every event, returning the first error.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by (At, Node, Kind) so installation
+// order — and therefore simx timer tie-breaking — is independent of how
+// the schedule was assembled.
+func (s *Schedule) sorted() []Event {
+	evs := make([]Event, len(s.Events))
+	copy(evs, s.Events)
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].At != evs[b].At {
+			return evs[a].At < evs[b].At
+		}
+		if evs[a].Node != evs[b].Node {
+			return evs[a].Node < evs[b].Node
+		}
+		return evs[a].Kind < evs[b].Kind
+	})
+	return evs
+}
+
+// GenConfig parameterizes RandomSchedule.
+type GenConfig struct {
+	// Horizon is the time window faults are drawn from, in seconds.
+	Horizon float64
+	// Crashes is the number of NodeCrash events (each with recovery
+	// between MinRecovery and MaxRecovery; a crash has PermanentProb
+	// chance of never recovering).
+	Crashes       int
+	MinRecovery   float64
+	MaxRecovery   float64
+	PermanentProb float64
+	// Degrades is the number of NIC/disk degradation windows (an even
+	// coin picks NIC vs disk).
+	Degrades    int
+	MinFactor   float64
+	MaxFactor   float64
+	MinDuration float64
+	MaxDuration float64
+	// HeartbeatLosses is the number of heartbeat-suppression windows.
+	HeartbeatLosses int
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Horizon <= 0 {
+		g.Horizon = 300
+	}
+	if g.MinRecovery <= 0 {
+		g.MinRecovery = 20
+	}
+	if g.MaxRecovery < g.MinRecovery {
+		g.MaxRecovery = g.MinRecovery + 40
+	}
+	if g.MinFactor <= 0 {
+		g.MinFactor = 0.05
+	}
+	if g.MaxFactor < g.MinFactor {
+		g.MaxFactor = 0.5
+	}
+	if g.MinDuration <= 0 {
+		g.MinDuration = 10
+	}
+	if g.MaxDuration < g.MinDuration {
+		g.MaxDuration = 60
+	}
+	return g
+}
+
+// RandomSchedule draws a reproducible schedule over the named nodes from
+// the seed. The same (seed, nodes, cfg) triple always yields the same
+// schedule, independent of call site.
+func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
+	cfg = cfg.withDefaults()
+	if len(nodes) == 0 {
+		return &Schedule{}
+	}
+	rng := stats.NewRand(seed ^ 0xfa17f5eed)
+	var evs []Event
+	for i := 0; i < cfg.Crashes; i++ {
+		dur := rng.Range(cfg.MinRecovery, cfg.MaxRecovery)
+		if rng.Float64() < cfg.PermanentProb {
+			dur = 0
+		}
+		evs = append(evs, Event{
+			Kind:     NodeCrash,
+			Node:     nodes[rng.Intn(len(nodes))],
+			At:       rng.Range(0, cfg.Horizon),
+			Duration: dur,
+		})
+	}
+	for i := 0; i < cfg.Degrades; i++ {
+		kind := NICDegrade
+		if rng.Float64() < 0.5 {
+			kind = DiskDegrade
+		}
+		evs = append(evs, Event{
+			Kind:     kind,
+			Node:     nodes[rng.Intn(len(nodes))],
+			At:       rng.Range(0, cfg.Horizon),
+			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+			Factor:   rng.Range(cfg.MinFactor, cfg.MaxFactor),
+		})
+	}
+	for i := 0; i < cfg.HeartbeatLosses; i++ {
+		evs = append(evs, Event{
+			Kind:     HeartbeatLoss,
+			Node:     nodes[rng.Intn(len(nodes))],
+			At:       rng.Range(0, cfg.Horizon),
+			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+		})
+	}
+	return &Schedule{Events: evs}
+}

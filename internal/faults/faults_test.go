@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
+	"rupam/internal/simx"
+)
+
+func TestEventValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: NodeCrash},                                                // no node
+		{Kind: NodeCrash, Node: "a", At: -1},                             // negative time
+		{Kind: NodeCrash, Node: "a", Duration: -2},                       // negative duration
+		{Kind: NICDegrade, Node: "a", Duration: 5},                       // factor 0
+		{Kind: NICDegrade, Node: "a", Duration: 5, Factor: 1.5},          // factor > 1
+		{Kind: DiskDegrade, Node: "a", Factor: 0.5},                      // no duration
+		{Kind: HeartbeatLoss, Node: "a"},                                 // no duration
+		{Kind: Kind(99), Node: "a"},                                      // unknown kind
+	}
+	for _, e := range bad {
+		if e.Validate() == nil {
+			t.Errorf("event %v validated", e)
+		}
+	}
+	good := []Event{
+		{Kind: NodeCrash, Node: "a", At: 10},                             // permanent crash
+		{Kind: NodeCrash, Node: "a", At: 10, Duration: 5},                // with recovery
+		{Kind: NICDegrade, Node: "a", At: 1, Duration: 5, Factor: 0.25},
+		{Kind: DiskDegrade, Node: "a", At: 1, Duration: 5, Factor: 1},
+		{Kind: HeartbeatLoss, Node: "a", At: 1, Duration: 5},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("event %v rejected: %v", e, err)
+		}
+	}
+}
+
+func TestScheduleEmptyAndValidate(t *testing.T) {
+	var nilSched *Schedule
+	if !nilSched.Empty() || nilSched.Validate() != nil {
+		t.Fatal("nil schedule must be empty and valid")
+	}
+	if !(&Schedule{}).Empty() {
+		t.Fatal("zero schedule must be empty")
+	}
+	s := &Schedule{Events: []Event{{Kind: HeartbeatLoss, Node: "a"}}}
+	if s.Empty() || s.Validate() == nil {
+		t.Fatal("invalid event must fail schedule validation")
+	}
+}
+
+func TestSortedIsStableAndOrderIndependent(t *testing.T) {
+	a := Event{Kind: NodeCrash, Node: "a", At: 5}
+	b := Event{Kind: NICDegrade, Node: "b", At: 1, Duration: 2, Factor: 0.5}
+	c := Event{Kind: HeartbeatLoss, Node: "a", At: 5, Duration: 3}
+	s1 := &Schedule{Events: []Event{a, b, c}}
+	s2 := &Schedule{Events: []Event{c, a, b}}
+	if !reflect.DeepEqual(s1.sorted(), s2.sorted()) {
+		t.Fatal("sorted order depends on assembly order")
+	}
+	if got := s1.sorted()[0]; got != b {
+		t.Fatalf("earliest event not first: %v", got)
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	cfg := GenConfig{Crashes: 3, Degrades: 4, HeartbeatLosses: 2, PermanentProb: 0.3}
+	a := RandomSchedule(7, nodes, cfg)
+	b := RandomSchedule(7, nodes, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	if len(a.Events) != 9 {
+		t.Fatalf("want 9 events, got %d", len(a.Events))
+	}
+	c := RandomSchedule(8, nodes, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if !RandomSchedule(7, nil, cfg).Empty() {
+		t.Fatal("no nodes must yield an empty schedule")
+	}
+}
+
+// twoNode builds a 2-node cluster with executors for injector tests.
+func twoNode(t *testing.T) (*simx.Engine, *cluster.Cluster, map[string]*executor.Executor) {
+	t.Helper()
+	executor.ResetRunSeq()
+	eng := simx.NewEngine()
+	clu := cluster.New(eng)
+	spec := cluster.NodeSpec{
+		Class: "t", Cores: 4, FreqGHz: 2,
+		MemBytes: 8 * cluster.GB, NetBandwidth: cluster.GbE(1),
+		DiskReadBW: cluster.MBps(200), DiskWriteBW: cluster.MBps(100),
+	}
+	cache := executor.NewCacheTracker()
+	execs := make(map[string]*executor.Executor)
+	for _, name := range []string{"a", "b"} {
+		s := spec
+		s.Name = name
+		clu.AddNode(s)
+		executor.New(eng, clu, clu.Node(name), cache, execs, executor.Config{HeapBytes: 4 * cluster.GB, Seed: 1})
+	}
+	return eng, clu, execs
+}
+
+func TestInjectorAppliesAndRestores(t *testing.T) {
+	eng, clu, execs := twoNode(t)
+	inj := NewInjector(eng, clu, execs)
+	var lines []string
+	inj.Trace = func(s string) { lines = append(lines, s) }
+	inj.Install(&Schedule{Events: []Event{
+		{Kind: NodeCrash, Node: "a", At: 1, Duration: 2},
+		{Kind: NICDegrade, Node: "b", At: 1, Duration: 3, Factor: 0.5},
+		{Kind: DiskDegrade, Node: "b", At: 1, Duration: 3, Factor: 0.25},
+		{Kind: HeartbeatLoss, Node: "b", At: 2, Duration: 2},
+	}})
+
+	eng.At(1.5, func() {
+		if !execs["a"].FailStopped() || !inj.Suppressed("a") {
+			t.Error("a not fail-stopped at t=1.5")
+		}
+		if cap := clu.Node("b").DiskRead.Capacity(); cap != cluster.MBps(200)*0.25 {
+			t.Errorf("b disk read capacity = %v mid-window", cap)
+		}
+	})
+	eng.At(2.5, func() {
+		if !inj.Suppressed("b") {
+			t.Error("b heartbeats not suppressed at t=2.5")
+		}
+	})
+	eng.At(5.0, func() {
+		if execs["a"].FailStopped() || inj.Suppressed("a") || inj.Suppressed("b") {
+			t.Error("faults not lifted at t=5")
+		}
+		if cap := clu.Node("b").DiskRead.Capacity(); cap != cluster.MBps(200) {
+			t.Errorf("b disk read capacity = %v after window", cap)
+		}
+	})
+	eng.Run()
+
+	if inj.Crashes != 1 || inj.Recoveries != 1 || inj.NICDegrades != 1 ||
+		inj.DiskDegrades != 1 || inj.HeartbeatLosses != 1 {
+		t.Fatalf("counters: %+v", inj)
+	}
+	if len(lines) == 0 || !strings.Contains(strings.Join(lines, "\n"), "crash a") {
+		t.Fatalf("trace lines missing: %v", lines)
+	}
+}
+
+func TestInstallRejectsUnknownNode(t *testing.T) {
+	eng, clu, execs := twoNode(t)
+	inj := NewInjector(eng, clu, execs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown node accepted")
+		}
+	}()
+	inj.Install(&Schedule{Events: []Event{{Kind: NodeCrash, Node: "ghost", At: 1}}})
+}
+
+func TestInstallRejectsInvalidSchedule(t *testing.T) {
+	eng, clu, execs := twoNode(t)
+	inj := NewInjector(eng, clu, execs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid schedule accepted")
+		}
+	}()
+	inj.Install(&Schedule{Events: []Event{{Kind: NICDegrade, Node: "a", At: 1, Duration: 2, Factor: 0}}})
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		NodeCrash: "node-crash", NICDegrade: "nic-degrade",
+		DiskDegrade: "disk-degrade", HeartbeatLoss: "heartbeat-loss",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind string uninformative")
+	}
+}

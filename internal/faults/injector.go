@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
+	"rupam/internal/simx"
+)
+
+// Injector applies a Schedule to a live cluster. It owns the mechanics of
+// each fault — fail-stopping executors, rescaling NIC and disk capacities,
+// opening heartbeat-suppression windows — and exposes Suppressed for the
+// monitor's Drop hook; the driver-side consequences (executor-lost
+// detection, fetch-failure resubmission, blacklisting) live in the
+// scheduler runtime, which only observes the fault through missing
+// heartbeats and dead attempts, exactly like a real driver.
+type Injector struct {
+	eng   *simx.Engine
+	clu   *cluster.Cluster
+	execs map[string]*executor.Executor
+
+	// hbLost counts open HeartbeatLoss windows per node (windows may
+	// overlap; the node reports again only when all have closed).
+	hbLost map[string]int
+
+	// Trace, if set, receives a line per applied fault.
+	Trace func(string)
+
+	// Counters for reporting.
+	Crashes         int
+	Recoveries      int
+	NICDegrades     int
+	DiskDegrades    int
+	HeartbeatLosses int
+}
+
+// NewInjector creates an injector over the cluster's executors. The execs
+// map is the shared by-node registry the executor layer maintains.
+func NewInjector(eng *simx.Engine, clu *cluster.Cluster, execs map[string]*executor.Executor) *Injector {
+	return &Injector{
+		eng:    eng,
+		clu:    clu,
+		execs:  execs,
+		hbLost: make(map[string]int),
+	}
+}
+
+// Suppressed reports whether the node currently cannot heartbeat — it is
+// fail-stopped or inside a heartbeat-loss window. Wire this into
+// monitor.Monitor.Drop.
+func (inj *Injector) Suppressed(node string) bool {
+	if inj.hbLost[node] > 0 {
+		return true
+	}
+	if ex, ok := inj.execs[node]; ok && ex.FailStopped() {
+		return true
+	}
+	return false
+}
+
+// Install schedules every event in s onto the engine. It panics on an
+// invalid schedule or an event naming an unknown node — fault plans are
+// experiment constants, so misconfiguration is a programming error.
+func (inj *Injector) Install(s *Schedule) {
+	if s.Empty() {
+		return
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	for _, ev := range s.sorted() {
+		if inj.clu.Node(ev.Node) == nil {
+			panic(fmt.Sprintf("faults: schedule names unknown node %q", ev.Node))
+		}
+		e := ev
+		inj.eng.At(e.At, func() { inj.apply(e) })
+	}
+}
+
+func (inj *Injector) trace(format string, args ...interface{}) {
+	if inj.Trace != nil {
+		inj.Trace(fmt.Sprintf("[%8.2fs] %s", inj.eng.Now(), fmt.Sprintf(format, args...)))
+	}
+}
+
+func (inj *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case NodeCrash:
+		inj.crash(ev)
+	case NICDegrade:
+		inj.degradeNIC(ev)
+	case DiskDegrade:
+		inj.degradeDisk(ev)
+	case HeartbeatLoss:
+		inj.loseHeartbeats(ev)
+	}
+}
+
+func (inj *Injector) crash(ev Event) {
+	ex, ok := inj.execs[ev.Node]
+	if !ok || ex.FailStopped() {
+		return
+	}
+	inj.Crashes++
+	inj.trace("crash %s (recovery %.0fs)", ev.Node, ev.Duration)
+	if ev.Duration > 0 {
+		inj.eng.Schedule(ev.Duration, func() {
+			inj.Recoveries++
+			inj.trace("recover %s", ev.Node)
+		})
+	}
+	ex.FailStop(ev.Duration)
+}
+
+func (inj *Injector) degradeNIC(ev Event) {
+	node := inj.clu.Node(ev.Node)
+	base := node.Spec.NetBandwidth
+	inj.NICDegrades++
+	inj.trace("nic %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.clu.Net.SetCapacity(ev.Node, base*ev.Factor, base*ev.Factor)
+	inj.eng.Schedule(ev.Duration, func() {
+		inj.clu.Net.SetCapacity(ev.Node, base, base)
+	})
+}
+
+func (inj *Injector) degradeDisk(ev Event) {
+	node := inj.clu.Node(ev.Node)
+	readBase, writeBase := node.Spec.DiskReadBW, node.Spec.DiskWriteBW
+	inj.DiskDegrades++
+	inj.trace("disk %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	node.DiskRead.SetCapacity(readBase * ev.Factor)
+	node.DiskWrite.SetCapacity(writeBase * ev.Factor)
+	inj.eng.Schedule(ev.Duration, func() {
+		node.DiskRead.SetCapacity(readBase)
+		node.DiskWrite.SetCapacity(writeBase)
+	})
+}
+
+func (inj *Injector) loseHeartbeats(ev Event) {
+	inj.HeartbeatLosses++
+	inj.trace("heartbeat loss %s for %.0fs", ev.Node, ev.Duration)
+	inj.hbLost[ev.Node]++
+	inj.eng.Schedule(ev.Duration, func() {
+		inj.hbLost[ev.Node]--
+	})
+}

@@ -54,6 +54,11 @@ type Monitor struct {
 	// as Spark schedules on heartbeat-driven offers.
 	OnHeartbeat func(node string, m *NodeMetrics)
 
+	// Drop, if set, suppresses a node's heartbeat when it returns true —
+	// a fail-stopped or partitioned node cannot report. The tick keeps
+	// re-arming so heartbeats resume the moment the node recovers.
+	Drop func(node string) bool
+
 	timers  []*simx.Timer
 	stopped bool
 	// Heartbeats counts reports received (monitoring overhead accounting).
@@ -104,11 +109,13 @@ func (m *Monitor) tick(node *cluster.Node) {
 	if m.stopped {
 		return
 	}
-	nm := m.Collect(node)
-	m.latest[node.Name()] = nm
-	m.Heartbeats++
-	if m.OnHeartbeat != nil {
-		m.OnHeartbeat(node.Name(), nm)
+	if m.Drop == nil || !m.Drop(node.Name()) {
+		nm := m.Collect(node)
+		m.latest[node.Name()] = nm
+		m.Heartbeats++
+		if m.OnHeartbeat != nil {
+			m.OnHeartbeat(node.Name(), nm)
+		}
 	}
 	m.timers = append(m.timers, m.eng.Schedule(m.interval, func() {
 		m.tick(node)

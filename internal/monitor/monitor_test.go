@@ -118,3 +118,49 @@ func TestUtilizationReflectsLoad(t *testing.T) {
 		t.Fatal("GPU usage not observed")
 	}
 }
+
+func TestDropSuppressesCollection(t *testing.T) {
+	// With Drop returning true for node "b", no heartbeat for b is
+	// collected or delivered, while a and c report normally; the ticker
+	// itself keeps running so b resumes once Drop clears.
+	eng := simx.NewEngine()
+	clu := newClu(eng)
+	m := New(eng, clu, 1)
+	dropping := true
+	m.Drop = func(node string) bool { return dropping && node == "b" }
+	perNode := map[string]int{}
+	m.OnHeartbeat = func(node string, _ *NodeMetrics) { perNode[node]++ }
+	m.Start()
+	eng.Schedule(5.5, func() { dropping = false })
+	eng.RunUntil(10.5)
+	m.Stop()
+	if perNode["b"] == 0 {
+		t.Fatal("b never resumed after Drop cleared")
+	}
+	if perNode["b"] >= perNode["a"] {
+		t.Fatalf("b reported %d times, a %d — suppression had no effect", perNode["b"], perNode["a"])
+	}
+	if m.Latest("b") == nil {
+		t.Fatal("no metrics for b after resuming")
+	}
+}
+
+func TestNeverDroppingEqualsNilDrop(t *testing.T) {
+	run := func(drop func(string) bool) int {
+		eng := simx.NewEngine()
+		clu := newClu(eng)
+		m := New(eng, clu, 1)
+		m.Drop = drop
+		beats := 0
+		m.OnHeartbeat = func(string, *NodeMetrics) { beats++ }
+		m.Start()
+		eng.RunUntil(3.5)
+		m.Stop()
+		return beats
+	}
+	nilBeats := run(nil)
+	falseBeats := run(func(string) bool { return false })
+	if nilBeats == 0 || nilBeats != falseBeats {
+		t.Fatalf("nil Drop gave %d beats, never-dropping gave %d", nilBeats, falseBeats)
+	}
+}

@@ -128,6 +128,23 @@ func (n *Network) AddNode(name string, egress, ingress float64) *Iface {
 // Iface returns the interface for the named node, or nil.
 func (n *Network) Iface(name string) *Iface { return n.ifaces[name] }
 
+// SetCapacity re-rates a node's NIC mid-simulation (a transient
+// degradation window, or its end). In-flight flows keep the bytes already
+// transferred and are re-shared max-min fairly at the new capacity. It
+// panics on an unknown node or non-positive capacity.
+func (n *Network) SetCapacity(name string, egress, ingress float64) {
+	i, ok := n.ifaces[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %q", name))
+	}
+	if egress <= 0 || ingress <= 0 {
+		panic(fmt.Sprintf("netsim: node %q: non-positive capacity", name))
+	}
+	n.advance()
+	i.egressCap, i.ingressCap = egress, ingress
+	n.reallocate()
+}
+
 // ActiveFlows returns the number of in-progress flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
 

@@ -256,3 +256,51 @@ func TestQuickCapacityRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetCapacityMidFlow(t *testing.T) {
+	// A 1000-byte flow at 100 B/s would finish at t=10; halving the link at
+	// t=5 leaves 500 bytes at 50 B/s, so it finishes at t=15.
+	eng, n := twoNodes(t)
+	var done float64
+	n.Start("a", "b", 1000, func() { done = eng.Now() })
+	eng.Schedule(5, func() { n.SetCapacity("a", 50, 50) })
+	eng.Run()
+	if !almost(done, 15, 1e-9) {
+		t.Fatalf("flow finished at %v, want 15", done)
+	}
+}
+
+func TestSetCapacityRestore(t *testing.T) {
+	// Degrade to 25 B/s for 4 s then restore: 1000 bytes = 100 at t=0..4
+	// (400 B), then 25 B/s would need 24 s; restoring at t=8 leaves 500
+	// bytes at 100 B/s → done at 13.
+	eng, n := twoNodes(t)
+	var done float64
+	n.Start("a", "b", 1000, func() { done = eng.Now() })
+	eng.Schedule(4, func() { n.SetCapacity("b", 100, 25) })
+	eng.Schedule(8, func() { n.SetCapacity("b", 100, 100) })
+	eng.Run()
+	if !almost(done, 13, 1e-9) {
+		t.Fatalf("flow finished at %v, want 13", done)
+	}
+}
+
+func TestSetCapacityUnknownNodePanics(t *testing.T) {
+	_, n := twoNodes(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown node accepted")
+		}
+	}()
+	n.SetCapacity("ghost", 10, 10)
+}
+
+func TestSetCapacityNonPositivePanics(t *testing.T) {
+	_, n := twoNodes(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	n.SetCapacity("a", 0, 10)
+}

@@ -146,6 +146,12 @@ func (s *DefaultScheduler) noteLaunch(node string, stageID int) {
 // reports; the heartbeat-triggered Schedule call is its offer).
 func (s *DefaultScheduler) Heartbeat(node string, nm *monitor.NodeMetrics) {}
 
+// ExecutorLost implements ExecutorLossAware: forget the node's in-flight
+// accounting (the runtime already failed the attempts themselves).
+func (s *DefaultScheduler) ExecutorLost(node string) {
+	delete(s.runningByNodeStage, node)
+}
+
 // Schedule implements Scheduler: fill free core slots with the
 // best-locality pending task each node can get, then spend leftover slots
 // on speculative copies.
@@ -172,7 +178,7 @@ func (s *DefaultScheduler) Schedule() {
 			node := nodes[(i+s.rot)%len(nodes)]
 			name := node.Name()
 			ex := rt.Execs[name]
-			if ex == nil || ex.Down() || ex.RunningTasks() >= node.Spec.Cores {
+			if ex == nil || !rt.CanRunOn(name) || ex.RunningTasks() >= node.Spec.Cores {
 				continue
 			}
 			if s.launchOn(name) {
@@ -195,9 +201,15 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 		if s.runningByNodeStage[node][id] >= s.stageCap(node, id) {
 			continue // stage backed off on this node after OOMs
 		}
+		if st := rt.stages[id]; st != nil && !rt.StageReady(st) {
+			continue // parent outputs lost; a rollback is recomputing them
+		}
 		allowed := s.allowed[id]
 		bestIdx, bestLvl := -1, hdfs.Any+1
 		for i, t := range q {
+			if rt.TaskBlockedOn(t.ID, node) {
+				continue // blacklisted pairing
+			}
 			lvl := t.LocalityOn(node)
 			if lvl <= allowed && lvl < bestLvl {
 				bestIdx, bestLvl = i, lvl

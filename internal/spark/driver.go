@@ -57,25 +57,37 @@ func (rt *Runtime) resolveCacheLocation(t *task.Task) {
 	}
 }
 
-// CanRunOn reports whether node's executor exists and is up.
+// CanRunOn reports whether node's executor exists, is up, has not been
+// declared lost by the driver, and is not blacklisted.
 func (rt *Runtime) CanRunOn(node string) bool {
 	ex, ok := rt.Execs[node]
-	return ok && !ex.Down()
+	if !ok || ex.Down() || rt.lostExecs[node] {
+		return false
+	}
+	return rt.bl == nil || !rt.bl.nodeBlacklisted(node)
 }
 
 // Launch starts an attempt of t on node, returning the attempt's Run (nil
 // if the launch was refused). All schedulers place tasks through this
 // single entry point.
 func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *executor.Run {
-	ex, ok := rt.Execs[node]
-	if !ok || ex.Down() {
+	if rt.appDone || !rt.CanRunOn(node) {
 		return nil
 	}
+	ex := rt.Execs[node]
 	st, ok := rt.stageOf[t.ID]
 	if !ok {
 		return nil
 	}
-	if t.State == task.Finished {
+	if t.State == task.Finished || t.State == task.Failed {
+		return nil
+	}
+	if !rt.StageReady(st) {
+		// A rollback is recomputing this stage's parent outputs; the task
+		// must wait for them.
+		return nil
+	}
+	if rt.TaskBlockedOn(t.ID, node) {
 		return nil
 	}
 	t.State = task.Running
@@ -126,9 +138,20 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 				rt.onStageComplete(st)
 			}
 		}
-	case executor.OOM, executor.Killed:
+	case executor.OOM, executor.Killed, executor.Lost, executor.FetchFailed:
 		if t.State == task.Finished {
 			break // a lost speculative copy; nothing to do
+		}
+		if out == executor.FetchFailed {
+			rt.FetchFailures++
+		}
+		if out != executor.Killed {
+			// A deliberate kill (losing speculative copy, memory reclaim)
+			// is not the task's fault and counts against nothing.
+			rt.noteTaskFailure(t, st, r, out)
+			if rt.appDone {
+				break // the failure aborted the job
+			}
 		}
 		if len(rt.runningAtt[t.ID]) > 0 {
 			break // another copy is still running; let it race
@@ -136,6 +159,9 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 		t.State = task.Pending
 		rt.resolveCacheLocation(t) // cache may have moved or been dropped
 		rt.sched.Resubmit(t, st)
+	}
+	if rt.appDone {
+		return
 	}
 	rt.sched.Schedule()
 }
@@ -168,6 +194,10 @@ func (rt *Runtime) finishApp() {
 	if rt.specTimer != nil {
 		rt.specTimer.Cancel()
 		rt.specTimer = nil
+	}
+	if rt.wdTimer != nil {
+		rt.wdTimer.Cancel()
+		rt.wdTimer = nil
 	}
 }
 

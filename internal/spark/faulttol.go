@@ -1,0 +1,263 @@
+package spark
+
+import (
+	"fmt"
+	"sort"
+
+	"rupam/internal/executor"
+	"rupam/internal/task"
+)
+
+// This file is the driver's fault-tolerance layer: heartbeat-timeout
+// executor-loss detection, map-output loss with parent-stage resubmission
+// (Spark's FetchFailed/DAGScheduler rollback), failure counting into the
+// blacklist, and bounded retries escalating to a structured job abort. It
+// is entirely event-driven off the same virtual clock as the rest of the
+// simulation; with no faults injected none of it ever observes a missing
+// heartbeat, so runs without a fault schedule are unchanged.
+
+// ExecutorLossAware is an optional Scheduler capability: schedulers that
+// keep per-node state (offer queues, in-flight counts, best-node locks)
+// implement it to purge a lost node.
+type ExecutorLossAware interface {
+	ExecutorLost(node string)
+}
+
+// AbortError is the structured failure a run ends with when a task exceeds
+// its retry budget — Spark's "Task failed N times, aborting job".
+type AbortError struct {
+	App      string
+	Job      int
+	Stage    int
+	Task     int
+	Failures int
+	Reason   string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("spark: app %q job %d: %s in stage %d failed %d times (%s); aborting job",
+		e.App, e.Job, fmt.Sprintf("task %d", e.Task), e.Stage, e.Failures, e.Reason)
+}
+
+// armWatchdog schedules the periodic heartbeat-timeout check. It runs at
+// the heartbeat interval whether or not faults are injected; with every
+// node reporting on time it observes nothing and changes nothing.
+func (rt *Runtime) armWatchdog() {
+	rt.wdTimer = rt.Eng.Schedule(rt.Cfg.HeartbeatInterval, func() {
+		if rt.appDone {
+			return
+		}
+		rt.checkHeartbeats()
+		rt.armWatchdog()
+	})
+}
+
+// checkHeartbeats declares executors lost when their last report is older
+// than HeartbeatTimeout (spark.network.timeout in miniature).
+func (rt *Runtime) checkHeartbeats() {
+	now := rt.Eng.Now()
+	for _, n := range rt.Clu.Nodes {
+		name := n.Name()
+		if rt.lostExecs[name] {
+			continue
+		}
+		if now-rt.lastHB[name] > rt.Cfg.HeartbeatTimeout {
+			rt.executorLost(name, "heartbeat timeout")
+		}
+	}
+}
+
+// noteHeartbeat records a node's report and re-registers a previously lost
+// executor that is reporting again (recovered node, or a heartbeat-loss
+// window closing).
+func (rt *Runtime) noteHeartbeat(node string) {
+	if ex := rt.Execs[node]; ex != nil && ex.Incarnation != rt.lastInc[node] {
+		// The node crashed and restarted between two heartbeats — faster
+		// than the timeout watchdog could notice, so its attempt deaths
+		// were silent. Real Spark sees the restart as a new executor ID
+		// registering and reaps the old one's state; do the same before
+		// accepting the report.
+		rt.lastInc[node] = ex.Incarnation
+		rt.executorLost(node, "executor restarted")
+	}
+	rt.lastHB[node] = rt.Eng.Now()
+	if rt.lostExecs[node] {
+		delete(rt.lostExecs, node)
+		rt.ExecutorsRejoined++
+	}
+}
+
+// executorLost is the driver's reaction to a dead (or unreachable) node:
+// purge it from the scheduler, fail its in-flight attempts, roll back the
+// map outputs it held (resubmitting the parent tasks that produced them),
+// and fetch-fail every running attempt that was streaming shuffle data
+// from it.
+func (rt *Runtime) executorLost(node string, reason string) {
+	if rt.appDone || rt.lostExecs[node] {
+		return
+	}
+	rt.lostExecs[node] = true
+	rt.ExecutorsLost++
+
+	if ela, ok := rt.sched.(ExecutorLossAware); ok {
+		ela.ExecutorLost(node)
+	}
+
+	// Map-output rollback first, so the launch gates below already see the
+	// parent stages as incomplete when attempts start getting resubmitted.
+	rt.rollbackOutputs(node)
+
+	// Fail the node's in-flight attempts. A fail-stopped executor already
+	// killed them silently (the driver only now finds out); for a mere
+	// heartbeat loss they are genuinely still running and are killed here,
+	// matching the driver's view that the node is gone.
+	for _, r := range rt.attemptsOn(node) {
+		r.Kill(false)
+		rt.onTaskEnd(r, executor.Lost)
+	}
+
+	// Fetch-fail every attempt mid-stream from the lost node's shuffle
+	// files.
+	for _, r := range rt.runningSorted() {
+		if r.FetchingFrom(node) {
+			r.FailFetch() // fires onTaskEnd(FetchFailed) via onDone
+		}
+	}
+	_ = reason
+	rt.sched.Schedule()
+}
+
+// attemptsOn returns the live attempts placed on node, in task-ID order.
+func (rt *Runtime) attemptsOn(node string) []*executor.Run {
+	var rs []*executor.Run
+	for _, r := range rt.runningSorted() {
+		if r.Metrics().Executor == node {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// runningSorted returns every live attempt in deterministic (task ID, then
+// launch) order.
+func (rt *Runtime) runningSorted() []*executor.Run {
+	ids := make([]int, 0, len(rt.runningAtt))
+	for id, rs := range rt.runningAtt {
+		if len(rs) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var out []*executor.Run
+	for _, id := range ids {
+		out = append(out, rt.runningAtt[id]...)
+	}
+	return out
+}
+
+// rollbackOutputs implements the DAGScheduler's response to losing a
+// node's shuffle files: every current-job stage whose output is still
+// needed forgets the map outputs it had on the node, and the tasks that
+// produced them go back to pending. Children are processed before parents
+// so that a child's rollback marks its parents as needed again.
+func (rt *Runtime) rollbackOutputs(node string) {
+	job := rt.app.Jobs[rt.jobIdx]
+	stages := append([]*task.Stage(nil), job.Stages...)
+	sort.Slice(stages, func(i, j int) bool { return stages[i].ID > stages[j].ID })
+	for _, st := range stages {
+		if !rt.outputsNeeded(st, job) {
+			continue
+		}
+		lost := st.LoseNodeOutputs(node)
+		if len(lost) == 0 {
+			continue
+		}
+		if rt.submitted[st.ID] {
+			rt.activeStages[st.ID] = st
+		}
+		for _, idx := range lost {
+			t := st.TaskByIndex(idx)
+			if t == nil || t.State != task.Finished {
+				continue
+			}
+			t.State = task.Pending
+			rt.resolveCacheLocation(t)
+			rt.Resubmissions++
+			rt.sched.Resubmit(t, st)
+		}
+	}
+}
+
+// outputsNeeded reports whether st's shuffle output can still be read: the
+// stage itself is incomplete (it will be read once done) or some dependent
+// stage has not finished consuming it.
+func (rt *Runtime) outputsNeeded(st *task.Stage, job *task.Job) bool {
+	if !st.IsComplete() {
+		return true
+	}
+	for _, c := range job.Stages {
+		for _, p := range c.Parent {
+			if p == st && !c.IsComplete() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// noteTaskFailure counts a genuine attempt failure (OOM, executor loss, or
+// fetch failure — never a deliberate kill) against the retry budget and
+// the blacklist, aborting the job when the budget is exhausted.
+func (rt *Runtime) noteTaskFailure(t *task.Task, st *task.Stage, r *executor.Run, out executor.Outcome) {
+	rt.failCount[t.ID]++
+	if rt.bl != nil && out != executor.FetchFailed {
+		// A fetch failure blames the dead source, not the node the attempt
+		// ran on; the source is already being handled as an executor loss.
+		rt.bl.noteFailure(t.ID, r.Metrics().Executor)
+	}
+	if rt.Cfg.TaskMaxFailures > 0 && rt.failCount[t.ID] >= rt.Cfg.TaskMaxFailures {
+		rt.abortJob(t, st, out.String())
+	}
+}
+
+// abortJob ends the application with a structured error instead of letting
+// a doomed task retry forever: running attempts are killed, and Run
+// returns a Result carrying the AbortError.
+func (rt *Runtime) abortJob(t *task.Task, st *task.Stage, reason string) {
+	if rt.appDone {
+		return
+	}
+	rt.aborted = &AbortError{
+		App:      rt.app.Name,
+		Job:      rt.jobIdx,
+		Stage:    st.ID,
+		Task:     t.ID,
+		Failures: rt.failCount[t.ID],
+		Reason:   reason,
+	}
+	t.State = task.Failed
+	for _, r := range rt.runningSorted() {
+		r.Kill(false)
+	}
+	rt.runningAtt = make(map[int][]*executor.Run)
+	rt.finishApp()
+}
+
+// TaskBlockedOn reports whether the blacklist forbids launching the task
+// on node; schedulers consult it when picking placements.
+func (rt *Runtime) TaskBlockedOn(taskID int, node string) bool {
+	return rt.bl != nil && rt.bl.taskBlocked(taskID, node)
+}
+
+// StageReady reports whether every parent of st is complete — false while
+// a rollback is recomputing lost map outputs. Launch refuses tasks of
+// unready stages; schedulers use this to skip them cheaply.
+func (rt *Runtime) StageReady(st *task.Stage) bool {
+	for _, p := range st.Parent {
+		if !p.IsComplete() {
+			return false
+		}
+	}
+	return true
+}

@@ -12,6 +12,7 @@ import (
 
 	"rupam/internal/cluster"
 	"rupam/internal/executor"
+	"rupam/internal/faults"
 	"rupam/internal/metrics"
 	"rupam/internal/monitor"
 	"rupam/internal/simx"
@@ -45,6 +46,20 @@ type Config struct {
 	// MaxAttempts bounds per-task attempts before the task is forced onto
 	// the highest-memory node (default 8).
 	MaxAttempts int
+	// HeartbeatTimeout is how long a node may go silent before the driver
+	// declares its executor lost (spark.network.timeout; default 10 s).
+	HeartbeatTimeout float64
+	// TaskMaxFailures, when positive, bounds genuine failures (OOM, loss,
+	// fetch failure) per task before the job aborts with an AbortError
+	// (spark.task.maxFailures). 0 disables the bound, preserving the
+	// retry-forever behavior the no-fault experiments were tuned on.
+	TaskMaxFailures int
+	// Blacklist configures driver-side node blacklisting (off by default).
+	Blacklist BlacklistConfig
+	// Faults, when non-empty, is the fault-injection plan applied to the
+	// cluster during the run. Nil or empty leaves the run byte-identical
+	// to one without the fault layer.
+	Faults *faults.Schedule
 	// SampleInterval is the utilization-trace sampling period (default
 	// 1 s; 0 keeps the default, negative disables tracing).
 	SampleInterval float64
@@ -79,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 8
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 10
 	}
 	if c.SampleInterval == 0 {
 		c.SampleInterval = 1
@@ -147,12 +165,26 @@ type Runtime struct {
 	appEnd       float64
 	jobEnds      []float64
 
+	// fault-tolerance state (faulttol.go)
+	lastHB    map[string]float64 // last heartbeat time per node
+	lostExecs map[string]bool    // nodes the driver has declared lost
+	lastInc   map[string]int     // last seen executor incarnation per node
+	failCount map[int]int        // genuine failures per task ID
+	bl        *blacklist         // nil unless Cfg.Blacklist.Enabled
+	wdTimer   *simx.Timer        // heartbeat-timeout watchdog
+	inj       *faults.Injector   // nil unless Cfg.Faults is non-empty
+	aborted   *AbortError
+
 	// counters
-	SpecCopies  int
-	MemKills    int
-	TotalOOMs   int
-	TotalCrash  int
-	LaunchCount int
+	SpecCopies        int
+	MemKills          int
+	TotalOOMs         int
+	TotalCrash        int
+	LaunchCount       int
+	ExecutorsLost     int
+	ExecutorsRejoined int
+	FetchFailures     int
+	Resubmissions     int
 }
 
 // NewRuntime builds a runtime over the cluster for the given scheduler.
@@ -180,6 +212,13 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 		submitted:    make(map[int]bool),
 		runningAtt:   make(map[int][]*executor.Run),
 		speculatable: make(map[int]*task.Task),
+		lastHB:       make(map[string]float64),
+		lostExecs:    make(map[string]bool),
+		lastInc:      make(map[string]int),
+		failCount:    make(map[int]int),
+	}
+	if cfg.Blacklist.Enabled {
+		rt.bl = newBlacklist(eng, cfg.Blacklist)
 	}
 	sched.Bind(rt)
 	return rt
@@ -187,6 +226,10 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 
 // Scheduler returns the bound scheduler.
 func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
+
+// Injector returns the fault injector, or nil when no faults were
+// configured. Experiments read its counters for reporting.
+func (rt *Runtime) Injector() *faults.Injector { return rt.inj }
 
 // Result summarizes one application run.
 type Result struct {
@@ -202,6 +245,17 @@ type Result struct {
 	Launches   int
 	Heartbeats int
 	Trace      *metrics.Trace
+
+	// Fault-tolerance outcomes (all zero on fault-free runs).
+	ExecutorsLost     int
+	ExecutorsRejoined int
+	FetchFailures     int
+	Resubmissions     int
+	NodesBlacklisted  int
+	FailStops         int
+	// Aborted is non-nil when the run ended in a job abort instead of
+	// completing; Duration then measures time to the abort.
+	Aborted *AbortError
 }
 
 // Run executes the application to completion and returns its Result. It
@@ -232,10 +286,24 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 		rt.Mon.RegisterProbe(name, ex)
 	}
 	rt.Mon.OnHeartbeat = func(node string, nm *monitor.NodeMetrics) {
+		rt.noteHeartbeat(node)
 		rt.sched.Heartbeat(node, nm)
 		rt.sched.Schedule()
 	}
 	rt.Mon.Start()
+
+	// Fault injection (opt-in) and executor-loss detection. The watchdog
+	// is always armed: with every node heartbeating on time it observes
+	// nothing, so fault-free runs are unchanged.
+	for _, n := range rt.Clu.Nodes {
+		rt.lastHB[n.Name()] = rt.Eng.Now()
+	}
+	if !rt.Cfg.Faults.Empty() {
+		rt.inj = faults.NewInjector(rt.Eng, rt.Clu, rt.Execs)
+		rt.Mon.Drop = rt.inj.Suppressed
+		rt.inj.Install(rt.Cfg.Faults)
+	}
+	rt.armWatchdog()
 
 	// Utilization tracing.
 	if rt.Cfg.SampleInterval > 0 {
@@ -274,10 +342,20 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 		MemKills:   rt.MemKills,
 		Launches:   rt.LaunchCount,
 		Heartbeats: rt.Mon.Heartbeats,
+
+		ExecutorsLost:     rt.ExecutorsLost,
+		ExecutorsRejoined: rt.ExecutorsRejoined,
+		FetchFailures:     rt.FetchFailures,
+		Resubmissions:     rt.Resubmissions,
+		Aborted:           rt.aborted,
+	}
+	if rt.bl != nil {
+		res.NodesBlacklisted = rt.bl.NodesBlacklisted
 	}
 	for _, ex := range rt.Execs {
 		res.OOMs += ex.OOMs
 		res.Crashes += ex.Crashes
+		res.FailStops += ex.FailStops
 	}
 	if rt.Rec != nil {
 		res.Trace = rt.Rec.Trace()

@@ -8,6 +8,7 @@ package task
 
 import (
 	"fmt"
+	"sort"
 
 	"rupam/internal/hdfs"
 )
@@ -94,10 +95,11 @@ type Metrics struct {
 
 	BytesReadRemote int64 // portion of input/shuffle bytes that crossed the network
 
-	PeakMemory int64
-	UsedGPU    bool
-	OOM        bool // attempt died with an out-of-memory error
-	Killed     bool // attempt was terminated (straggler copy lost the race, or memory reclaim)
+	PeakMemory  int64
+	UsedGPU     bool
+	OOM         bool // attempt died with an out-of-memory error
+	Killed      bool // attempt was terminated (straggler copy lost the race, or memory reclaim)
+	FetchFailed bool // attempt died fetching shuffle data from a lost node
 }
 
 // Duration returns wall time from launch to end.
@@ -157,7 +159,7 @@ func (t *Task) LocalityOn(node string) hdfs.Locality {
 // SuccessMetrics returns the metrics of the successful attempt, or nil.
 func (t *Task) SuccessMetrics() *Metrics {
 	for _, a := range t.Attempts {
-		if !a.OOM && !a.Killed && a.End > 0 {
+		if !a.OOM && !a.Killed && !a.FetchFailed && a.End > 0 {
 			return a
 		}
 	}
@@ -196,7 +198,18 @@ type Stage struct {
 	// shuffle reads across these locations proportionally.
 	ShuffleOutputByNode map[string]int64
 
+	// outputLoc remembers, per task index, where (and how large) the
+	// task's map output was materialized, so that losing a node can be
+	// translated back into the set of map tasks that must rerun.
+	outputLoc map[int]shuffleLoc
+
 	completed int
+}
+
+// shuffleLoc is one map task's materialized output location.
+type shuffleLoc struct {
+	node  string
+	bytes int64
 }
 
 // NumTasks returns the stage's task count.
@@ -221,6 +234,62 @@ func (s *Stage) AddShuffleOutput(node string, bytes int64) {
 		s.ShuffleOutputByNode = make(map[string]int64)
 	}
 	s.ShuffleOutputByNode[node] += bytes
+}
+
+// RecordShuffleOutput records a specific map task's output on node. A
+// rerun (or a winning speculative copy on another node) overwrites the
+// task's previous location — the freshest copy is the one child stages
+// are told about.
+func (s *Stage) RecordShuffleOutput(taskIndex int, node string, bytes int64) {
+	s.AddShuffleOutput(node, bytes)
+	if s.outputLoc == nil {
+		s.outputLoc = make(map[int]shuffleLoc)
+	}
+	s.outputLoc[taskIndex] = shuffleLoc{node: node, bytes: bytes}
+}
+
+// OutputNodeOf returns the node holding taskIndex's map output, or "".
+func (s *Stage) OutputNodeOf(taskIndex int) string { return s.outputLoc[taskIndex].node }
+
+// LoseNodeOutputs removes every map output the stage had materialized on
+// node (a fail-stop loss of the node's shuffle files) and returns the
+// indices of the tasks whose output is gone, in ascending order. The
+// stage's completion counter is rolled back by the same amount, so the
+// stage is no longer complete until the lost tasks rerun.
+func (s *Stage) LoseNodeOutputs(node string) []int {
+	var lost []int
+	for idx, loc := range s.outputLoc {
+		if loc.node == node {
+			lost = append(lost, idx)
+		}
+	}
+	if len(lost) == 0 {
+		return nil
+	}
+	sort.Ints(lost)
+	for _, idx := range lost {
+		delete(s.outputLoc, idx)
+	}
+	delete(s.ShuffleOutputByNode, node)
+	s.completed -= len(lost)
+	if s.completed < 0 {
+		s.completed = 0
+	}
+	return lost
+}
+
+// TaskByIndex returns the stage's task with the given partition index, or
+// nil.
+func (s *Stage) TaskByIndex(idx int) *Task {
+	if idx >= 0 && idx < len(s.Tasks) && s.Tasks[idx].Index == idx {
+		return s.Tasks[idx]
+	}
+	for _, t := range s.Tasks {
+		if t.Index == idx {
+			return t
+		}
+	}
+	return nil
 }
 
 // TotalShuffleOutput returns the stage's total materialized shuffle bytes.

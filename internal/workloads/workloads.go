@@ -107,6 +107,13 @@ func containsStr(xs []string, x string) bool {
 	return false
 }
 
+// Known reports whether name is a registered workload — the CLI's
+// validation hook, so flag typos become usage errors instead of panics.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // Defaults returns a workload's Table III parameters. It panics on an
 // unknown name.
 func Defaults(name string) Params {
