@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults]
-//	            [-runs N] [-seed N] [-csv DIR]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos]
+//	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
 // the raw series behind Figures 2, 3 and 9 are also written as CSV files
 // into DIR for replotting. The faults experiment (PageRank under a seeded
-// fault plan, both schedulers) must be requested explicitly — it is not
-// part of "all", which stays fault-free and byte-reproducible.
+// fault plan, both schedulers) and the chaos experiment (a -chaos-seeds
+// wide soak sweep with invariant checking; -json writes the full report)
+// must be requested explicitly — neither is part of "all", which stays
+// fault-free and byte-reproducible.
 package main
 
 import (
@@ -23,16 +25,17 @@ import (
 	"strings"
 	"time"
 
+	"rupam/internal/chaos"
 	"rupam/internal/experiments"
 	"rupam/internal/metrics"
 )
 
-// experimentNames is every value -experiment accepts. "faults" is the only
-// one outside "all": it injects failures, so the default artifact sweep
-// stays byte-identical run to run.
+// experimentNames is every value -experiment accepts. "faults" and
+// "chaos" are the only ones outside "all": they inject failures, so the
+// default artifact sweep stays byte-identical run to run.
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
-	"fig7", "fig8", "fig9", "ablations", "faults",
+	"fig7", "fig8", "fig9", "ablations", "faults", "chaos",
 }
 
 func main() {
@@ -40,6 +43,8 @@ func main() {
 	runs := flag.Int("runs", 5, "repetitions for fig5")
 	seed := flag.Uint64("seed", 1, "base PRNG seed")
 	csvDir := flag.String("csv", "", "directory for raw CSV series (fig2, fig3, fig9)")
+	chaosSeeds := flag.Int("chaos-seeds", 20, "fault-plan seeds in the chaos sweep")
+	jsonPath := flag.String("json", "", "file for the chaos sweep's JSON report")
 	flag.Parse()
 
 	known := false
@@ -161,6 +166,37 @@ func main() {
 	if *exp == "faults" {
 		matched = true
 		run("Fault recovery", func() { experiments.FaultRecovery(*seed).Print(w) })
+	}
+	if *exp == "chaos" {
+		matched = true
+		run("Chaos soak", func() {
+			if *chaosSeeds < 1 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -chaos-seeds must be at least 1, got %d\n", *chaosSeeds)
+				os.Exit(2)
+			}
+			seeds := make([]uint64, *chaosSeeds)
+			for i := range seeds {
+				seeds[i] = *seed + uint64(i)
+			}
+			rep := chaos.Soak(chaos.Config{Seeds: seeds})
+			rep.Print(w)
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			if rep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: chaos sweep found %d invariant violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
 	}
 	_ = matched
 }

@@ -6,12 +6,17 @@
 //
 //	rupam-sim -workload PR [-scheduler rupam|spark] [-cluster hydra|motivation]
 //	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
-//	          [-chardb FILE]
+//	          [-chardb FILE] [-chaos-seed N]
 //
 // With -chardb, RUPAM's task-characteristics database (DB_taskchar) is
 // loaded from FILE before the run (if it exists) and saved back after —
 // the paper's observation that data centers re-run the same applications
 // periodically, letting characterization carry across job runs.
+//
+// With -chaos-seed, a random gray-failure fault plan (crashes, NIC/disk/
+// CPU degradation, memory pressure, task flakes, heartbeat loss) drawn
+// with that seed is injected into the run, under the same hardened
+// framework configuration the chaos soak harness uses.
 package main
 
 import (
@@ -20,8 +25,11 @@ import (
 	"os"
 	"strings"
 
+	"rupam/internal/chaos"
 	"rupam/internal/experiments"
+	"rupam/internal/faults"
 	"rupam/internal/metrics"
+	"rupam/internal/simx"
 	"rupam/internal/spark"
 	"rupam/internal/workloads"
 )
@@ -44,6 +52,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	compare := flag.Bool("compare", false, "run under both schedulers and compare")
 	charDB := flag.String("chardb", "", "persist RUPAM's DB_taskchar across invocations")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "inject a random gray-failure fault plan drawn with this seed (0 = none)")
 	flag.Parse()
 
 	if !workloads.Known(*workload) {
@@ -71,6 +80,11 @@ func main() {
 		Params:    params,
 		Seed:      *seed,
 	}
+	if *chaosSeed > 0 {
+		names := experiments.BuildCluster(simx.NewEngine(), *clusterName).NodeNames()
+		spec.Spark = chaos.HardenedConfig(*seed)
+		spec.Spark.Faults = faults.RandomSchedule(*chaosSeed, names, chaos.DefaultGen())
+	}
 
 	if *compare {
 		spec.Scheduler = experiments.SchedSpark
@@ -95,8 +109,8 @@ func report(r *spark.Result) {
 	fmt.Printf("== %s under %s ==\n", r.App.Name, r.Scheduler)
 	fmt.Printf("execution time: %.1fs   tasks: %d   launches: %d\n",
 		r.Duration, r.App.NumTasks(), r.Launches)
-	fmt.Printf("failures: %d OOMs, %d worker crashes, %d cache evictions, %d memory-straggler kills\n",
-		r.OOMs, r.Crashes, r.Evictions, r.MemKills)
+	fmt.Printf("failures: %d OOMs, %d worker crashes, %d task flakes, %d cache evictions, %d memory-straggler kills\n",
+		r.OOMs, r.Crashes, r.TaskFlakes, r.Evictions, r.MemKills)
 	fmt.Printf("speculative copies: %d   heartbeats: %d\n", r.SpecCopies, r.Heartbeats)
 	if r.ExecutorsLost+r.FetchFailures+r.Resubmissions+r.NodesBlacklisted+r.FailStops > 0 || r.Aborted != nil {
 		fmt.Printf("fault tolerance: %d fail-stops, %d executors lost (%d rejoined), %d fetch failures, %d resubmissions, %d blacklistings\n",

@@ -210,3 +210,22 @@ func (db *CharDB) ForgetNode(node string) {
 		delete(rec.OOMNodes, node)
 	}
 }
+
+// ReleaseNodeLocks releases every best-node lock naming node without
+// touching the rest of the record, and returns how many were released.
+// The straggler detector calls it when a node turns fail-slow: the lock
+// was learned on healthy hardware and would otherwise keep steering (and
+// pinning) tasks onto a degraded machine until its gray failure cleared.
+// Best times are relearned from the next completions.
+func (db *CharDB) ReleaseNodeLocks(node string) int {
+	db.Flush()
+	released := 0
+	for _, rec := range db.store {
+		if rec.OptExecutor == node {
+			rec.OptExecutor = ""
+			rec.BestTime = 0
+			released++
+		}
+	}
+	return released
+}

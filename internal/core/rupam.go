@@ -133,6 +133,16 @@ type RUPAM struct {
 
 	pendingSince map[int]float64 // taskID → enqueue time, for lock timeout
 
+	// degraded marks nodes whose latest heartbeat reported a below-spec
+	// CPU frequency (a gray-failed, fail-slow machine). Their CharDB
+	// locks are released on entry and their running tasks bypass the
+	// lock-compatibility exemption in the straggler detector.
+	degraded map[string]bool
+
+	// LocksReleased counts best-node locks dropped because their node
+	// turned fail-slow (report hook).
+	LocksReleased int
+
 	// inFlight counts launched-but-unfinished attempts per node per
 	// dimension (the queue that placed them), implementing the
 	// Dispatcher's "number of tasks to launch on a specific node".
@@ -150,6 +160,7 @@ func New(cfg Config) *RUPAM {
 		db:           NewCharDB(),
 		gpuStage:     make(map[string]bool),
 		pendingSince: make(map[int]float64),
+		degraded:     make(map[string]bool),
 		inFlight:     make(map[string]*[NumResources]int),
 		dimOf:        make(map[*executor.Run]Resource),
 	}
@@ -287,6 +298,22 @@ func (s *RUPAM) Resubmit(t *task.Task, st *task.Stage) {
 	s.enqueue(st, t)
 }
 
+// PendingTasks counts distinct queued tasks still genuinely pending (a
+// task may sit in several resource queues; stale entries for launched or
+// finished tasks are skipped, as the dispatcher itself does). The chaos
+// harness's queue-drain invariant expects zero after a completed run.
+func (s *RUPAM) PendingTasks() int {
+	seen := make(map[int]bool)
+	for r := range s.taskQ {
+		for _, t := range s.taskQ[r] {
+			if t.State == task.Pending && !seen[t.ID] {
+				seen[t.ID] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
 // ExecutorLost implements spark.ExecutorLossAware: a dead node's offers
 // are purged from every resource queue, its in-flight accounting dropped,
 // and the characteristics database forgets it — best-node locks naming the
@@ -337,6 +364,7 @@ func (s *RUPAM) TaskEnded(t *task.Task, r *executor.Run, out executor.Outcome) {
 // the reporting node.
 func (s *RUPAM) Heartbeat(nodeName string, nm *monitor.NodeMetrics) {
 	s.db.Flush()
+	s.noteFreq(nodeName, nm)
 	if !s.cfg.DisableMemAware {
 		s.reclaimMemory(nodeName, nm)
 	}
@@ -346,6 +374,26 @@ func (s *RUPAM) Heartbeat(nodeName string, nm *monitor.NodeMetrics) {
 	s.detectResourceStragglers()
 	if node := s.rt.Clu.Node(nodeName); node != nil {
 		s.offerNode(node)
+	}
+}
+
+// noteFreq tracks each node's reported CPU frequency against its spec —
+// Table I's cpufreq as a *dynamic* metric. A node entering a degraded
+// (fail-slow) window has its best-node locks released so the CharDB
+// stops steering tasks onto throttled hardware; when the heartbeat shows
+// spec frequency again the node leaves the degraded set and locks are
+// relearned from fresh completions.
+func (s *RUPAM) noteFreq(nodeName string, nm *monitor.NodeMetrics) {
+	node := s.rt.Clu.Node(nodeName)
+	if node == nil || nm == nil || nm.CPUFreq <= 0 {
+		return
+	}
+	slow := nm.CPUFreq < node.Spec.FreqGHz*0.999
+	if slow && !s.degraded[nodeName] {
+		s.degraded[nodeName] = true
+		s.LocksReleased += s.db.ReleaseNodeLocks(nodeName)
+	} else if !slow && s.degraded[nodeName] {
+		delete(s.degraded, nodeName)
 	}
 }
 
@@ -394,7 +442,14 @@ func (s *RUPAM) detectResourceStragglers() {
 		for _, r := range ex.Running() {
 			t := r.Task()
 			rec := s.db.Lookup(keyByRuntime(s.rt, t))
-			if rec == nil || rec.BestTime == 0 || s.lockCompatible(rec, n.Name()) {
+			if rec == nil || rec.BestTime == 0 {
+				continue
+			}
+			// A lock-compatible node is normally exempt (the task is
+			// already on hardware as good as its best), but not when the
+			// node's heartbeats show it running below spec: the spec
+			// comparison no longer describes reality there.
+			if s.lockCompatible(rec, n.Name()) && !s.degraded[n.Name()] {
 				continue
 			}
 			if now-r.Metrics().Launch > 1.5*rec.BestTime+1 {
@@ -822,13 +877,15 @@ func (s *RUPAM) pickSpeculative(res Resource, node string) (*task.Task, hdfs.Loc
 	ex := s.rt.Execs[node]
 	for _, t := range s.rt.SpeculativeTasks() {
 		runs := s.rt.RunningAttempts(t)
-		if len(runs) != 1 || runs[0].Metrics().Executor == node {
+		if len(runs) != 1 {
+			continue
+		}
+		// SpecCopyAllowed folds in the same-node, blacklist, degraded-node
+		// and per-stage copy-cap gates shared with the stock scheduler.
+		if !s.rt.SpecCopyAllowed(t, node) {
 			continue
 		}
 		if res == GPU && !t.Demand.GPUCapable() {
-			continue
-		}
-		if s.rt.TaskBlockedOn(t.ID, node) {
 			continue
 		}
 		if !s.cfg.DisableMemAware && ex != nil && t.Demand.PeakMemory > ex.ProjectedFree() {
@@ -873,7 +930,15 @@ func (s *RUPAM) copyWorthwhile(t *task.Task, cur *executor.Run, nodeName string)
 	if curNode == nil {
 		return true
 	}
-	return node.Spec.FreqGHz > 1.3*curNode.Spec.FreqGHz
+	// Judge the running attempt's node by its *reported* frequency, not
+	// its spec: inside a CPUDegrade window a nominally fast node is the
+	// straggler's whole problem, and a healthy-but-slower-on-paper node
+	// can genuinely beat it.
+	curFreq := curNode.Spec.FreqGHz
+	if nm := s.rt.Mon.Latest(curNode.Name()); nm != nil && nm.CPUFreq > 0 && nm.CPUFreq < curFreq {
+		curFreq = nm.CPUFreq
+	}
+	return node.Spec.FreqGHz > 1.3*curFreq
 }
 
 // rescueStarvation is a liveness net: if nothing is running anywhere and

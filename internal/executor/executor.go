@@ -32,6 +32,7 @@ const (
 	Killed              // attempt was terminated by the scheduler or a worker crash
 	Lost                // attempt vanished with its executor (fail-stop node loss)
 	FetchFailed         // attempt could not fetch shuffle data from a lost node
+	Flaked              // attempt hit a transient node-local fault (gray failure)
 )
 
 // String names the outcome.
@@ -45,6 +46,8 @@ func (o Outcome) String() string {
 		return "lost"
 	case FetchFailed:
 		return "fetch-failed"
+	case Flaked:
+		return "flaked"
 	default:
 		return "killed"
 	}
@@ -132,6 +135,15 @@ type Executor struct {
 	down        bool
 	failStopped bool
 
+	// memPressure is the gray-failure heap squeeze: the effective heap is
+	// memPressure × nominal for GC-cost purposes (1 = no squeeze). No
+	// allocation fails — the executor just collects garbage harder.
+	memPressure float64
+	// flakeProb is the probability an attempt started now dies with a
+	// transient Flaked failure (0 = healthy). The failure RNG is consulted
+	// only while non-zero, so fault-free runs stay byte-identical.
+	flakeProb float64
+
 	// reserved is memory promised to launched-but-not-yet-started
 	// attempts; schedulers that admit by memory fit consult
 	// ProjectedFree so a burst of simultaneous launches cannot
@@ -148,6 +160,7 @@ type Executor struct {
 	Crashes   int
 	KilledCnt int
 	FailStops int
+	Flakes    int
 
 	// Incarnation counts fail-stop recoveries. Real Spark sees a restarted
 	// worker as a brand-new executor ID registering; the driver compares
@@ -170,15 +183,16 @@ func New(eng *simx.Engine, clu *cluster.Cluster, node *cluster.Node, cache *Cach
 	}
 	node.Mem.ForceAlloc(cfg.HeapBytes)
 	ex := &Executor{
-		eng:     eng,
-		clu:     clu,
-		node:    node,
-		cfg:     cfg,
-		heap:    simx.NewSpace(eng, node.Name()+"/heap", cfg.HeapBytes),
-		cache:   cache,
-		rng:     stats.NewRand(cfg.Seed ^ hashName(node.Name())),
-		peers:   peers,
-		running: make(map[*Run]struct{}),
+		eng:         eng,
+		clu:         clu,
+		node:        node,
+		cfg:         cfg,
+		heap:        simx.NewSpace(eng, node.Name()+"/heap", cfg.HeapBytes),
+		cache:       cache,
+		rng:         stats.NewRand(cfg.Seed ^ hashName(node.Name())),
+		peers:       peers,
+		running:     make(map[*Run]struct{}),
+		memPressure: 1,
 	}
 	peers[node.Name()] = ex
 	return ex
@@ -205,6 +219,35 @@ func (ex *Executor) HeapFree() int64 { return ex.heap.Free() }
 // ProjectedFree returns free heap bytes minus reservations of launched
 // attempts that have not yet allocated.
 func (ex *Executor) ProjectedFree() int64 { return ex.heap.Free() - ex.reserved }
+
+// SetMemPressure sets the gray-failure heap squeeze: GC cost is charged
+// as if the heap were f × nominal. f = 1 (or anything non-positive)
+// restores the healthy state. Fault injection drives this; nothing else
+// should.
+func (ex *Executor) SetMemPressure(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	ex.memPressure = f
+}
+
+// MemPressure returns the current effective-heap multiplier (1 = healthy).
+func (ex *Executor) MemPressure() float64 { return ex.memPressure }
+
+// SetFlakeProb sets the probability that an attempt started on this node
+// dies with a transient Flaked failure. 0 restores the healthy state.
+func (ex *Executor) SetFlakeProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	ex.flakeProb = p
+}
+
+// FlakeProb returns the current transient-failure probability.
+func (ex *Executor) FlakeProb() float64 { return ex.flakeProb }
 
 // Down reports whether the executor is offline after a crash.
 func (ex *Executor) Down() bool { return ex.down }

@@ -131,6 +131,14 @@ func (r *Run) start() {
 	r.m.SchedulerDelay = now - r.m.Launch
 	r.m.PeakMemory = r.t.Demand.PeakMemory
 
+	// Gray failure: inside a TaskFlake window each attempt may be doomed
+	// to a transient failure. The RNG is consulted only while a window is
+	// open, so fault-free runs never touch it.
+	if r.ex.flakeProb > 0 && r.ex.rng.Float64() < r.ex.flakeProb {
+		r.flakeLater()
+		return
+	}
+
 	need := r.t.Demand.PeakMemory
 	heap := r.ex.heap
 	if heap.Free() < need {
@@ -164,6 +172,20 @@ func (r *Run) oomLater() {
 		if crash {
 			r.ex.crash()
 		}
+	})
+}
+
+// flakeLater lets the doomed attempt burn CPU for a while, then fails it
+// with a transient Flaked error — no memory was admitted, no worker
+// crashes; the driver just sees a failed attempt to retry elsewhere.
+func (r *Run) flakeLater() {
+	d := r.t.Demand
+	est := d.TotalComputeWork() / r.ex.node.Spec.FreqGHz
+	delay := 0.25*est + 0.2
+	r.claimCPU(delay*r.ex.node.Spec.FreqGHz, func() {
+		r.m.Flaked = true
+		r.ex.Flakes++
+		r.finish(Flaked)
 	})
 }
 
@@ -445,7 +467,11 @@ func (r *Run) garbageCollect() {
 	r.phaseStart = r.ex.eng.Now()
 	d := r.t.Demand
 	heap := r.ex.heap
-	pressure := heap.Utilization()
+	// A MemPressure window shrinks the effective heap to memPressure ×
+	// nominal: the same live bytes read as proportionally higher pressure
+	// (division by the healthy value 1 is exact, preserving byte-identity
+	// of unfaulted runs).
+	pressure := heap.Utilization() / r.ex.memPressure
 	if pressure > 0.95 {
 		pressure = 0.95
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"rupam/internal/chaos"
 	"rupam/internal/task"
 )
 
@@ -79,28 +80,14 @@ func TestRunInvariants(t *testing.T) {
 
 // TestResourceConservation verifies that after a run, no simulated
 // resource is still held: heaps contain only cached bytes, GPUs are idle,
-// and nothing is running.
+// and nothing is running. The checks themselves live in package chaos so
+// the soak harness and this test can't drift apart.
 func TestResourceConservation(t *testing.T) {
 	// Use the harness pieces directly so the runtime's internals are
 	// inspectable after completion.
 	spec := RunSpec{Workload: "KMeans", Scheduler: SchedRUPAM, Seed: 6}
 	res, rt := runWithRuntime(t, spec)
-	_ = res
-	for name, ex := range rt.Execs {
-		if ex.RunningTasks() != 0 {
-			t.Errorf("%s: %d tasks still running", name, ex.RunningTasks())
-		}
-		node := rt.Clu.Node(name)
-		if node.GPU.InUse() != 0 {
-			t.Errorf("%s: GPU tokens leaked", name)
-		}
-		cached := rt.Cache.NodeBytes(name)
-		if ex.Heap().Used() != cached {
-			t.Errorf("%s: heap holds %d bytes but cache accounts for %d",
-				name, ex.Heap().Used(), cached)
-		}
-		if ex.ProjectedFree() != ex.HeapFree() {
-			t.Errorf("%s: dangling memory reservation", name)
-		}
+	for _, v := range chaos.CheckInvariants(res, rt) {
+		t.Error(v)
 	}
 }

@@ -36,6 +36,20 @@ const (
 	// driver will declare the executor lost even though its tasks are
 	// still running; the simulation must survive the rejoin.
 	HeartbeatLoss
+	// CPUDegrade rescales a node's compute rate (aggregate and per-core)
+	// to Factor × nominal for Duration seconds — a thermal-throttle/DVFS
+	// gray failure: the node is alive and heartbeating, just slow.
+	CPUDegrade
+	// MemPressure squeezes a node's effective heap to Factor × nominal for
+	// Duration seconds, amplifying the GC cost of everything running there
+	// (a co-tenant ballooning, or the OS stealing page cache). No
+	// allocation fails; the node just collects garbage much harder.
+	MemPressure
+	// TaskFlake makes each task attempt started on the node fail with
+	// probability Factor for Duration seconds — transient task-level
+	// failures (a flaky local disk, a corrupted spill file, a JNI bug)
+	// that exercise retry accounting without taking the node down.
+	TaskFlake
 )
 
 // String names the kind.
@@ -49,6 +63,12 @@ func (k Kind) String() string {
 		return "disk-degrade"
 	case HeartbeatLoss:
 		return "heartbeat-loss"
+	case CPUDegrade:
+		return "cpu-degrade"
+	case MemPressure:
+		return "mem-pressure"
+	case TaskFlake:
+		return "task-flake"
 	default:
 		return fmt.Sprintf("faults.Kind(%d)", int(k))
 	}
@@ -63,8 +83,10 @@ type Event struct {
 	// Duration is how long the fault lasts; 0 means permanent for
 	// NodeCrash and is invalid for the windowed kinds.
 	Duration float64
-	// Factor is the capacity multiplier for NICDegrade/DiskDegrade,
-	// in (0, 1].
+	// Factor is the fault's severity knob, in (0, 1]: the capacity
+	// multiplier for NICDegrade/DiskDegrade/CPUDegrade, the effective-heap
+	// multiplier for MemPressure, and the per-attempt failure probability
+	// for TaskFlake.
 	Factor float64
 }
 
@@ -84,7 +106,7 @@ func (e Event) Validate() error {
 		return fmt.Errorf("faults: %s %s: negative duration %g", e.Kind, e.Node, e.Duration)
 	}
 	switch e.Kind {
-	case NICDegrade, DiskDegrade:
+	case NICDegrade, DiskDegrade, CPUDegrade, MemPressure, TaskFlake:
 		if e.Factor <= 0 || e.Factor > 1 {
 			return fmt.Errorf("faults: %s %s: factor %g outside (0,1]", e.Kind, e.Node, e.Factor)
 		}
@@ -110,7 +132,11 @@ type Schedule struct {
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
 
-// Validate checks every event, returning the first error.
+// Validate checks every event and the schedule's cross-event consistency,
+// returning the first error. Two crash windows of the same node may not
+// overlap: a node cannot crash while it is already down, so such a plan
+// encodes an impossible state (a permanent crash — Duration 0 — occupies
+// the rest of the run).
 func (s *Schedule) Validate() error {
 	if s == nil {
 		return nil
@@ -120,7 +146,33 @@ func (s *Schedule) Validate() error {
 			return err
 		}
 	}
+	crashes := make(map[string][]Event)
+	for _, e := range s.Events {
+		if e.Kind == NodeCrash {
+			crashes[e.Node] = append(crashes[e.Node], e)
+		}
+	}
+	for node, evs := range crashes {
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				if crashWindowsOverlap(evs[i], evs[j]) {
+					return fmt.Errorf("faults: overlapping crash windows on %s (%s / %s)",
+						node, evs[i], evs[j])
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// crashWindowsOverlap reports whether two NodeCrash events of one node
+// describe overlapping down-windows. Duration 0 is permanent, i.e. an
+// unbounded window.
+func crashWindowsOverlap(a, b Event) bool {
+	if b.At < a.At {
+		a, b = b, a
+	}
+	return a.Duration == 0 || b.At < a.At+a.Duration
 }
 
 // sorted returns the events ordered by (At, Node, Kind) so installation
@@ -161,6 +213,18 @@ type GenConfig struct {
 	MaxDuration float64
 	// HeartbeatLosses is the number of heartbeat-suppression windows.
 	HeartbeatLosses int
+	// CPUDegrades is the number of compute-throttle windows (gray
+	// failure: the node stays up but runs at Factor × nominal speed).
+	CPUDegrades int
+	// MemPressures is the number of heap-squeeze windows (gray failure:
+	// GC cost is amplified as if the heap were Factor × nominal).
+	MemPressures int
+	// TaskFlakes is the number of transient task-failure windows; each
+	// attempt started on the node during the window fails with a
+	// probability drawn between MinFlakeProb and MaxFlakeProb.
+	TaskFlakes   int
+	MinFlakeProb float64
+	MaxFlakeProb float64
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -185,12 +249,21 @@ func (g GenConfig) withDefaults() GenConfig {
 	if g.MaxDuration < g.MinDuration {
 		g.MaxDuration = 60
 	}
+	if g.MinFlakeProb <= 0 {
+		g.MinFlakeProb = 0.1
+	}
+	if g.MaxFlakeProb < g.MinFlakeProb {
+		g.MaxFlakeProb = 0.5
+	}
 	return g
 }
 
 // RandomSchedule draws a reproducible schedule over the named nodes from
 // the seed. The same (seed, nodes, cfg) triple always yields the same
-// schedule, independent of call site.
+// schedule, independent of call site. Crash draws that would overlap an
+// already-drawn crash window on the same node are deterministically
+// redrawn (and dropped after a bounded number of tries), so the result
+// always passes Validate — which it asserts before returning.
 func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 	cfg = cfg.withDefaults()
 	if len(nodes) == 0 {
@@ -198,17 +271,32 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 	}
 	rng := stats.NewRand(seed ^ 0xfa17f5eed)
 	var evs []Event
+	crashes := make(map[string][]Event)
 	for i := 0; i < cfg.Crashes; i++ {
-		dur := rng.Range(cfg.MinRecovery, cfg.MaxRecovery)
-		if rng.Float64() < cfg.PermanentProb {
-			dur = 0
+		for try := 0; try < 16; try++ {
+			dur := rng.Range(cfg.MinRecovery, cfg.MaxRecovery)
+			if rng.Float64() < cfg.PermanentProb {
+				dur = 0
+			}
+			ev := Event{
+				Kind:     NodeCrash,
+				Node:     nodes[rng.Intn(len(nodes))],
+				At:       rng.Range(0, cfg.Horizon),
+				Duration: dur,
+			}
+			overlaps := false
+			for _, prev := range crashes[ev.Node] {
+				if crashWindowsOverlap(prev, ev) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				crashes[ev.Node] = append(crashes[ev.Node], ev)
+				evs = append(evs, ev)
+				break
+			}
 		}
-		evs = append(evs, Event{
-			Kind:     NodeCrash,
-			Node:     nodes[rng.Intn(len(nodes))],
-			At:       rng.Range(0, cfg.Horizon),
-			Duration: dur,
-		})
 	}
 	for i := 0; i < cfg.Degrades; i++ {
 		kind := NICDegrade
@@ -231,5 +319,38 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
 		})
 	}
-	return &Schedule{Events: evs}
+	for i := 0; i < cfg.CPUDegrades; i++ {
+		evs = append(evs, Event{
+			Kind:     CPUDegrade,
+			Node:     nodes[rng.Intn(len(nodes))],
+			At:       rng.Range(0, cfg.Horizon),
+			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+			Factor:   rng.Range(cfg.MinFactor, cfg.MaxFactor),
+		})
+	}
+	for i := 0; i < cfg.MemPressures; i++ {
+		evs = append(evs, Event{
+			Kind:     MemPressure,
+			Node:     nodes[rng.Intn(len(nodes))],
+			At:       rng.Range(0, cfg.Horizon),
+			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+			Factor:   rng.Range(cfg.MinFactor, cfg.MaxFactor),
+		})
+	}
+	for i := 0; i < cfg.TaskFlakes; i++ {
+		evs = append(evs, Event{
+			Kind:     TaskFlake,
+			Node:     nodes[rng.Intn(len(nodes))],
+			At:       rng.Range(0, cfg.Horizon),
+			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+			Factor:   rng.Range(cfg.MinFlakeProb, cfg.MaxFlakeProb),
+		})
+	}
+	s := &Schedule{Events: evs}
+	if err := s.Validate(); err != nil {
+		// Construction guarantees validity; a failure here is a bug in
+		// the generator, not in the caller's inputs.
+		panic(fmt.Sprintf("faults: RandomSchedule produced an invalid plan: %v", err))
+	}
+	return s
 }

@@ -9,12 +9,21 @@ import (
 )
 
 // Injector applies a Schedule to a live cluster. It owns the mechanics of
-// each fault — fail-stopping executors, rescaling NIC and disk capacities,
-// opening heartbeat-suppression windows — and exposes Suppressed for the
-// monitor's Drop hook; the driver-side consequences (executor-lost
-// detection, fetch-failure resubmission, blacklisting) live in the
+// each fault — fail-stopping executors, rescaling NIC/disk/CPU capacities,
+// squeezing effective heaps, flipping task-flake probabilities, opening
+// heartbeat-suppression windows — and exposes Suppressed for the monitor's
+// Drop hook; the driver-side consequences (executor-lost detection,
+// fetch-failure resubmission, blacklisting, speculation) live in the
 // scheduler runtime, which only observes the fault through missing
-// heartbeats and dead attempts, exactly like a real driver.
+// heartbeats, slow monitor readings, and dead attempts, exactly like a
+// real driver.
+//
+// Degradation windows of the same kind may overlap on one node: each
+// (node, kind) pair tracks the multiset of active factors and applies the
+// harshest (minimum) one, restoring the nominal value only when the last
+// window closes. TaskFlake is the exception — overlapping flake windows
+// apply the *maximum* probability, since independent failure sources make
+// an attempt more likely to die, not less.
 type Injector struct {
 	eng   *simx.Engine
 	clu   *cluster.Cluster
@@ -23,6 +32,11 @@ type Injector struct {
 	// hbLost counts open HeartbeatLoss windows per node (windows may
 	// overlap; the node reports again only when all have closed).
 	hbLost map[string]int
+
+	// windows tracks the active degradation factors per (node, kind) so
+	// overlapping windows compose instead of restoring nominal capacity
+	// too early.
+	windows map[windowKey][]float64
 
 	// Trace, if set, receives a line per applied fault.
 	Trace func(string)
@@ -33,16 +47,25 @@ type Injector struct {
 	NICDegrades     int
 	DiskDegrades    int
 	HeartbeatLosses int
+	CPUDegrades     int
+	MemPressures    int
+	TaskFlakes      int
+}
+
+type windowKey struct {
+	node string
+	kind Kind
 }
 
 // NewInjector creates an injector over the cluster's executors. The execs
 // map is the shared by-node registry the executor layer maintains.
 func NewInjector(eng *simx.Engine, clu *cluster.Cluster, execs map[string]*executor.Executor) *Injector {
 	return &Injector{
-		eng:    eng,
-		clu:    clu,
-		execs:  execs,
-		hbLost: make(map[string]int),
+		eng:     eng,
+		clu:     clu,
+		execs:   execs,
+		hbLost:  make(map[string]int),
+		windows: make(map[windowKey][]float64),
 	}
 }
 
@@ -94,6 +117,12 @@ func (inj *Injector) apply(ev Event) {
 		inj.degradeDisk(ev)
 	case HeartbeatLoss:
 		inj.loseHeartbeats(ev)
+	case CPUDegrade:
+		inj.degradeCPU(ev)
+	case MemPressure:
+		inj.pressureMem(ev)
+	case TaskFlake:
+		inj.flakeTasks(ev)
 	}
 }
 
@@ -113,14 +142,60 @@ func (inj *Injector) crash(ev Event) {
 	ex.FailStop(ev.Duration)
 }
 
+// openWindow registers a degradation factor for (node, kind) and runs
+// apply with the new effective (minimum) factor; when the window expires
+// it recomputes and re-applies, so overlapping windows restore nominal
+// capacity only after the last one closes.
+func (inj *Injector) openWindow(ev Event, apply func(effective float64)) {
+	key := windowKey{ev.Node, ev.Kind}
+	inj.windows[key] = append(inj.windows[key], ev.Factor)
+	apply(inj.effectiveFactor(key))
+	inj.eng.Schedule(ev.Duration, func() {
+		active := inj.windows[key]
+		for i, f := range active {
+			if f == ev.Factor {
+				inj.windows[key] = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+		if len(inj.windows[key]) == 0 {
+			delete(inj.windows, key)
+		}
+		apply(inj.effectiveFactor(key))
+	})
+}
+
+// effectiveFactor is the harshest active factor for (node, kind), or 1
+// (nominal) when no window is open. TaskFlake inverts the rule: more
+// concurrent failure sources mean a higher death probability, so there
+// the effective factor is the maximum (and 0 means no flaking).
+func (inj *Injector) effectiveFactor(key windowKey) float64 {
+	active := inj.windows[key]
+	if key.kind == TaskFlake {
+		max := 0.0
+		for _, f := range active {
+			if f > max {
+				max = f
+			}
+		}
+		return max
+	}
+	eff := 1.0
+	for _, f := range active {
+		if f < eff {
+			eff = f
+		}
+	}
+	return eff
+}
+
 func (inj *Injector) degradeNIC(ev Event) {
 	node := inj.clu.Node(ev.Node)
 	base := node.Spec.NetBandwidth
 	inj.NICDegrades++
 	inj.trace("nic %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
-	inj.clu.Net.SetCapacity(ev.Node, base*ev.Factor, base*ev.Factor)
-	inj.eng.Schedule(ev.Duration, func() {
-		inj.clu.Net.SetCapacity(ev.Node, base, base)
+	inj.openWindow(ev, func(f float64) {
+		inj.clu.Net.SetCapacity(ev.Node, base*f, base*f)
 	})
 }
 
@@ -129,11 +204,44 @@ func (inj *Injector) degradeDisk(ev Event) {
 	readBase, writeBase := node.Spec.DiskReadBW, node.Spec.DiskWriteBW
 	inj.DiskDegrades++
 	inj.trace("disk %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
-	node.DiskRead.SetCapacity(readBase * ev.Factor)
-	node.DiskWrite.SetCapacity(writeBase * ev.Factor)
-	inj.eng.Schedule(ev.Duration, func() {
-		node.DiskRead.SetCapacity(readBase)
-		node.DiskWrite.SetCapacity(writeBase)
+	inj.openWindow(ev, func(f float64) {
+		node.DiskRead.SetCapacity(readBase * f)
+		node.DiskWrite.SetCapacity(writeBase * f)
+	})
+}
+
+func (inj *Injector) degradeCPU(ev Event) {
+	node := inj.clu.Node(ev.Node)
+	spec := node.Spec
+	inj.CPUDegrades++
+	inj.trace("cpu %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.openWindow(ev, func(f float64) {
+		node.CPU.SetCapacity(spec.CPUCapacity() * f)
+		node.CPU.SetPerClaimCap(spec.FreqGHz * f)
+	})
+}
+
+func (inj *Injector) pressureMem(ev Event) {
+	ex, ok := inj.execs[ev.Node]
+	if !ok {
+		return
+	}
+	inj.MemPressures++
+	inj.trace("mem %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.openWindow(ev, func(f float64) {
+		ex.SetMemPressure(f)
+	})
+}
+
+func (inj *Injector) flakeTasks(ev Event) {
+	ex, ok := inj.execs[ev.Node]
+	if !ok {
+		return
+	}
+	inj.TaskFlakes++
+	inj.trace("flake %s p=%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.openWindow(ev, func(p float64) {
+		ex.SetFlakeProb(p)
 	})
 }
 

@@ -17,7 +17,12 @@ type NodeMetrics struct {
 	Node string
 	Time float64
 
-	// Static properties, sent once at registration.
+	// CPUFreq is the *effective* per-core speed in GHz — the spec
+	// frequency unless a DVFS governor or an injected CPUDegrade window
+	// has rescaled the node, in which case the heartbeat reports the
+	// throttled value (Table I treats cpufreq as dynamic for exactly this
+	// reason). Consumers compare it against the spec to spot fail-slow
+	// nodes.
 	CPUFreq      float64 // GHz
 	Cores        int
 	SSD          bool
@@ -127,7 +132,7 @@ func (m *Monitor) Collect(node *cluster.Node) *NodeMetrics {
 	nm := &NodeMetrics{
 		Node:         node.Name(),
 		Time:         m.eng.Now(),
-		CPUFreq:      node.Spec.FreqGHz,
+		CPUFreq:      effectiveFreq(node),
 		Cores:        node.Spec.Cores,
 		SSD:          node.Spec.SSD,
 		NetBandwidth: node.Spec.NetBandwidth,
@@ -143,6 +148,17 @@ func (m *Monitor) Collect(node *cluster.Node) *NodeMetrics {
 		nm.RunningTasks = p.RunningTasks()
 	}
 	return nm
+}
+
+// effectiveFreq reads the node's current per-core speed off its CPU
+// resource (the per-claim cap tracks the effective core frequency through
+// DVFS and fault-injected throttle windows), falling back to the spec
+// when the resource carries no cap.
+func effectiveFreq(node *cluster.Node) float64 {
+	if f := node.CPU.PerClaimCap(); f > 0 {
+		return f
+	}
+	return node.Spec.FreqGHz
 }
 
 // Latest returns the most recent report for a node (nil before the first

@@ -69,6 +69,11 @@ func (r *PSResource) Name() string { return r.name }
 // Capacity returns the total service rate.
 func (r *PSResource) Capacity() float64 { return r.capacity }
 
+// PerClaimCap returns the per-claim rate bound (0 = unlimited). For a CPU
+// this is the effective per-core speed, which fault injection may have
+// rescaled below the node's spec frequency.
+func (r *PSResource) PerClaimCap() float64 { return r.perClaimCap }
+
 // SetCapacity changes the total service rate (used to model DVFS-style
 // frequency changes). In-flight claims are advanced at the old rate first.
 func (r *PSResource) SetCapacity(c float64) {

@@ -146,6 +146,20 @@ func (s *DefaultScheduler) noteLaunch(node string, stageID int) {
 // reports; the heartbeat-triggered Schedule call is its offer).
 func (s *DefaultScheduler) Heartbeat(node string, nm *monitor.NodeMetrics) {}
 
+// PendingTasks counts queued tasks still genuinely pending — the chaos
+// harness's queue-drain invariant expects zero after a completed run.
+func (s *DefaultScheduler) PendingTasks() int {
+	n := 0
+	for _, q := range s.pending {
+		for _, t := range q {
+			if t.State == task.Pending {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // ExecutorLost implements ExecutorLossAware: forget the node's in-flight
 // accounting (the runtime already failed the attempts themselves).
 func (s *DefaultScheduler) ExecutorLost(node string) {
@@ -229,17 +243,21 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 		s.pending[id] = append(s.pending[id], t)
 		return false
 	}
-	// No pending work for this node: try a speculative copy.
+	// No pending work for this node: try a speculative copy. The copy
+	// must not land back on the straggler's own node, a degraded node, or
+	// a blacklisted pairing, and respects the per-stage copy cap —
+	// SpecCopyAllowed checks all four.
 	for _, t := range rt.SpeculativeTasks() {
-		runs := rt.RunningAttempts(t)
-		if len(runs) != 1 || runs[0].Metrics().Executor == node {
+		if len(rt.RunningAttempts(t)) != 1 || !rt.SpecCopyAllowed(t, node) {
 			continue
 		}
-		rt.ClearSpeculatable(t)
 		if rt.Launch(t, node, executor.Options{
 			Locality:    t.LocalityOn(node),
 			Speculative: true,
 		}) != nil {
+			// Cleared only after a successful launch: a refused launch must
+			// leave the straggler in the set for the next pass.
+			rt.ClearSpeculatable(t)
 			s.noteLaunch(node, t.StageID)
 			return true
 		}

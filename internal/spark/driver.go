@@ -90,6 +90,11 @@ func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *exe
 	if rt.TaskBlockedOn(t.ID, node) {
 		return nil
 	}
+	if opts.Speculative {
+		if max := rt.Cfg.SpeculationMaxPerStage; max > 0 && rt.SpecInFlight(st.ID) >= max {
+			return nil
+		}
+	}
 	t.State = task.Running
 	rt.LaunchCount++
 	if opts.Speculative {
@@ -138,7 +143,7 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 				rt.onStageComplete(st)
 			}
 		}
-	case executor.OOM, executor.Killed, executor.Lost, executor.FetchFailed:
+	case executor.OOM, executor.Killed, executor.Lost, executor.FetchFailed, executor.Flaked:
 		if t.State == task.Finished {
 			break // a lost speculative copy; nothing to do
 		}
@@ -217,8 +222,11 @@ func (rt *Runtime) scheduleSpeculationScan() {
 
 // scanForStragglers implements Spark's speculation rule: once a stage is
 // SpeculationQuantile complete, any running task older than
-// SpeculationMultiplier × the mean successful duration becomes
-// speculatable.
+// SpeculationMultiplier × the median successful duration becomes
+// speculatable. The median matches TaskSetManager.checkSpeculatableTasks:
+// a mean would let a single fast thor-class completion drag the threshold
+// down and trigger storms of false speculations on slower stack-class
+// nodes.
 func (rt *Runtime) scanForStragglers() {
 	now := rt.Eng.Now()
 	for _, st := range rt.sortedActiveStages() {
@@ -235,7 +243,7 @@ func (rt *Runtime) scanForStragglers() {
 		if len(durs) == 0 {
 			continue
 		}
-		threshold := rt.Cfg.SpeculationMultiplier * stats.Mean(durs)
+		threshold := rt.Cfg.SpeculationMultiplier * stats.Median(durs)
 		if threshold < 0.1 {
 			threshold = 0.1
 		}
@@ -277,8 +285,91 @@ func (rt *Runtime) MarkSpeculatable(t *task.Task) {
 // launched or the task finished).
 func (rt *Runtime) ClearSpeculatable(t *task.Task) { delete(rt.speculatable, t.ID) }
 
+// SpecInFlight counts the live speculative copies of a stage's tasks. It
+// is computed from the attempt registry rather than a counter so silent
+// kills (notify=false) can never make it drift.
+func (rt *Runtime) SpecInFlight(stageID int) int {
+	n := 0
+	for _, rs := range rt.runningAtt {
+		for _, r := range rs {
+			if r.Speculative() && !r.Done() && r.Stage().ID == stageID {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NodeDegraded reports whether node's latest heartbeat shows a below-spec
+// effective CPU frequency — the driver-side view of a fail-slow node
+// inside an injected (or DVFS) throttle window.
+func (rt *Runtime) NodeDegraded(node string) bool {
+	nm := rt.Mon.Latest(node)
+	if nm == nil {
+		return false
+	}
+	n := rt.Clu.Node(node)
+	return n != nil && nm.CPUFreq < n.Spec.FreqGHz*0.999
+}
+
+// SpecCopyAllowed reports whether a speculative copy of t may go to node:
+// the node must be launchable and not blocked for the task, must not
+// already host an attempt of t, must not look degraded in its latest
+// heartbeat (a fail-slow node is exactly where the copy must NOT go),
+// and the stage's in-flight copies must be under SpeculationMaxPerStage.
+// Both schedulers consult this before placing a copy.
+func (rt *Runtime) SpecCopyAllowed(t *task.Task, node string) bool {
+	if !rt.CanRunOn(node) || rt.TaskBlockedOn(t.ID, node) {
+		return false
+	}
+	for _, a := range rt.runningAtt[t.ID] {
+		if a.Metrics().Executor == node {
+			return false
+		}
+	}
+	if rt.NodeDegraded(node) {
+		return false
+	}
+	if max := rt.Cfg.SpeculationMaxPerStage; max > 0 {
+		if st := rt.stageOf[t.ID]; st != nil && rt.SpecInFlight(st.ID) >= max {
+			return false
+		}
+	}
+	return true
+}
+
 // StageOf returns the stage owning the task.
 func (rt *Runtime) StageOf(t *task.Task) *task.Stage { return rt.stageOf[t.ID] }
+
+// LiveAttempts returns the number of attempts still registered as
+// in-flight. After a run (completed or aborted) it must be zero — the
+// chaos harness's attempt-leak invariant.
+func (rt *Runtime) LiveAttempts() int {
+	n := 0
+	for _, rs := range rt.runningAtt {
+		n += len(rs)
+	}
+	return n
+}
+
+// SpeculatableCount returns the size of the straggler set (drained to
+// zero by the end of a completed run).
+func (rt *Runtime) SpeculatableCount() int { return len(rt.speculatable) }
+
+// BlacklistedNow returns how many nodes are currently inside a blacklist
+// window (0 when blacklisting is off).
+func (rt *Runtime) BlacklistedNow() int {
+	if rt.bl == nil {
+		return 0
+	}
+	n := 0
+	for _, until := range rt.bl.until {
+		if until > rt.Eng.Now() {
+			n++
+		}
+	}
+	return n
+}
 
 // ActiveStages returns the currently active stages ordered by ID.
 func (rt *Runtime) sortedActiveStages() []*task.Stage {

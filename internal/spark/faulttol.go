@@ -184,6 +184,7 @@ func (rt *Runtime) rollbackOutputs(node string) {
 			t.State = task.Pending
 			rt.resolveCacheLocation(t)
 			rt.Resubmissions++
+			rt.resubmits[t.ID]++
 			rt.sched.Resubmit(t, st)
 		}
 	}
@@ -243,6 +244,12 @@ func (rt *Runtime) abortJob(t *task.Task, st *task.Stage, reason string) {
 	rt.runningAtt = make(map[int][]*executor.Run)
 	rt.finishApp()
 }
+
+// ResubmitCount returns how many times the task was sent back to pending
+// by a map-output rollback. Each rollback legitimately adds one more
+// successful attempt to the task's history, which the chaos invariant
+// checker must not mistake for a double-counted completion.
+func (rt *Runtime) ResubmitCount(taskID int) int { return rt.resubmits[taskID] }
 
 // TaskBlockedOn reports whether the blacklist forbids launching the task
 // on node; schedulers consult it when picking placements.

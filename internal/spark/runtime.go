@@ -38,9 +38,14 @@ type Config struct {
 	// SpeculationQuantile is the completed fraction before speculation
 	// kicks in (default 0.75).
 	SpeculationQuantile float64
-	// SpeculationMultiplier times the mean successful duration marks a
+	// SpeculationMultiplier times the median successful duration marks a
 	// straggler (default 1.5).
 	SpeculationMultiplier float64
+	// SpeculationMaxPerStage caps in-flight speculative copies per stage
+	// (0 = unlimited, the historical behavior). Under gray failures an
+	// uncapped speculation pass can clone most of a stage onto the
+	// healthy nodes at once; real Spark bounds the wave.
+	SpeculationMaxPerStage int
 	// HeartbeatInterval is the worker heartbeat period (default 1 s).
 	HeartbeatInterval float64
 	// MaxAttempts bounds per-task attempts before the task is forced onto
@@ -170,6 +175,7 @@ type Runtime struct {
 	lostExecs map[string]bool    // nodes the driver has declared lost
 	lastInc   map[string]int     // last seen executor incarnation per node
 	failCount map[int]int        // genuine failures per task ID
+	resubmits map[int]int        // rollback resubmissions per task ID
 	bl        *blacklist         // nil unless Cfg.Blacklist.Enabled
 	wdTimer   *simx.Timer        // heartbeat-timeout watchdog
 	inj       *faults.Injector   // nil unless Cfg.Faults is non-empty
@@ -216,6 +222,7 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 		lostExecs:    make(map[string]bool),
 		lastInc:      make(map[string]int),
 		failCount:    make(map[int]int),
+		resubmits:    make(map[int]int),
 	}
 	if cfg.Blacklist.Enabled {
 		rt.bl = newBlacklist(eng, cfg.Blacklist)
@@ -253,6 +260,7 @@ type Result struct {
 	Resubmissions     int
 	NodesBlacklisted  int
 	FailStops         int
+	TaskFlakes        int
 	// Aborted is non-nil when the run ended in a job abort instead of
 	// completing; Duration then measures time to the abort.
 	Aborted *AbortError
@@ -356,6 +364,7 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 		res.OOMs += ex.OOMs
 		res.Crashes += ex.Crashes
 		res.FailStops += ex.FailStops
+		res.TaskFlakes += ex.Flakes
 	}
 	if rt.Rec != nil {
 		res.Trace = rt.Rec.Trace()

@@ -100,10 +100,16 @@ type Metrics struct {
 	OOM         bool // attempt died with an out-of-memory error
 	Killed      bool // attempt was terminated (straggler copy lost the race, or memory reclaim)
 	FetchFailed bool // attempt died fetching shuffle data from a lost node
+	Flaked      bool // attempt died of a transient node-local gray failure
 }
 
 // Duration returns wall time from launch to end.
 func (m Metrics) Duration() float64 { return m.End - m.Launch }
+
+// Succeeded reports whether the attempt ran to successful completion.
+func (m Metrics) Succeeded() bool {
+	return m.End > 0 && !m.OOM && !m.Killed && !m.FetchFailed && !m.Flaked
+}
 
 // ShuffleTime returns total time in shuffle I/O.
 func (m Metrics) ShuffleTime() float64 { return m.ShuffleReadTime + m.ShuffleWriteTime }
@@ -159,7 +165,7 @@ func (t *Task) LocalityOn(node string) hdfs.Locality {
 // SuccessMetrics returns the metrics of the successful attempt, or nil.
 func (t *Task) SuccessMetrics() *Metrics {
 	for _, a := range t.Attempts {
-		if !a.OOM && !a.Killed && !a.FetchFailed && a.End > 0 {
+		if a.Succeeded() {
 			return a
 		}
 	}
@@ -254,8 +260,11 @@ func (s *Stage) OutputNodeOf(taskIndex int) string { return s.outputLoc[taskInde
 // LoseNodeOutputs removes every map output the stage had materialized on
 // node (a fail-stop loss of the node's shuffle files) and returns the
 // indices of the tasks whose output is gone, in ascending order. The
-// stage's completion counter is rolled back by the same amount, so the
-// stage is no longer complete until the lost tasks rerun.
+// completion counter is rolled back only for outputs whose task actually
+// finished: an attempt killed between its shuffle write and its success
+// report leaves an output entry that was never counted, and decrementing
+// for it would put the counter in permanent deficit — the stage could
+// then never report complete again.
 func (s *Stage) LoseNodeOutputs(node string) []int {
 	var lost []int
 	for idx, loc := range s.outputLoc {
@@ -269,9 +278,11 @@ func (s *Stage) LoseNodeOutputs(node string) []int {
 	sort.Ints(lost)
 	for _, idx := range lost {
 		delete(s.outputLoc, idx)
+		if t := s.TaskByIndex(idx); t != nil && t.State == Finished {
+			s.completed--
+		}
 	}
 	delete(s.ShuffleOutputByNode, node)
-	s.completed -= len(lost)
 	if s.completed < 0 {
 		s.completed = 0
 	}

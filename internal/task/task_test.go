@@ -105,6 +105,51 @@ func TestShuffleOutputAccounting(t *testing.T) {
 	}
 }
 
+func TestLoseNodeOutputsSkipsUncountedEntries(t *testing.T) {
+	// Four tasks: 0, 1 and 3 finished (counted), 2 still running but with
+	// its shuffle output already materialized on node "a" — the attempt is
+	// between its write phase and its success report. Losing "a" must roll
+	// the counter back only for the finished tasks; decrementing for the
+	// uncounted entry would leave the stage one completion short forever.
+	st := Stage{Tasks: []*Task{
+		{Index: 0, State: Finished},
+		{Index: 1, State: Finished},
+		{Index: 2, State: Running},
+		{Index: 3, State: Finished},
+	}}
+	st.RecordShuffleOutput(0, "a", 10)
+	st.MarkCompleted()
+	st.RecordShuffleOutput(1, "a", 10)
+	st.MarkCompleted()
+	st.RecordShuffleOutput(3, "b", 10)
+	st.MarkCompleted()
+	st.RecordShuffleOutput(2, "a", 10) // written, not yet succeeded
+
+	lost := st.LoseNodeOutputs("a")
+	if len(lost) != 3 {
+		t.Fatalf("lost = %v, want indices 0 1 2", lost)
+	}
+	if st.Completed() != 1 {
+		t.Fatalf("completed = %d after rollback, want 1 (only task 3 still counted)", st.Completed())
+	}
+	// Reruns of 0 and 1 finish, then 2's original success lands: the stage
+	// must report complete on the last one.
+	st.Tasks[0].State, st.Tasks[1].State = Finished, Finished
+	st.RecordShuffleOutput(0, "b", 10)
+	if st.MarkCompleted() {
+		t.Fatal("complete at 2/4")
+	}
+	st.RecordShuffleOutput(1, "b", 10)
+	if st.MarkCompleted() {
+		t.Fatal("complete at 3/4")
+	}
+	st.Tasks[2].State = Finished
+	st.RecordShuffleOutput(2, "c", 10)
+	if !st.MarkCompleted() {
+		t.Fatal("stage not complete after every task finished — counter in deficit")
+	}
+}
+
 func TestApplicationHelpers(t *testing.T) {
 	mk := func(ids ...int) *Stage {
 		st := &Stage{}
