@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|tracesanity]
 //	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
 // the raw series behind Figures 2, 3 and 9 are also written as CSV files
 // into DIR for replotting. The faults experiment (PageRank under a seeded
-// fault plan, both schedulers) and the chaos experiment (a -chaos-seeds
+// fault plan, both schedulers), the chaos experiment (a -chaos-seeds
 // wide soak sweep with invariant checking; -json writes the full report)
-// must be requested explicitly — neither is part of "all", which stays
-// fault-free and byte-reproducible.
+// and the tracesanity experiment (traced runs under both schedulers with
+// trace-format, determinism, decision-audit and critical-path invariant
+// checks) must be requested explicitly — none is part of "all", which
+// stays fault-free and byte-reproducible.
 package main
 
 import (
@@ -35,7 +37,7 @@ import (
 // default artifact sweep stays byte-identical run to run.
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
-	"fig7", "fig8", "fig9", "ablations", "faults", "chaos",
+	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "tracesanity",
 }
 
 func main() {
@@ -194,6 +196,17 @@ func main() {
 			}
 			if rep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: chaos sweep found %d invariant violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "tracesanity" {
+		matched = true
+		run("Trace sanity", func() {
+			rep := experiments.RunTraceSanity(*seed)
+			rep.Print(w)
+			if len(rep.Violations) > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: trace sanity found %d invariant violations\n", len(rep.Violations))
 				os.Exit(1)
 			}
 		})

@@ -7,6 +7,7 @@
 //	rupam-sim -workload PR [-scheduler rupam|spark] [-cluster hydra|motivation]
 //	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
 //	          [-chardb FILE] [-chaos-seed N]
+//	          [-trace FILE] [-critical-path] [-explain TASKID]
 //
 // With -chardb, RUPAM's task-characteristics database (DB_taskchar) is
 // loaded from FILE before the run (if it exists) and saved back after —
@@ -17,6 +18,14 @@
 // CPU degradation, memory pressure, task flakes, heartbeat loss) drawn
 // with that seed is injected into the run, under the same hardened
 // framework configuration the chaos soak harness uses.
+//
+// With -trace FILE, every task attempt, scheduler decision and fault
+// window is recorded and exported as Chrome trace_event JSON — load the
+// file in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// -critical-path prints the run's longest dependency path with a
+// per-category time breakdown and per-segment what-if slack; -explain
+// TASKID prints the full placement audit for one task (every candidate
+// the scheduler weighed, its scores, and why each loser lost).
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"rupam/internal/metrics"
 	"rupam/internal/simx"
 	"rupam/internal/spark"
+	"rupam/internal/tracing"
 	"rupam/internal/workloads"
 )
 
@@ -53,6 +63,9 @@ func main() {
 	compare := flag.Bool("compare", false, "run under both schedulers and compare")
 	charDB := flag.String("chardb", "", "persist RUPAM's DB_taskchar across invocations")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "inject a random gray-failure fault plan drawn with this seed (0 = none)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto)")
+	critPath := flag.Bool("critical-path", false, "print the run's critical path with category breakdown and slack")
+	explain := flag.Int("explain", -1, "print the scheduling audit for one task ID")
 	flag.Parse()
 
 	if !workloads.Known(*workload) {
@@ -66,6 +79,20 @@ func main() {
 	}
 	if *input < 0 || *partitions < 0 || *iterations < 0 {
 		usageError("-input, -partitions and -iterations must be non-negative")
+	}
+	wantTracing := *tracePath != "" || *critPath || *explain >= 0
+	if wantTracing && *compare {
+		usageError("-trace, -critical-path and -explain apply to a single run; drop -compare")
+	}
+	// Validate the trace path up front: a typo'd directory must fail before
+	// the simulation spends minutes running.
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			usageError("cannot write -trace file: %v", err)
+		}
+		traceFile = f
 	}
 
 	params := workloads.Params{
@@ -85,6 +112,9 @@ func main() {
 		spec.Spark = chaos.HardenedConfig(*seed)
 		spec.Spark.Faults = faults.RandomSchedule(*chaosSeed, names, chaos.DefaultGen())
 	}
+	if wantTracing {
+		spec.Tracer = tracing.NewCollector()
+	}
 
 	if *compare {
 		spec.Scheduler = experiments.SchedSpark
@@ -100,9 +130,46 @@ func main() {
 		res, db := experiments.RunWithCharDB(spec, *charDB)
 		report(res)
 		fmt.Printf("DB_taskchar: %d task records persisted to %s\n", db, *charDB)
+		traceReports(spec.Tracer, traceFile, *tracePath, *critPath, *explain, res)
 		return
 	}
-	report(experiments.Run(spec))
+	res := experiments.Run(spec)
+	report(res)
+	traceReports(spec.Tracer, traceFile, *tracePath, *critPath, *explain, res)
+}
+
+// traceReports writes the post-run tracing artifacts requested by -trace,
+// -critical-path and -explain. A nil collector means none were asked for.
+func traceReports(c *tracing.Collector, f *os.File, path string, critPath bool, explain int, res *spark.Result) {
+	if c == nil {
+		return
+	}
+	if f != nil {
+		if err := c.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-sim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-sim: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s (open in https://ui.perfetto.dev)\n",
+			c.EventCount(), path)
+	}
+	if explain >= 0 {
+		if err := c.Explain(os.Stdout, explain); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if critPath {
+		cp, err := tracing.Analyze(res.App)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-sim: critical path: %v\n", err)
+			os.Exit(1)
+		}
+		cp.Print(os.Stdout)
+	}
 }
 
 func report(r *spark.Result) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"rupam/internal/cluster"
@@ -9,6 +10,7 @@ import (
 	"rupam/internal/monitor"
 	"rupam/internal/spark"
 	"rupam/internal/task"
+	"rupam/internal/tracing"
 )
 
 // Config tunes RUPAM. The zero value takes the paper's defaults; the
@@ -559,17 +561,22 @@ func (s *RUPAM) Schedule() {
 		if !ok {
 			break
 		}
-		t, lvl := s.pickTask(res, offer.node)
+		d := s.rt.Cfg.Tracer.NewDecision(s.Name(), offer.node)
+		d.SetQueue(res.String(), offer.cap, offer.util)
+		t, lvl, heuristic := s.pickTask(res, offer.node, d)
 		spec := false
 		if t == nil {
-			t, lvl = s.pickSpeculative(res, offer.node)
+			t, lvl = s.pickSpeculative(res, offer.node, d)
 			if t == nil {
 				continue
 			}
 			s.rt.ClearSpeculatable(t)
 			spec = true
+			heuristic = "speculative-copy"
 		}
 		if run := s.rt.Launch(t, offer.node, executor.Options{Locality: lvl, Speculative: spec}); run != nil {
+			d.SetWinner(t.ID, heuristic, lvl.String(), spec)
+			d.Commit()
 			s.noteLaunch(offer.node, run, res)
 			// The node may still have capacity; offer it again so a
 			// single heartbeat can fill a whole machine.
@@ -665,11 +672,23 @@ func (s *RUPAM) dequeueRR() (Resource, nodeOffer, bool) {
 	return CPU, nodeOffer{}, false
 }
 
+// recDetail summarizes a CharDB record for the decision audit. Call sites
+// guard with d != nil so the disabled path never formats.
+func recDetail(rec *Record) string {
+	if rec == nil || rec.Runs == 0 {
+		return "uncharacterized"
+	}
+	return fmt.Sprintf("runs %d, best %.2fs on %s, peak-mem %dMB",
+		rec.Runs, rec.BestTime, rec.OptExecutor, rec.PeakMemory/(1<<20))
+}
+
 // pickTask implements Algorithm 2's schedule_task: among pending tasks of
 // the resource dimension, honor best-node locks, require a memory fit,
 // take a PROCESS_LOCAL match immediately, and otherwise return the task
-// with the best locality on the node.
-func (s *RUPAM) pickTask(res Resource, node string) (*task.Task, hdfs.Locality) {
+// with the best locality on the node. The returned string names the
+// heuristic that selected the task, for the decision audit; candidates and
+// rejection reasons are recorded on d (nil when tracing is off).
+func (s *RUPAM) pickTask(res Resource, node string, d *tracing.Decision) (*task.Task, hdfs.Locality, string) {
 	q := s.taskQ[res]
 	freeMem := int64(1) << 62
 	if !s.cfg.DisableMemAware {
@@ -698,11 +717,15 @@ func (s *RUPAM) pickTask(res Resource, node string) (*task.Task, hdfs.Locality) 
 
 	var best *task.Task
 	bestLvl := hdfs.Any + 1
+	heuristic := ""
 	var lockedFallback *task.Task
 
 scan:
 	for _, t := range live {
 		if s.rt.TaskBlockedOn(t.ID, node) {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "blacklisted-pairing", "")
+			}
 			continue // blacklisted pairing after repeated failures there
 		}
 		rec := s.db.Lookup(keyByRuntime(s.rt, t))
@@ -711,6 +734,9 @@ scan:
 		// slot or waits (§III-C2's "overlap tasks with different resource
 		// demands" requires knowing the demands).
 		if overCore && (rec == nil || rec.Runs == 0) {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "uncharacterized-overcommit", recDetail(rec))
+			}
 			continue
 		}
 		locked := !s.cfg.DisableLocking && rec != nil && rec.Locked(s.cfg.LockAfterRuns)
@@ -727,18 +753,34 @@ scan:
 			// characterized task locked to this very node runs here even
 			// under pressure — history says this is its best home.
 			if locked && rec.OptExecutor == node && len(rec.HistoryResource) >= NumResources {
-				best, bestLvl = t, t.LocalityOn(node)
+				if d != nil {
+					d.Candidate(t.ID, t.LocalityOn(node).String(), "", recDetail(rec))
+				}
+				best, bestLvl, heuristic = t, t.LocalityOn(node), "memory-exception-lock"
 				break scan
+			}
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "no-mem-fit",
+					fmt.Sprintf("needs %dMB, %dMB usable; %s", t.Demand.PeakMemory/(1<<20), freeMem/(1<<20), recDetail(rec)))
 			}
 			continue
 		}
 		if rec != nil && rec.OOMNodes[node] && !lockExpired {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "oom-history-on-node", recDetail(rec))
+			}
 			continue
 		}
 		if locked && !lockExpired {
 			if s.lockCompatible(rec, node) {
-				best, bestLvl = t, t.LocalityOn(node)
+				if d != nil {
+					d.Candidate(t.ID, t.LocalityOn(node).String(), "", recDetail(rec))
+				}
+				best, bestLvl, heuristic = t, t.LocalityOn(node), "lock-compatible"
 				break scan
+			}
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "lock-incompatible", recDetail(rec))
 			}
 			if lockedFallback == nil {
 				lockedFallback = t
@@ -757,6 +799,10 @@ scan:
 			s.anyPrefFree(t) {
 			// Waiting is only worthwhile while some preferred node could
 			// actually take the task soon.
+			if d != nil {
+				d.Candidate(t.ID, hdfs.Any.String(), "waiting-for-locality",
+					fmt.Sprintf("uncharacterized; prefers %v", t.PrefNodes))
+			}
 			continue
 		}
 		// Cache affinity with a capability override: a task whose cached
@@ -767,27 +813,37 @@ scan:
 		if t.CachedOn != "" && t.CachedOn != node &&
 			now-s.pendingSince[t.ID] <= s.cfg.LockTimeout &&
 			!s.nodeBetterFor(node, t.CachedOn, res) {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "cache-affinity-wait",
+					fmt.Sprintf("partition cached on %s; %s", t.CachedOn, recDetail(rec)))
+			}
 			continue
 		}
 		lvl := t.LocalityOn(node)
 		if lvl == hdfs.ProcessLocal {
-			best, bestLvl = t, lvl
+			if d != nil {
+				d.Candidate(t.ID, lvl.String(), "", recDetail(rec))
+			}
+			best, bestLvl, heuristic = t, lvl, "process-local"
 			break scan
 		}
+		if d != nil {
+			d.Candidate(t.ID, lvl.String(), "", recDetail(rec))
+		}
 		if lvl < bestLvl {
-			best, bestLvl = t, lvl
+			best, bestLvl, heuristic = t, lvl, "best-locality"
 		}
 	}
 
 	if best == nil && lockedFallback != nil && now-s.pendingSince[lockedFallback.ID] > s.cfg.LockTimeout {
 		// Anti-starvation: a locked task has waited too long; run it here.
-		best, bestLvl = lockedFallback, lockedFallback.LocalityOn(node)
+		best, bestLvl, heuristic = lockedFallback, lockedFallback.LocalityOn(node), "lock-timeout-fallback"
 	}
 	if best == nil {
-		return nil, hdfs.Any
+		return nil, hdfs.Any, ""
 	}
 	s.taskQ[res] = removeTask(live, best)
-	return best, bestLvl
+	return best, bestLvl, heuristic
 }
 
 func removeTask(q []*task.Task, t *task.Task) []*task.Task {
@@ -873,7 +929,7 @@ func (s *RUPAM) lockCompatible(rec *Record, nodeName string) bool {
 // pickSpeculative implements Algorithm 2's straggler path: when no pending
 // task fits the dequeued node, launch a copy of a straggler — restricted
 // to GPU-capable stragglers when the offer came from the GPU queue.
-func (s *RUPAM) pickSpeculative(res Resource, node string) (*task.Task, hdfs.Locality) {
+func (s *RUPAM) pickSpeculative(res Resource, node string, d *tracing.Decision) (*task.Task, hdfs.Locality) {
 	ex := s.rt.Execs[node]
 	for _, t := range s.rt.SpeculativeTasks() {
 		runs := s.rt.RunningAttempts(t)
@@ -883,15 +939,28 @@ func (s *RUPAM) pickSpeculative(res Resource, node string) (*task.Task, hdfs.Loc
 		// SpecCopyAllowed folds in the same-node, blacklist, degraded-node
 		// and per-stage copy-cap gates shared with the stock scheduler.
 		if !s.rt.SpecCopyAllowed(t, node) {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "spec-copy-not-allowed", "")
+			}
 			continue
 		}
 		if res == GPU && !t.Demand.GPUCapable() {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "not-gpu-capable", "")
+			}
 			continue
 		}
 		if !s.cfg.DisableMemAware && ex != nil && t.Demand.PeakMemory > ex.ProjectedFree() {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "no-mem-fit", "")
+			}
 			continue
 		}
 		if !s.copyWorthwhile(t, runs[0], node) {
+			if d != nil {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "copy-not-worthwhile",
+					fmt.Sprintf("running on %s", runs[0].Metrics().Executor))
+			}
 			continue
 		}
 		return t, t.LocalityOn(node)
@@ -974,6 +1043,12 @@ func (s *RUPAM) rescueStarvation() {
 	}
 	if bestNode != "" {
 		if run := s.rt.Launch(t, bestNode, executor.Options{Locality: t.LocalityOn(bestNode)}); run != nil {
+			d := s.rt.Cfg.Tracer.NewDecision(s.Name(), bestNode)
+			if d != nil {
+				d.Note("liveness net: nothing running anywhere, forced onto roomiest node")
+				d.SetWinner(t.ID, "starvation-rescue", t.LocalityOn(bestNode).String(), false)
+				d.Commit()
+			}
 			s.noteLaunch(bestNode, run, Mem)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"rupam/internal/simx"
 	"rupam/internal/stats"
 	"rupam/internal/task"
+	"rupam/internal/tracing"
 )
 
 // Outcome is the terminal state of one task attempt.
@@ -89,6 +90,8 @@ type Config struct {
 	RelocateCacheOnRemoteRead bool
 	// Seed drives the executor's failure randomness.
 	Seed uint64
+	// Tracer, when non-nil, records attempt lifecycle and phase boundaries.
+	Tracer *tracing.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -326,6 +329,7 @@ func (ex *Executor) Launch(t *task.Task, st *task.Stage, opts Options, onDone fu
 	}
 	t.Attempts = append(t.Attempts, m)
 	r := &Run{ex: ex, t: t, st: st, m: m, opts: opts, onDone: onDone, seq: nextRunSeq()}
+	r.tr = ex.cfg.Tracer.AttemptStarted(t, st, ex.node.Name(), opts.Locality.String(), opts.Speculative)
 	r.reservedMem = t.Demand.PeakMemory
 	ex.reserved += r.reservedMem
 	ex.running[r] = struct{}{}

@@ -6,6 +6,7 @@ import (
 	"rupam/internal/netsim"
 	"rupam/internal/simx"
 	"rupam/internal/task"
+	"rupam/internal/tracing"
 )
 
 var runSeq uint64
@@ -26,6 +27,7 @@ type Run struct {
 	opts   Options
 	onDone func(*Run, Outcome)
 	seq    uint64
+	tr     *tracing.AttemptTrace // nil when tracing is disabled
 
 	memHeld     int64
 	reservedMem int64 // returned to the executor when execution starts
@@ -161,6 +163,7 @@ func (r *Run) start() {
 // oomLater lets the doomed attempt burn CPU for a while, then fails it
 // with an OutOfMemory error, possibly crashing the worker.
 func (r *Run) oomLater() {
+	r.tr.Phase("oom-doomed")
 	d := r.t.Demand
 	est := d.TotalComputeWork() / r.ex.node.Spec.FreqGHz
 	delay := r.ex.cfg.OOMRunFraction*est + 0.5
@@ -179,6 +182,7 @@ func (r *Run) oomLater() {
 // with a transient Flaked error — no memory was admitted, no worker
 // crashes; the driver just sees a failed attempt to retry elsewhere.
 func (r *Run) flakeLater() {
+	r.tr.Phase("flake-doomed")
 	d := r.t.Demand
 	est := d.TotalComputeWork() / r.ex.node.Spec.FreqGHz
 	delay := 0.25*est + 0.2
@@ -237,6 +241,7 @@ func (ex *Executor) crash() {
 // ---- phase 2: deserialization -----------------------------------------
 
 func (r *Run) deserialize() {
+	r.tr.Phase("deserialize")
 	r.phaseStart = r.ex.eng.Now()
 	d := r.t.Demand
 	work := r.ex.cfg.SerCPUPerByte * float64(d.InputBytes+d.ShuffleReadBytes)
@@ -254,6 +259,7 @@ func (r *Run) readInput() {
 		r.readShuffle()
 		return
 	}
+	r.tr.Phase("input-read")
 	r.phaseStart = r.ex.eng.Now()
 	me := r.ex.node.Name()
 
@@ -373,6 +379,7 @@ func (r *Run) readShuffle() {
 		r.compute()
 		return
 	}
+	r.tr.Phase("shuffle-read")
 	r.phaseStart = r.ex.eng.Now()
 	me := r.ex.node.Name()
 
@@ -411,11 +418,13 @@ func (r *Run) readShuffle() {
 			continue
 		}
 		if n == me {
+			r.m.ShuffleBytesLocal += share
 			r.pending++
 			r.claimDisk(r.ex.node.DiskRead, share, barrier)
 			continue
 		}
 		r.m.BytesReadRemote += share
+		r.m.ShuffleBytesRemote += share
 		r.pending++
 		r.fetchSrcs = append(r.fetchSrcs, n)
 		r.startFlow(n, me, share, barrier)
@@ -439,6 +448,7 @@ func (r *Run) compute() {
 	d := r.t.Demand
 	useGPU := d.GPUCapable() && !r.opts.ForbidGPU && r.ex.node.GPU.TryAcquire()
 	if useGPU {
+		r.tr.Phase("compute-gpu")
 		r.gpuHeld = true
 		r.m.UsedGPU = true
 		// Non-offloadable work on the CPU first, then the kernel on the
@@ -451,6 +461,7 @@ func (r *Run) compute() {
 		})
 		return
 	}
+	r.tr.Phase("compute")
 	r.claimCPU(d.TotalComputeWork()+r.extraCPU, func() {
 		r.m.ComputeTime = r.ex.eng.Now() - r.phaseStart
 		r.garbageCollect()
@@ -481,6 +492,7 @@ func (r *Run) garbageCollect() {
 		r.cacheInsert()
 		return
 	}
+	r.tr.Phase("gc")
 	// GC burns CPU on the node.
 	r.claimCPU(gcSec*r.ex.node.Spec.FreqGHz, func() {
 		r.m.GCTime = r.ex.eng.Now() - r.phaseStart
@@ -528,6 +540,7 @@ func (r *Run) writeShuffle() {
 		r.serialize()
 		return
 	}
+	r.tr.Phase("shuffle-write")
 	r.phaseStart = r.ex.eng.Now()
 	r.claimDisk(r.ex.node.DiskWrite, d.ShuffleWriteBytes, func() {
 		r.m.ShuffleWriteTime = r.ex.eng.Now() - r.phaseStart
@@ -539,6 +552,7 @@ func (r *Run) writeShuffle() {
 // ---- phase 9: serialization & result send ---------------------------------
 
 func (r *Run) serialize() {
+	r.tr.Phase("serialize")
 	r.phaseStart = r.ex.eng.Now()
 	d := r.t.Demand
 	work := r.ex.cfg.SerCPUPerByte * float64(d.ShuffleWriteBytes+d.OutputBytes)
@@ -566,6 +580,7 @@ func (r *Run) finish(o Outcome) {
 	r.done = true
 	r.release()
 	r.m.End = r.ex.eng.Now()
+	r.tr.Finish(o.String())
 	delete(r.ex.running, r)
 	if r.onDone != nil {
 		cb := r.onDone

@@ -15,6 +15,7 @@ import (
 	"rupam/internal/simx"
 	"rupam/internal/spark"
 	"rupam/internal/task"
+	"rupam/internal/tracing"
 	"rupam/internal/workloads"
 )
 
@@ -44,6 +45,9 @@ type RunSpec struct {
 	Spark spark.Config
 	// Trace enables utilization recording (needed by Figures 2, 8, 9).
 	Trace bool
+	// Tracer, when non-nil, records structured events (task lifecycle,
+	// scheduler decisions, faults) for export and critical-path analysis.
+	Tracer *tracing.Collector
 }
 
 // BuildCluster constructs the named topology on a fresh engine.
@@ -86,6 +90,7 @@ func Run(spec RunSpec) *spark.Result {
 
 	cfg := spec.Spark
 	cfg.Seed = spec.Seed*31 + 7
+	cfg.Tracer = spec.Tracer
 	if !spec.Trace && cfg.SampleInterval == 0 {
 		cfg.SampleInterval = -1 // disable tracing unless requested
 	}
@@ -142,6 +147,7 @@ func RunWithCharDB(spec RunSpec, path string) (*spark.Result, int) {
 
 	cfg := spec.Spark
 	cfg.Seed = spec.Seed*31 + 7
+	cfg.Tracer = spec.Tracer
 	if !spec.Trace && cfg.SampleInterval == 0 {
 		cfg.SampleInterval = -1
 	}

@@ -6,6 +6,7 @@ import (
 	"rupam/internal/cluster"
 	"rupam/internal/executor"
 	"rupam/internal/simx"
+	"rupam/internal/tracing"
 )
 
 // Injector applies a Schedule to a live cluster. It owns the mechanics of
@@ -40,6 +41,10 @@ type Injector struct {
 
 	// Trace, if set, receives a line per applied fault.
 	Trace func(string)
+
+	// Collector, if set, records each fault window as a structured span on
+	// the node's fault track. Nil (the default) records nothing.
+	Collector *tracing.Collector
 
 	// Counters for reporting.
 	Crashes         int
@@ -133,6 +138,11 @@ func (inj *Injector) crash(ev Event) {
 	}
 	inj.Crashes++
 	inj.trace("crash %s (recovery %.0fs)", ev.Node, ev.Duration)
+	detail := "permanent"
+	if ev.Duration > 0 {
+		detail = fmt.Sprintf("recovery %.0fs", ev.Duration)
+	}
+	inj.Collector.FaultSpan(ev.Node, "crash", detail, ev.Duration)
 	if ev.Duration > 0 {
 		inj.eng.Schedule(ev.Duration, func() {
 			inj.Recoveries++
@@ -194,6 +204,8 @@ func (inj *Injector) degradeNIC(ev Event) {
 	base := node.Spec.NetBandwidth
 	inj.NICDegrades++
 	inj.trace("nic %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "nic-degrade",
+		fmt.Sprintf("×%.2f for %.0fs", ev.Factor, ev.Duration), ev.Duration)
 	inj.openWindow(ev, func(f float64) {
 		inj.clu.Net.SetCapacity(ev.Node, base*f, base*f)
 	})
@@ -204,6 +216,8 @@ func (inj *Injector) degradeDisk(ev Event) {
 	readBase, writeBase := node.Spec.DiskReadBW, node.Spec.DiskWriteBW
 	inj.DiskDegrades++
 	inj.trace("disk %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "disk-degrade",
+		fmt.Sprintf("×%.2f for %.0fs", ev.Factor, ev.Duration), ev.Duration)
 	inj.openWindow(ev, func(f float64) {
 		node.DiskRead.SetCapacity(readBase * f)
 		node.DiskWrite.SetCapacity(writeBase * f)
@@ -215,6 +229,8 @@ func (inj *Injector) degradeCPU(ev Event) {
 	spec := node.Spec
 	inj.CPUDegrades++
 	inj.trace("cpu %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "cpu-degrade",
+		fmt.Sprintf("×%.2f for %.0fs", ev.Factor, ev.Duration), ev.Duration)
 	inj.openWindow(ev, func(f float64) {
 		node.CPU.SetCapacity(spec.CPUCapacity() * f)
 		node.CPU.SetPerClaimCap(spec.FreqGHz * f)
@@ -228,6 +244,8 @@ func (inj *Injector) pressureMem(ev Event) {
 	}
 	inj.MemPressures++
 	inj.trace("mem %s ×%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "mem-pressure",
+		fmt.Sprintf("×%.2f for %.0fs", ev.Factor, ev.Duration), ev.Duration)
 	inj.openWindow(ev, func(f float64) {
 		ex.SetMemPressure(f)
 	})
@@ -240,6 +258,8 @@ func (inj *Injector) flakeTasks(ev Event) {
 	}
 	inj.TaskFlakes++
 	inj.trace("flake %s p=%.2f for %.0fs", ev.Node, ev.Factor, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "task-flake",
+		fmt.Sprintf("p=%.2f for %.0fs", ev.Factor, ev.Duration), ev.Duration)
 	inj.openWindow(ev, func(p float64) {
 		ex.SetFlakeProb(p)
 	})
@@ -248,6 +268,8 @@ func (inj *Injector) flakeTasks(ev Event) {
 func (inj *Injector) loseHeartbeats(ev Event) {
 	inj.HeartbeatLosses++
 	inj.trace("heartbeat loss %s for %.0fs", ev.Node, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "heartbeat-loss",
+		fmt.Sprintf("for %.0fs", ev.Duration), ev.Duration)
 	inj.hbLost[ev.Node]++
 	inj.eng.Schedule(ev.Duration, func() {
 		inj.hbLost[ev.Node]--

@@ -52,6 +52,39 @@ func TestAppBreakdown(t *testing.T) {
 	}
 }
 
+// TestShuffleReadSplit pins the byte-share attribution of ShuffleReadTime:
+// all-local reads bill shuffle-disk, all-remote bill shuffle-net, mixed
+// reads split proportionally, and reads with no byte accounting fall back
+// to shuffle-net (the pre-split behavior, kept for hand-built metrics).
+func TestShuffleReadSplit(t *testing.T) {
+	cases := []struct {
+		name              string
+		local, remote     int64
+		wantDisk, wantNet float64
+	}{
+		{"all-local", 100, 0, 4, 0},
+		{"all-remote", 0, 100, 0, 4},
+		{"mixed-3:1", 75, 25, 3, 1},
+		{"no-bytes-fallback", 0, 0, 0, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b Breakdown
+			b.Add(&task.Metrics{
+				ShuffleReadTime:    4,
+				ShuffleBytesLocal:  tc.local,
+				ShuffleBytesRemote: tc.remote,
+			})
+			if !almost(b.ShuffleDisk, tc.wantDisk, 1e-9) {
+				t.Errorf("shuffle-disk = %v, want %v", b.ShuffleDisk, tc.wantDisk)
+			}
+			if !almost(b.ShuffleNet, tc.wantNet, 1e-9) {
+				t.Errorf("shuffle-net = %v, want %v", b.ShuffleNet, tc.wantNet)
+			}
+		})
+	}
+}
+
 func TestAppLocality(t *testing.T) {
 	lc := AppLocality(appWithMetrics())
 	if lc.Process != 1 || lc.Node != 1 || lc.Any != 1 || lc.Rack != 0 {

@@ -29,10 +29,18 @@ func (b *Breakdown) Add(m *task.Metrics) {
 	b.ShuffleDisk += m.ShuffleWriteTime + m.InputDiskTime
 	b.Scheduler += m.SchedulerDelay
 	// Shuffle reads mix local disk and network; attribute by the remote
-	// byte share.
+	// byte share. Attempts that predate the byte split (or synthetic
+	// metrics without it) fall back to all-network, the old behavior.
 	read := m.ShuffleReadTime
 	if read > 0 {
-		b.ShuffleNet += read // dominated by the slowest (usually remote) fetch
+		total := m.ShuffleBytesLocal + m.ShuffleBytesRemote
+		if total > 0 {
+			remoteShare := float64(m.ShuffleBytesRemote) / float64(total)
+			b.ShuffleNet += read * remoteShare
+			b.ShuffleDisk += read * (1 - remoteShare)
+		} else {
+			b.ShuffleNet += read
+		}
 	}
 	b.ShuffleNet += m.InputNetTime
 }

@@ -1,6 +1,8 @@
 package spark
 
 import (
+	"fmt"
+
 	"rupam/internal/cluster"
 	"rupam/internal/executor"
 	"rupam/internal/hdfs"
@@ -206,6 +208,7 @@ func (s *DefaultScheduler) Schedule() {
 // slots when no pending task qualifies.
 func (s *DefaultScheduler) launchOn(node string) bool {
 	rt := s.rt
+	d := rt.Cfg.Tracer.NewDecision(s.Name(), node)
 	// Pending tasks first, stages in submission order (FIFO).
 	for _, id := range s.order {
 		q := s.pending[id]
@@ -213,20 +216,35 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 			continue
 		}
 		if s.runningByNodeStage[node][id] >= s.stageCap(node, id) {
+			if d != nil {
+				d.Note("stage %d skipped: oom-backoff cap on %s", id, node)
+			}
 			continue // stage backed off on this node after OOMs
 		}
 		if st := rt.stages[id]; st != nil && !rt.StageReady(st) {
+			if d != nil {
+				d.Note("stage %d skipped: awaiting parent recompute", id)
+			}
 			continue // parent outputs lost; a rollback is recomputing them
 		}
 		allowed := s.allowed[id]
 		bestIdx, bestLvl := -1, hdfs.Any+1
 		for i, t := range q {
 			if rt.TaskBlockedOn(t.ID, node) {
+				d.Candidate(t.ID, t.LocalityOn(node).String(), "blacklisted-pairing", "")
 				continue // blacklisted pairing
 			}
 			lvl := t.LocalityOn(node)
 			if lvl <= allowed && lvl < bestLvl {
 				bestIdx, bestLvl = i, lvl
+				d.Candidate(t.ID, lvl.String(), "", "")
+			} else if d != nil {
+				reason, detail := "lost-on-locality", ""
+				if lvl > allowed {
+					reason = "waiting-for-locality"
+					detail = fmt.Sprintf("has %s, stage allows up to %s", lvl, allowed)
+				}
+				d.Candidate(t.ID, lvl.String(), reason, detail)
 			}
 		}
 		if bestIdx < 0 {
@@ -235,6 +253,8 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 		t := q[bestIdx]
 		s.pending[id] = append(q[:bestIdx], q[bestIdx+1:]...)
 		if rt.Launch(t, node, executor.Options{Locality: t.LocalityOn(node)}) != nil {
+			d.SetWinner(t.ID, "delay-scheduling", bestLvl.String(), false)
+			d.Commit()
 			s.noteLaunch(node, id)
 			s.lastLaunch[id] = rt.Eng.Now()
 			return true
@@ -249,6 +269,7 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 	// SpecCopyAllowed checks all four.
 	for _, t := range rt.SpeculativeTasks() {
 		if len(rt.RunningAttempts(t)) != 1 || !rt.SpecCopyAllowed(t, node) {
+			d.Candidate(t.ID, t.LocalityOn(node).String(), "spec-copy-not-allowed", "")
 			continue
 		}
 		if rt.Launch(t, node, executor.Options{
@@ -258,6 +279,8 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 			// Cleared only after a successful launch: a refused launch must
 			// leave the straggler in the set for the next pass.
 			rt.ClearSpeculatable(t)
+			d.SetWinner(t.ID, "speculative-copy", t.LocalityOn(node).String(), true)
+			d.Commit()
 			s.noteLaunch(node, t.StageID)
 			return true
 		}

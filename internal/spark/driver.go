@@ -13,6 +13,7 @@ import (
 func (rt *Runtime) submitJob(j int) {
 	rt.jobIdx = j
 	job := rt.app.Jobs[j]
+	rt.Cfg.Tracer.JobBegin(job.ID, job.Name)
 	for _, st := range job.Stages {
 		rt.stages[st.ID] = st
 		for _, t := range st.Tasks {
@@ -38,9 +39,11 @@ func (rt *Runtime) maybeSubmitStage(st *task.Stage) {
 	}
 	rt.submitted[st.ID] = true
 	rt.activeStages[st.ID] = st
+	rt.Cfg.Tracer.StageBegin(st)
 	for _, t := range st.Tasks {
 		rt.resolveCacheLocation(t)
 		t.State = task.Pending
+		rt.Cfg.Tracer.TaskQueued(t.ID)
 	}
 	rt.sched.StageSubmitted(st)
 }
@@ -163,6 +166,7 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 		}
 		t.State = task.Pending
 		rt.resolveCacheLocation(t) // cache may have moved or been dropped
+		rt.Cfg.Tracer.TaskQueued(t.ID)
 		rt.sched.Resubmit(t, st)
 	}
 	if rt.appDone {
@@ -175,11 +179,13 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 // the job's final stage lands, moves to the next job or finishes the app.
 func (rt *Runtime) onStageComplete(st *task.Stage) {
 	delete(rt.activeStages, st.ID)
+	rt.Cfg.Tracer.StageEnd(st.ID)
 	job := rt.app.Jobs[rt.jobIdx]
 	for _, s := range job.Stages {
 		rt.maybeSubmitStage(s)
 	}
 	if st == job.Final {
+		rt.Cfg.Tracer.JobEnd(job.ID)
 		rt.jobEnds = append(rt.jobEnds, rt.Eng.Now())
 		if rt.jobIdx+1 < len(rt.app.Jobs) {
 			rt.submitJob(rt.jobIdx + 1)
@@ -253,6 +259,7 @@ func (rt *Runtime) scanForStragglers() {
 			}
 			att := rt.runningAtt[t.ID][0]
 			if now-att.Metrics().Launch > threshold {
+				rt.Cfg.Tracer.SpeculatableMarked(t.ID)
 				rt.speculatable[t.ID] = t
 			}
 		}
@@ -277,6 +284,7 @@ func (rt *Runtime) SpeculativeTasks() []*task.Task {
 // resource-straggler extension of checkSpeculatableTasks).
 func (rt *Runtime) MarkSpeculatable(t *task.Task) {
 	if t.State == task.Running {
+		rt.Cfg.Tracer.SpeculatableMarked(t.ID)
 		rt.speculatable[t.ID] = t
 	}
 }

@@ -85,6 +85,7 @@ func (rt *Runtime) noteHeartbeat(node string) {
 	if rt.lostExecs[node] {
 		delete(rt.lostExecs, node)
 		rt.ExecutorsRejoined++
+		rt.Cfg.Tracer.ExecutorRejoined(node)
 	}
 }
 
@@ -99,6 +100,7 @@ func (rt *Runtime) executorLost(node string, reason string) {
 	}
 	rt.lostExecs[node] = true
 	rt.ExecutorsLost++
+	rt.Cfg.Tracer.ExecutorLost(node, reason)
 
 	if ela, ok := rt.sched.(ExecutorLossAware); ok {
 		ela.ExecutorLost(node)
@@ -124,7 +126,6 @@ func (rt *Runtime) executorLost(node string, reason string) {
 			r.FailFetch() // fires onTaskEnd(FetchFailed) via onDone
 		}
 	}
-	_ = reason
 	rt.sched.Schedule()
 }
 
@@ -185,6 +186,7 @@ func (rt *Runtime) rollbackOutputs(node string) {
 			rt.resolveCacheLocation(t)
 			rt.Resubmissions++
 			rt.resubmits[t.ID]++
+			rt.Cfg.Tracer.TaskQueued(t.ID)
 			rt.sched.Resubmit(t, st)
 		}
 	}
@@ -238,6 +240,7 @@ func (rt *Runtime) abortJob(t *task.Task, st *task.Stage, reason string) {
 		Reason:   reason,
 	}
 	t.State = task.Failed
+	rt.Cfg.Tracer.JobAborted(rt.aborted.Error())
 	for _, r := range rt.runningSorted() {
 		r.Kill(false)
 	}

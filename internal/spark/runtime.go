@@ -17,6 +17,7 @@ import (
 	"rupam/internal/monitor"
 	"rupam/internal/simx"
 	"rupam/internal/task"
+	"rupam/internal/tracing"
 )
 
 // Config carries the framework's tunables; zero fields take the Spark
@@ -76,6 +77,10 @@ type Config struct {
 	Exec executor.Config
 	// Seed drives all run randomness (failure coin flips).
 	Seed uint64
+	// Tracer, when non-nil, records the structured event trace (attempt
+	// lifecycle, stage/job spans, decision audit). Nil disables tracing
+	// with zero behavioral difference.
+	Tracer *tracing.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +207,7 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 	}
 	cfg.Exec.DriverNode = cfg.DriverNode
 	cfg.Exec.Seed = cfg.Seed
+	cfg.Exec.Tracer = cfg.Tracer
 	if cr, ok := sched.(CacheRelocator); ok {
 		cfg.Exec.RelocateCacheOnRemoteRead = cr.RelocatesCache()
 	}
@@ -277,6 +283,10 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 	}
 	rt.app = app
 	rt.appStart = rt.Eng.Now()
+	rt.Cfg.Tracer.Bind(rt.Eng)
+	for _, n := range rt.Clu.Nodes {
+		rt.Cfg.Tracer.RegisterNode(n.Name(), n.Spec.Cores)
+	}
 
 	// Executors, sized by the scheduler's policy.
 	peers := rt.Execs
@@ -309,6 +319,7 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 	if !rt.Cfg.Faults.Empty() {
 		rt.inj = faults.NewInjector(rt.Eng, rt.Clu, rt.Execs)
 		rt.Mon.Drop = rt.inj.Suppressed
+		rt.inj.Collector = rt.Cfg.Tracer
 		rt.inj.Install(rt.Cfg.Faults)
 	}
 	rt.armWatchdog()

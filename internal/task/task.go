@@ -95,6 +95,12 @@ type Metrics struct {
 
 	BytesReadRemote int64 // portion of input/shuffle bytes that crossed the network
 
+	// ShuffleBytesLocal / ShuffleBytesRemote split the shuffle read by
+	// fetch medium, so reporting can attribute ShuffleReadTime between
+	// disk and network by byte share.
+	ShuffleBytesLocal  int64
+	ShuffleBytesRemote int64
+
 	PeakMemory  int64
 	UsedGPU     bool
 	OOM         bool // attempt died with an out-of-memory error
