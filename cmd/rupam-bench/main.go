@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|tracesanity]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity]
 //	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
@@ -12,7 +12,9 @@
 // the raw series behind Figures 2, 3 and 9 are also written as CSV files
 // into DIR for replotting. The faults experiment (PageRank under a seeded
 // fault plan, both schedulers), the chaos experiment (a -chaos-seeds
-// wide soak sweep with invariant checking; -json writes the full report)
+// wide soak sweep with invariant checking; -json writes the full report),
+// the recovery experiment (a -chaos-seeds wide driver-crash sweep checking
+// each crashed-and-recovered run against its unfailed reference)
 // and the tracesanity experiment (traced runs under both schedulers with
 // trace-format, determinism, decision-audit and critical-path invariant
 // checks) must be requested explicitly — none is part of "all", which
@@ -37,7 +39,8 @@ import (
 // default artifact sweep stays byte-identical run to run.
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
-	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "tracesanity",
+	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "recovery",
+	"tracesanity",
 }
 
 func main() {
@@ -196,6 +199,37 @@ func main() {
 			}
 			if rep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: chaos sweep found %d invariant violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "recovery" {
+		matched = true
+		run("Crash recovery", func() {
+			if *chaosSeeds < 1 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -chaos-seeds must be at least 1, got %d\n", *chaosSeeds)
+				os.Exit(2)
+			}
+			seeds := make([]uint64, *chaosSeeds)
+			for i := range seeds {
+				seeds[i] = *seed + uint64(i)
+			}
+			rep := chaos.RecoverySoak(chaos.Config{Seeds: seeds})
+			rep.Print(w)
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			if rep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: recovery sweep found %d violations\n", rep.Violations)
 				os.Exit(1)
 			}
 		})

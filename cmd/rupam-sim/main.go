@@ -7,6 +7,7 @@
 //	rupam-sim -workload PR [-scheduler rupam|spark] [-cluster hydra|motivation]
 //	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
 //	          [-chardb FILE] [-chaos-seed N]
+//	          [-wal FILE] [-crash-at T] [-restart-after D]
 //	          [-trace FILE] [-critical-path] [-explain TASKID]
 //
 // With -chardb, RUPAM's task-characteristics database (DB_taskchar) is
@@ -18,6 +19,14 @@
 // CPU degradation, memory pressure, task flakes, heartbeat loss) drawn
 // with that seed is injected into the run, under the same hardened
 // framework configuration the chaos soak harness uses.
+//
+// With -wal FILE, every driver state transition is appended to FILE as a
+// CRC-framed, virtual-clock-stamped write-ahead log with periodic snapshot
+// checkpoints. With -crash-at T, the driver process is killed at virtual
+// time T seconds and recovers from the log after -restart-after D seconds
+// (default 1): state is replayed, in-flight attempts on surviving
+// executors are re-adopted, buffered completions are redelivered, and the
+// run resumes on the virtual clock.
 //
 // With -trace FILE, every task attempt, scheduler decision and fault
 // window is recorded and exported as Chrome trace_event JSON — load the
@@ -41,6 +50,7 @@ import (
 	"rupam/internal/simx"
 	"rupam/internal/spark"
 	"rupam/internal/tracing"
+	"rupam/internal/wal"
 	"rupam/internal/workloads"
 )
 
@@ -63,6 +73,9 @@ func main() {
 	compare := flag.Bool("compare", false, "run under both schedulers and compare")
 	charDB := flag.String("chardb", "", "persist RUPAM's DB_taskchar across invocations")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "inject a random gray-failure fault plan drawn with this seed (0 = none)")
+	walPath := flag.String("wal", "", "append the driver write-ahead log to this file")
+	crashAt := flag.Float64("crash-at", 0, "kill the driver at this virtual time in seconds and recover from the WAL (0 = never)")
+	restartAfter := flag.Float64("restart-after", 1, "driver restart delay in seconds after -crash-at")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto)")
 	critPath := flag.Bool("critical-path", false, "print the run's critical path with category breakdown and slack")
 	explain := flag.Int("explain", -1, "print the scheduling audit for one task ID")
@@ -83,6 +96,12 @@ func main() {
 	wantTracing := *tracePath != "" || *critPath || *explain >= 0
 	if wantTracing && *compare {
 		usageError("-trace, -critical-path and -explain apply to a single run; drop -compare")
+	}
+	if *crashAt < 0 || *restartAfter <= 0 {
+		usageError("-crash-at must be non-negative and -restart-after positive")
+	}
+	if (*walPath != "" || *crashAt > 0) && *compare {
+		usageError("-wal and -crash-at apply to a single run; drop -compare")
 	}
 	// Validate the trace path up front: a typo'd directory must fail before
 	// the simulation spends minutes running.
@@ -112,6 +131,28 @@ func main() {
 		spec.Spark = chaos.HardenedConfig(*seed)
 		spec.Spark.Faults = faults.RandomSchedule(*chaosSeed, names, chaos.DefaultGen())
 	}
+	if *crashAt > 0 {
+		if spec.Spark.Faults == nil {
+			spec.Spark.Faults = &faults.Schedule{}
+		}
+		spec.Spark.Faults.Events = append(spec.Spark.Faults.Events, faults.Event{
+			Kind: faults.DriverCrash, At: *crashAt, Duration: *restartAfter,
+		})
+	}
+	// Open the WAL sink up front, like -trace: a typo'd path must fail
+	// before the simulation runs. The runtime stamps the log with its own
+	// virtual clock once the run starts.
+	var walFile *os.File
+	var walLog *wal.Log
+	if *walPath != "" {
+		f, err := os.Create(*walPath)
+		if err != nil {
+			usageError("cannot write -wal file: %v", err)
+		}
+		walFile = f
+		walLog = wal.New(f, wal.Options{})
+		spec.Spark.WAL = walLog
+	}
 	if wantTracing {
 		spec.Tracer = tracing.NewCollector()
 	}
@@ -130,12 +171,31 @@ func main() {
 		res, db := experiments.RunWithCharDB(spec, *charDB)
 		report(res)
 		fmt.Printf("DB_taskchar: %d task records persisted to %s\n", db, *charDB)
+		walReport(walLog, walFile, *walPath)
 		traceReports(spec.Tracer, traceFile, *tracePath, *critPath, *explain, res)
 		return
 	}
 	res := experiments.Run(spec)
 	report(res)
+	walReport(walLog, walFile, *walPath)
 	traceReports(spec.Tracer, traceFile, *tracePath, *critPath, *explain, res)
+}
+
+// walReport flushes and closes the -wal sink. A nil log means the flag was
+// not given.
+func walReport(l *wal.Log, f *os.File, path string) {
+	if l == nil {
+		return
+	}
+	if err := l.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "rupam-sim: write-ahead log: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "rupam-sim: closing wal: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wal: %d records written to %s\n", l.Seq(), path)
 }
 
 // traceReports writes the post-run tracing artifacts requested by -trace,
@@ -182,6 +242,10 @@ func report(r *spark.Result) {
 	if r.ExecutorsLost+r.FetchFailures+r.Resubmissions+r.NodesBlacklisted+r.FailStops > 0 || r.Aborted != nil {
 		fmt.Printf("fault tolerance: %d fail-stops, %d executors lost (%d rejoined), %d fetch failures, %d resubmissions, %d blacklistings\n",
 			r.FailStops, r.ExecutorsLost, r.ExecutorsRejoined, r.FetchFailures, r.Resubmissions, r.NodesBlacklisted)
+	}
+	if r.DriverCrashes > 0 {
+		fmt.Printf("driver: %d crashes, %d recoveries from the write-ahead log\n",
+			r.DriverCrashes, r.DriverRecoveries)
 	}
 	if r.Aborted != nil {
 		fmt.Printf("ABORTED: %v\n", r.Aborted)

@@ -48,12 +48,14 @@ func CheckInvariants(res *spark.Result, rt *spark.Runtime) []string {
 			}
 		}
 		// A map-output rollback legitimately re-runs an already-succeeded
-		// task, so each resubmission licenses one extra success. Anything
-		// beyond that is a completion counted twice.
-		if max := 1 + rt.ResubmitCount(tk.ID); succ > max {
+		// task, so each resubmission licenses one extra success; a
+		// speculative race whose copies all completed while the driver was
+		// down likewise yields one redundant successful attempt per drained
+		// duplicate. Anything beyond that is a completion counted twice.
+		if max := 1 + rt.ResubmitCount(tk.ID) + rt.DuplicateSuccessCount(tk.ID); succ > max {
 			v = append(v, fmt.Sprintf(
-				"%s: %d successful attempts with %d resubmissions (completion double-counted)",
-				tk, succ, max-1))
+				"%s: %d successful attempts with %d resubmissions and %d crash-window duplicates (completion double-counted)",
+				tk, succ, rt.ResubmitCount(tk.ID), rt.DuplicateSuccessCount(tk.ID)))
 		}
 		if completed {
 			if tk.State != task.Finished {

@@ -1,6 +1,10 @@
 package core
 
-import "rupam/internal/task"
+import (
+	"sort"
+
+	"rupam/internal/task"
+)
 
 // TaskKey identifies "the same task" across jobs and iterations: the
 // stage's computation signature plus the partition index (§III-B2: data
@@ -199,33 +203,57 @@ func (db *CharDB) Clear() {
 // ForgetNode erases a lost node from every record: best-node locks naming
 // it are released (the lock would otherwise pin tasks to a corpse until
 // timeout) and its OOM entries are dropped, since a recovered node comes
-// back with a fresh heap.
-func (db *CharDB) ForgetNode(node string) {
+// back with a fresh heap. It returns the keys of the records it changed,
+// sorted, so callers can re-journal them.
+func (db *CharDB) ForgetNode(node string) []TaskKey {
 	db.Flush()
-	for _, rec := range db.store {
+	var changed []TaskKey
+	for key, rec := range db.store {
+		touched := false
 		if rec.OptExecutor == node {
 			rec.OptExecutor = ""
 			rec.BestTime = 0
+			touched = true
 		}
-		delete(rec.OOMNodes, node)
+		if rec.OOMNodes[node] {
+			delete(rec.OOMNodes, node)
+			touched = true
+		}
+		if touched {
+			changed = append(changed, key)
+		}
 	}
+	sortKeys(changed)
+	return changed
 }
 
 // ReleaseNodeLocks releases every best-node lock naming node without
-// touching the rest of the record, and returns how many were released.
-// The straggler detector calls it when a node turns fail-slow: the lock
-// was learned on healthy hardware and would otherwise keep steering (and
-// pinning) tasks onto a degraded machine until its gray failure cleared.
-// Best times are relearned from the next completions.
-func (db *CharDB) ReleaseNodeLocks(node string) int {
+// touching the rest of the record, and returns the keys of the records it
+// changed, sorted. The straggler detector calls it when a node turns
+// fail-slow: the lock was learned on healthy hardware and would otherwise
+// keep steering (and pinning) tasks onto a degraded machine until its gray
+// failure cleared. Best times are relearned from the next completions.
+func (db *CharDB) ReleaseNodeLocks(node string) []TaskKey {
 	db.Flush()
-	released := 0
-	for _, rec := range db.store {
+	var changed []TaskKey
+	for key, rec := range db.store {
 		if rec.OptExecutor == node {
 			rec.OptExecutor = ""
 			rec.BestTime = 0
-			released++
+			changed = append(changed, key)
 		}
 	}
-	return released
+	sortKeys(changed)
+	return changed
+}
+
+// sortKeys orders task keys by signature then partition, for deterministic
+// iteration when re-journaling changed records.
+func sortKeys(keys []TaskKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Signature != keys[j].Signature {
+			return keys[i].Signature < keys[j].Signature
+		}
+		return keys[i].Partition < keys[j].Partition
+	})
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
-	"log"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"rupam/internal/task"
@@ -30,6 +32,70 @@ type persistedRecord struct {
 	OOMNodes         []string       `json:"oom_nodes,omitempty"`
 }
 
+// toPersisted flattens a record into its stable JSON form.
+func toPersisted(key TaskKey, rec *Record) persistedRecord {
+	p := persistedRecord{
+		Signature:    key.Signature,
+		Partition:    key.Partition,
+		ComputeTime:  rec.ComputeTime,
+		GPU:          rec.GPU,
+		PeakMemory:   rec.PeakMemory,
+		ShuffleRead:  rec.ShuffleRead,
+		ShuffleWrite: rec.ShuffleWrite,
+		OptExecutor:  rec.OptExecutor,
+		BestTime:     rec.BestTime,
+		Runs:         rec.Runs,
+	}
+	for r := range rec.HistoryResource {
+		p.History = append(p.History, r.String())
+	}
+	sort.Strings(p.History)
+	for i, c := range rec.BottleneckCounts {
+		if c > 0 {
+			if p.BottleneckCounts == nil {
+				p.BottleneckCounts = make(map[string]int)
+			}
+			p.BottleneckCounts[Resource(i).String()] = c
+		}
+	}
+	for n := range rec.OOMNodes {
+		p.OOMNodes = append(p.OOMNodes, n)
+	}
+	sort.Strings(p.OOMNodes)
+	return p
+}
+
+// fromPersisted rebuilds a live record from its JSON form.
+func fromPersisted(p persistedRecord) *Record {
+	rec := &Record{
+		Key:             TaskKey{Signature: p.Signature, Partition: p.Partition},
+		ComputeTime:     p.ComputeTime,
+		GPU:             p.GPU,
+		PeakMemory:      p.PeakMemory,
+		ShuffleRead:     p.ShuffleRead,
+		ShuffleWrite:    p.ShuffleWrite,
+		OptExecutor:     p.OptExecutor,
+		BestTime:        p.BestTime,
+		Runs:            p.Runs,
+		HistoryResource: make(map[Resource]bool),
+		OOMNodes:        make(map[string]bool),
+	}
+	for _, name := range p.History {
+		if res, ok := resourceByName(name); ok {
+			rec.HistoryResource[res] = true
+		}
+	}
+	for name, c := range p.BottleneckCounts {
+		if res, ok := resourceByName(name); ok {
+			rec.BottleneckCounts[res] = c
+		}
+	}
+	for _, n := range p.OOMNodes {
+		rec.OOMNodes[n] = true
+	}
+	return rec
+}
+
 // Save serializes the database (flushed state plus pending writes) as
 // JSON. The paper's DB_taskchar outlives a single application run — data
 // centers re-run the same applications periodically (§III-B2) — so the
@@ -38,35 +104,7 @@ func (db *CharDB) Save(w io.Writer) error {
 	db.Flush()
 	out := make([]persistedRecord, 0, len(db.store))
 	for key, rec := range db.store {
-		p := persistedRecord{
-			Signature:    key.Signature,
-			Partition:    key.Partition,
-			ComputeTime:  rec.ComputeTime,
-			GPU:          rec.GPU,
-			PeakMemory:   rec.PeakMemory,
-			ShuffleRead:  rec.ShuffleRead,
-			ShuffleWrite: rec.ShuffleWrite,
-			OptExecutor:  rec.OptExecutor,
-			BestTime:     rec.BestTime,
-			Runs:         rec.Runs,
-		}
-		for r := range rec.HistoryResource {
-			p.History = append(p.History, r.String())
-		}
-		sort.Strings(p.History)
-		for i, c := range rec.BottleneckCounts {
-			if c > 0 {
-				if p.BottleneckCounts == nil {
-					p.BottleneckCounts = make(map[string]int)
-				}
-				p.BottleneckCounts[Resource(i).String()] = c
-			}
-		}
-		for n := range rec.OOMNodes {
-			p.OOMNodes = append(p.OOMNodes, n)
-		}
-		sort.Strings(p.OOMNodes)
-		out = append(out, p)
+		out = append(out, toPersisted(key, rec))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Signature != out[j].Signature {
@@ -79,6 +117,32 @@ func (db *CharDB) Save(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// SaveFile writes the database to path crash-safely: the bytes land in a
+// temporary file in the same directory, are synced, and only then renamed
+// over the destination. A crash at any point leaves either the previous
+// good snapshot or the complete new one — never a truncated half-write
+// (rename within a directory is atomic on POSIX).
+func (db *CharDB) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := db.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // resourceByName inverts Resource.String.
 func resourceByName(s string) (Resource, bool) {
 	for _, r := range Resources {
@@ -89,48 +153,61 @@ func resourceByName(s string) (Resource, bool) {
 	return CPU, false
 }
 
-// Load replaces the database's contents with previously saved records. A
-// corrupt or truncated file (a crash mid-Save, a partial copy) is not
-// fatal: the characterization history is a performance hint, not
-// correctness state, so Load logs the problem and starts empty rather
-// than refusing to schedule.
+// Load replaces the database's contents with previously saved records.
+// The input is decoded in full before anything is touched: a corrupt or
+// truncated file (a crash mid-write through a non-atomic path, a partial
+// copy) returns an error and leaves the database exactly as it was, so a
+// warm-start that finds garbage keeps whatever good state it already had.
 func (db *CharDB) Load(r io.Reader) error {
 	var in []persistedRecord
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		log.Printf("chardb: unreadable task-characteristics data (%v); starting with an empty database", err)
-		db.Clear()
-		return nil
+		return fmt.Errorf("chardb: unreadable task-characteristics data: %w", err)
 	}
 	db.Clear()
 	for _, p := range in {
-		rec := &Record{
-			Key:             TaskKey{Signature: p.Signature, Partition: p.Partition},
-			ComputeTime:     p.ComputeTime,
-			GPU:             p.GPU,
-			PeakMemory:      p.PeakMemory,
-			ShuffleRead:     p.ShuffleRead,
-			ShuffleWrite:    p.ShuffleWrite,
-			OptExecutor:     p.OptExecutor,
-			BestTime:        p.BestTime,
-			Runs:            p.Runs,
-			HistoryResource: make(map[Resource]bool),
-			OOMNodes:        make(map[string]bool),
-		}
-		for _, name := range p.History {
-			if res, ok := resourceByName(name); ok {
-				rec.HistoryResource[res] = true
-			}
-		}
-		for name, c := range p.BottleneckCounts {
-			if res, ok := resourceByName(name); ok {
-				rec.BottleneckCounts[res] = c
-			}
-		}
-		for _, n := range p.OOMNodes {
-			rec.OOMNodes[n] = true
-		}
+		rec := fromPersisted(p)
 		db.store[rec.Key] = rec
 	}
+	return nil
+}
+
+// LoadFile loads the database from path. A missing file is an error the
+// caller can test with os.IsNotExist; a corrupt file leaves the database
+// untouched (see Load).
+func (db *CharDB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Load(f)
+}
+
+// PutPayload marshals the task's current record (queued writes included)
+// into the compact JSON payload journaled in write-ahead-log chardb-put
+// records. The bool is false when the task has never been observed.
+func (db *CharDB) PutPayload(key TaskKey) ([]byte, bool) {
+	rec := db.Lookup(key)
+	db.Reads-- // internal read, not an external access
+	if rec == nil {
+		return nil, false
+	}
+	b, err := json.Marshal(toPersisted(key, rec))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// InstallPayload decodes a chardb-put payload (see PutPayload) and installs
+// it as the task's flushed record — the replay half of WAL-based recovery.
+func (db *CharDB) InstallPayload(data []byte) error {
+	var p persistedRecord
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("chardb: bad journaled record: %w", err)
+	}
+	rec := fromPersisted(p)
+	db.store[rec.Key] = rec
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -77,21 +79,27 @@ func TestSaveIsDeterministic(t *testing.T) {
 	}
 }
 
-func TestLoadSurvivesGarbage(t *testing.T) {
-	// A corrupt characterization file must not be fatal: Load logs and
-	// starts empty (the history is a hint, not correctness state).
+func TestLoadRejectsGarbageWithoutClobbering(t *testing.T) {
+	// A corrupt characterization file errors out, and the database keeps
+	// whatever good state it already had — Load decodes fully before it
+	// swaps anything in.
 	db := populatedDB(t)
-	if err := db.Load(strings.NewReader("not json")); err != nil {
-		t.Fatalf("garbage should be survivable, got %v", err)
+	before := db.Size()
+	if err := db.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage load should return an error")
 	}
-	if db.Size() != 0 {
-		t.Fatalf("corrupt load left %d stale records", db.Size())
+	if db.Size() != before {
+		t.Fatalf("failed load changed the database: %d records, want %d", db.Size(), before)
+	}
+	if rec := db.Lookup(TaskKey{"grad", 0}); rec == nil || rec.Runs != 2 {
+		t.Fatalf("failed load corrupted surviving record: %+v", rec)
 	}
 }
 
-func TestLoadSurvivesTruncatedFile(t *testing.T) {
-	// A crash mid-Save leaves a truncated JSON document; Load must start
-	// empty instead of erroring out or keeping a partial view.
+func TestLoadRejectsTruncatedFileWithoutClobbering(t *testing.T) {
+	// A truncated JSON document (a crash mid-write through a non-atomic
+	// path) is rejected with the previous contents intact, and the intact
+	// file still round-trips afterwards.
 	src := populatedDB(t)
 	var buf strings.Builder
 	if err := src.Save(&buf); err != nil {
@@ -101,19 +109,98 @@ func TestLoadSurvivesTruncatedFile(t *testing.T) {
 	truncated := full[:len(full)/2]
 
 	db := populatedDB(t)
-	if err := db.Load(strings.NewReader(truncated)); err != nil {
-		t.Fatalf("truncated file should be survivable, got %v", err)
+	before := db.Size()
+	if err := db.Load(strings.NewReader(truncated)); err == nil {
+		t.Fatal("truncated load should return an error")
 	}
-	if db.Size() != 0 {
-		t.Fatalf("truncated load left %d records", db.Size())
+	if db.Size() != before {
+		t.Fatalf("truncated load changed the database: %d records, want %d", db.Size(), before)
 	}
 
-	// And the intact file still round-trips after the failed load.
 	if err := db.Load(strings.NewReader(full)); err != nil {
 		t.Fatal(err)
 	}
 	if db.Size() != src.Size() {
 		t.Fatalf("recovered load has %d records, want %d", db.Size(), src.Size())
+	}
+}
+
+func TestSaveFileIsAtomic(t *testing.T) {
+	// SaveFile goes through a temp file + rename: a good snapshot on disk
+	// survives a later save writing garbage through a non-atomic path, and
+	// a truncated half-written file is rejected by LoadFile without
+	// corrupting the loader's previous good state.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chardb.json")
+
+	src := populatedDB(t)
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 1 {
+		t.Fatalf("temp file left behind: %v entries (%v)", len(entries), err)
+	}
+
+	fresh := NewCharDB()
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Size() != src.Size() {
+		t.Fatalf("file round-trip lost records: %d vs %d", fresh.Size(), src.Size())
+	}
+
+	// Simulate a crash mid-write of a NEW snapshot via a non-atomic path:
+	// the destination ends up truncated.
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded := populatedDB(t)
+	before := loaded.Size()
+	if err := loaded.LoadFile(path); err == nil {
+		t.Fatal("truncated file should be rejected")
+	}
+	if loaded.Size() != before {
+		t.Fatalf("rejected load changed the database: %d records, want %d", loaded.Size(), before)
+	}
+
+	// Saving again over the truncated wreck restores a loadable snapshot.
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again := NewCharDB()
+	if err := again.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if again.Size() != src.Size() {
+		t.Fatalf("re-save lost records: %d vs %d", again.Size(), src.Size())
+	}
+}
+
+func TestPutInstallPayloadRoundTrip(t *testing.T) {
+	db := populatedDB(t)
+	key := TaskKey{"grad", 0}
+	b, ok := db.PutPayload(key)
+	if !ok {
+		t.Fatal("payload missing for observed task")
+	}
+	if _, ok := db.PutPayload(TaskKey{"nope", 9}); ok {
+		t.Fatal("payload produced for never-observed task")
+	}
+
+	fresh := NewCharDB()
+	if err := fresh.InstallPayload(b); err != nil {
+		t.Fatal(err)
+	}
+	rec := fresh.Lookup(key)
+	if rec == nil || rec.Runs != 2 || rec.OptExecutor != "thor2" || rec.BestTime != 8 {
+		t.Fatalf("payload round-trip corrupted record: %+v", rec)
+	}
+	if err := fresh.InstallPayload([]byte("{broken")); err == nil {
+		t.Fatal("broken payload should be rejected")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"rupam/internal/spark"
 	"rupam/internal/task"
 	"rupam/internal/tracing"
+	"rupam/internal/wal"
 )
 
 // Config tunes RUPAM. The zero value takes the paper's defaults; the
@@ -331,7 +332,65 @@ func (s *RUPAM) ExecutorLost(node string) {
 		s.nodeQ[r] = q
 	}
 	delete(s.inFlight, node)
-	s.db.ForgetNode(node)
+	s.journalRecords(s.db.ForgetNode(node))
+}
+
+// journalRecords appends the current state of the given records to the
+// runtime's write-ahead log (chardb-put records), so a recovered driver
+// rebuilds the same characterization it crashed with. No-op without a WAL.
+func (s *RUPAM) journalRecords(keys []TaskKey) {
+	w := s.rt.WAL()
+	if w == nil {
+		return
+	}
+	for _, k := range keys {
+		if b, ok := s.db.PutPayload(k); ok {
+			w.Append(wal.Record{Kind: wal.KindCharDBPut, Key: journalKey(k), CharDB: b})
+		}
+	}
+}
+
+// journalKey is the WAL string form of a task key.
+func journalKey(k TaskKey) string { return fmt.Sprintf("%s|%d", k.Signature, k.Partition) }
+
+// DriverRecovery implements spark.RecoveryAware: a restarted driver drops
+// every in-memory queue and counter (the runtime re-hands active stages
+// over right after, refilling the task queues from replayed truth) and
+// rebuilds the characteristics database from the journaled chardb-put
+// payloads — the learned locks, bottleneck histories and OOM sets survive
+// the crash. Stage-level GPU marking is recovered from the records' GPU
+// flags.
+func (s *RUPAM) DriverRecovery(ws *wal.State) {
+	for r := range s.taskQ {
+		s.taskQ[r] = nil
+	}
+	for r := range s.nodeQ {
+		s.nodeQ[r] = nil
+	}
+	s.gpuStage = make(map[string]bool)
+	s.pendingSince = make(map[int]float64)
+	s.degraded = make(map[string]bool)
+	s.inFlight = make(map[string]*[NumResources]int)
+	s.dimOf = make(map[*executor.Run]Resource)
+	s.rrIdx = 0
+	s.offerSeq = 0
+
+	s.db.Clear()
+	keys := make([]string, 0, len(ws.CharDB))
+	for k := range ws.CharDB {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := s.db.InstallPayload(ws.CharDB[k]); err != nil {
+			continue // torn journal payload; relearned from fresh completions
+		}
+	}
+	for key, rec := range s.db.store {
+		if rec.GPU {
+			s.gpuStage[key.Signature] = true
+		}
+	}
 }
 
 // TaskEnded implements spark.Scheduler: record the observation in the
@@ -351,6 +410,7 @@ func (s *RUPAM) TaskEnded(t *task.Task, r *executor.Run, out executor.Outcome) {
 	}
 	bottleneck, ok := s.classifyMetrics(m)
 	s.db.Update(KeyFor(st, t), m, bottleneck, ok && out == executor.Success)
+	s.journalRecords([]TaskKey{KeyFor(st, t)})
 	if out == executor.Success {
 		delete(s.pendingSince, t.ID)
 	}
@@ -393,7 +453,9 @@ func (s *RUPAM) noteFreq(nodeName string, nm *monitor.NodeMetrics) {
 	slow := nm.CPUFreq < node.Spec.FreqGHz*0.999
 	if slow && !s.degraded[nodeName] {
 		s.degraded[nodeName] = true
-		s.LocksReleased += s.db.ReleaseNodeLocks(nodeName)
+		released := s.db.ReleaseNodeLocks(nodeName)
+		s.LocksReleased += len(released)
+		s.journalRecords(released)
 	} else if !slow && s.degraded[nodeName] {
 		delete(s.degraded, nodeName)
 	}

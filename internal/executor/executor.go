@@ -302,6 +302,20 @@ func (ex *Executor) Running() []*Run {
 	return rs
 }
 
+// AttemptOf returns this executor's in-flight attempt of t, or nil. When
+// multiple attempts of the same task are somehow in flight here, the
+// earliest-launched wins (deterministic). A recovering driver uses this to
+// re-adopt attempts it logged as launched before crashing.
+func (ex *Executor) AttemptOf(t *task.Task) *Run {
+	var found *Run
+	for r := range ex.running {
+		if r.t == t && (found == nil || r.seq < found.seq) {
+			found = r
+		}
+	}
+	return found
+}
+
 // Options controls one task attempt.
 type Options struct {
 	// Locality is the level the scheduler assigned (recorded in metrics

@@ -137,12 +137,12 @@ func RunWithCharDB(spec RunSpec, path string) (*spark.Result, int) {
 	app := workloads.Build(spec.Workload, store, p)
 
 	sched := core.New(spec.RUPAM)
-	if f, err := os.Open(path); err == nil {
-		if err := sched.DB().Load(f); err != nil {
-			f.Close()
-			panic(fmt.Sprintf("experiments: loading chardb %s: %v", path, err))
-		}
-		f.Close()
+	if err := sched.DB().LoadFile(path); err != nil && !os.IsNotExist(err) {
+		// A corrupt snapshot is not fatal: the characterization history is
+		// a performance hint, so warn and start cold. SaveFile below writes
+		// the replacement atomically.
+		fmt.Fprintf(os.Stderr, "experiments: chardb %s unreadable (%v); starting cold\n", path, err)
+		sched.DB().Clear()
 	}
 
 	cfg := spec.Spark
@@ -154,12 +154,7 @@ func RunWithCharDB(spec RunSpec, path string) (*spark.Result, int) {
 	rt := spark.NewRuntime(eng, clu, sched, cfg)
 	res := rt.Run(app)
 
-	f, err := os.Create(path)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: saving chardb %s: %v", path, err))
-	}
-	defer f.Close()
-	if err := sched.DB().Save(f); err != nil {
+	if err := sched.DB().SaveFile(path); err != nil {
 		panic(fmt.Sprintf("experiments: saving chardb %s: %v", path, err))
 	}
 	return res, sched.DB().RecordCount()

@@ -50,6 +50,13 @@ const (
 	// failures (a flaky local disk, a corrupted spill file, a JNI bug)
 	// that exercise retry accounting without taking the node down.
 	TaskFlake
+	// DriverCrash kills the driver process itself: scheduler state, the
+	// map-output registry, CharDB learnings and the blacklist all vanish
+	// unless written ahead to a WAL. Executors keep running (and buffer
+	// their results) while the driver is down; Duration > 0 is the restart
+	// delay before recovery replays the log and reconciles with survivors.
+	// Node is empty — the fault targets the driver, not a worker.
+	DriverCrash
 )
 
 // String names the kind.
@@ -69,6 +76,8 @@ func (k Kind) String() string {
 		return "mem-pressure"
 	case TaskFlake:
 		return "task-flake"
+	case DriverCrash:
+		return "driver-crash"
 	default:
 		return fmt.Sprintf("faults.Kind(%d)", int(k))
 	}
@@ -98,8 +107,10 @@ func (e Event) String() string {
 // Validate reports the first problem with the event, or nil.
 func (e Event) Validate() error {
 	switch {
-	case e.Node == "":
+	case e.Node == "" && e.Kind != DriverCrash:
 		return fmt.Errorf("faults: %s event without a node", e.Kind)
+	case e.Node != "" && e.Kind == DriverCrash:
+		return fmt.Errorf("faults: driver-crash event names a node (%s)", e.Node)
 	case e.At < 0:
 		return fmt.Errorf("faults: %s %s: negative time %g", e.Kind, e.Node, e.At)
 	case e.Duration < 0:
@@ -118,6 +129,10 @@ func (e Event) Validate() error {
 			return fmt.Errorf("faults: %s %s: windowed fault needs a duration", e.Kind, e.Node)
 		}
 	case NodeCrash:
+	case DriverCrash:
+		if e.Duration <= 0 {
+			return fmt.Errorf("faults: driver-crash needs a positive restart delay, got %g", e.Duration)
+		}
 	default:
 		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
 	}
@@ -131,6 +146,37 @@ type Schedule struct {
 
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// HasKind reports whether the schedule contains at least one event of the
+// given kind. The runtime uses it to decide whether a run needs a
+// write-ahead log (any DriverCrash does).
+func (s *Schedule) HasKind(k Kind) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// WithoutKind returns a copy of the schedule with every event of the given
+// kind removed. The recovery harness uses it to derive the unfailed
+// reference plan from a driver-crash plan: same worker faults, no crash.
+func (s *Schedule) WithoutKind(k Kind) *Schedule {
+	if s == nil {
+		return nil
+	}
+	out := &Schedule{}
+	for _, e := range s.Events {
+		if e.Kind != k {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
 
 // Validate checks every event and the schedule's cross-event consistency,
 // returning the first error. Two crash windows of the same node may not
@@ -159,6 +205,21 @@ func (s *Schedule) Validate() error {
 					return fmt.Errorf("faults: overlapping crash windows on %s (%s / %s)",
 						node, evs[i], evs[j])
 				}
+			}
+		}
+	}
+	// The same impossibility holds for the driver: it cannot crash again
+	// while it is already down waiting to restart.
+	var dcs []Event
+	for _, e := range s.Events {
+		if e.Kind == DriverCrash {
+			dcs = append(dcs, e)
+		}
+	}
+	for i := 0; i < len(dcs); i++ {
+		for j := i + 1; j < len(dcs); j++ {
+			if crashWindowsOverlap(dcs[i], dcs[j]) {
+				return fmt.Errorf("faults: overlapping driver-crash windows (%s / %s)", dcs[i], dcs[j])
 			}
 		}
 	}
@@ -225,6 +286,14 @@ type GenConfig struct {
 	TaskFlakes   int
 	MinFlakeProb float64
 	MaxFlakeProb float64
+	// DriverCrashes is the number of driver kill points; each restarts
+	// after a delay drawn between MinDriverRestart and MaxDriverRestart.
+	// These fields sit last so their RNG draws append to — never reorder —
+	// the draw sequence of pre-existing plans: a seed's worker-fault trace
+	// is unchanged by the driver-crash extension.
+	DriverCrashes    int
+	MinDriverRestart float64
+	MaxDriverRestart float64
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -254,6 +323,12 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.MaxFlakeProb < g.MinFlakeProb {
 		g.MaxFlakeProb = 0.5
+	}
+	if g.MinDriverRestart <= 0 {
+		g.MinDriverRestart = 2
+	}
+	if g.MaxDriverRestart < g.MinDriverRestart {
+		g.MaxDriverRestart = g.MinDriverRestart + 6
 	}
 	return g
 }
@@ -345,6 +420,30 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 			Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
 			Factor:   rng.Range(cfg.MinFlakeProb, cfg.MaxFlakeProb),
 		})
+	}
+	// Driver crashes draw last (see GenConfig.DriverCrashes) and redraw on
+	// overlap like node crashes: the driver cannot die while already down.
+	var driverCrashes []Event
+	for i := 0; i < cfg.DriverCrashes; i++ {
+		for try := 0; try < 16; try++ {
+			ev := Event{
+				Kind:     DriverCrash,
+				At:       rng.Range(0, cfg.Horizon),
+				Duration: rng.Range(cfg.MinDriverRestart, cfg.MaxDriverRestart),
+			}
+			overlaps := false
+			for _, prev := range driverCrashes {
+				if crashWindowsOverlap(prev, ev) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				driverCrashes = append(driverCrashes, ev)
+				evs = append(evs, ev)
+				break
+			}
+		}
 	}
 	s := &Schedule{Events: evs}
 	if err := s.Validate(); err != nil {

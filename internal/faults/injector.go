@@ -46,6 +46,11 @@ type Injector struct {
 	// the node's fault track. Nil (the default) records nothing.
 	Collector *tracing.Collector
 
+	// OnDriverCrash, if set, is invoked for DriverCrash events with the
+	// restart delay; the scheduler runtime wires its crash/recovery path
+	// here. Unset, driver-crash events are ignored (a driverless harness).
+	OnDriverCrash func(restartAfter float64)
+
 	// Counters for reporting.
 	Crashes         int
 	Recoveries      int
@@ -55,6 +60,7 @@ type Injector struct {
 	CPUDegrades     int
 	MemPressures    int
 	TaskFlakes      int
+	DriverCrashes   int
 }
 
 type windowKey struct {
@@ -98,7 +104,7 @@ func (inj *Injector) Install(s *Schedule) {
 		panic(err)
 	}
 	for _, ev := range s.sorted() {
-		if inj.clu.Node(ev.Node) == nil {
+		if ev.Kind != DriverCrash && inj.clu.Node(ev.Node) == nil {
 			panic(fmt.Sprintf("faults: schedule names unknown node %q", ev.Node))
 		}
 		e := ev
@@ -128,7 +134,20 @@ func (inj *Injector) apply(ev Event) {
 		inj.pressureMem(ev)
 	case TaskFlake:
 		inj.flakeTasks(ev)
+	case DriverCrash:
+		inj.crashDriver(ev)
 	}
+}
+
+func (inj *Injector) crashDriver(ev Event) {
+	if inj.OnDriverCrash == nil {
+		return
+	}
+	inj.DriverCrashes++
+	inj.trace("driver crash (restart %.1fs)", ev.Duration)
+	inj.Collector.FaultSpan("", "driver-crash",
+		fmt.Sprintf("restart %.1fs", ev.Duration), ev.Duration)
+	inj.OnDriverCrash(ev.Duration)
 }
 
 func (inj *Injector) crash(ev Event) {

@@ -110,6 +110,18 @@ func (m *Monitor) Stop() {
 	m.timers = nil
 }
 
+// Resume restarts heartbeat collection after a Stop, re-staggering nodes
+// the way Start does. The Heartbeats counter and per-node latest views are
+// preserved — a recovered driver resumes monitoring, it does not forget
+// what it had observed. No-op while running.
+func (m *Monitor) Resume() {
+	if !m.stopped {
+		return
+	}
+	m.stopped = false
+	m.Start()
+}
+
 func (m *Monitor) tick(node *cluster.Node) {
 	if m.stopped {
 		return

@@ -63,8 +63,12 @@ func newBlacklist(eng *simx.Engine, cfg BlacklistConfig) *blacklist {
 }
 
 // noteFailure records one failure of task taskID on node, activating the
-// node blacklist when the node crosses its threshold.
-func (b *blacklist) noteFailure(taskID int, node string) {
+// node blacklist when the node crosses its threshold. It reports whether
+// this failure activated the blacklist and, if so, the absolute expiry
+// time — the caller logs activations to the write-ahead log so recovery
+// can restore the deadline as an absolute virtual-clock time rather than
+// re-arming it from recovery time.
+func (b *blacklist) noteFailure(taskID int, node string) (activated bool, until float64) {
 	per := b.taskNode[taskID]
 	if per == nil {
 		per = make(map[string]int)
@@ -76,7 +80,33 @@ func (b *blacklist) noteFailure(taskID int, node string) {
 		b.until[node] = b.eng.Now() + b.cfg.Timeout
 		b.nodeFailures[node] = 0
 		b.NodesBlacklisted++
+		return true, b.until[node]
 	}
+	return false, 0
+}
+
+// restore reloads the tracker's state from replayed write-ahead-log
+// history. Expiry deadlines are absolute virtual-clock times carried over
+// verbatim: a node blacklisted at T with TTL D becomes usable at exactly
+// T+D whether or not the driver crashed in between.
+func (b *blacklist) restore(taskNode map[int]map[string]int, nodeFailures map[string]int, until map[string]float64, activations int) {
+	b.taskNode = make(map[int]map[string]int)
+	for id, per := range taskNode {
+		cp := make(map[string]int, len(per))
+		for n, c := range per {
+			cp[n] = c
+		}
+		b.taskNode[id] = cp
+	}
+	b.nodeFailures = make(map[string]int)
+	for n, c := range nodeFailures {
+		b.nodeFailures[n] = c
+	}
+	b.until = make(map[string]float64)
+	for n, u := range until {
+		b.until[n] = u
+	}
+	b.NodesBlacklisted = activations
 }
 
 // nodeBlacklisted reports whether node is currently blacklisted.

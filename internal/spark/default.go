@@ -8,6 +8,7 @@ import (
 	"rupam/internal/hdfs"
 	"rupam/internal/monitor"
 	"rupam/internal/task"
+	"rupam/internal/wal"
 )
 
 // DefaultScheduler reproduces Spark's stock task scheduler: one task slot
@@ -88,8 +89,18 @@ func bestPossibleLevel(st *task.Stage) hdfs.Locality {
 	return best
 }
 
-// Resubmit implements Scheduler.
+// Resubmit implements Scheduler. A rollback can resurrect a stage the
+// scheduler no longer tracks: after a driver recovery only the stages
+// active at restore time are re-handed over, and the recovery reconcile
+// may then roll back a stage that was complete at the crash. Register such
+// a stage as if freshly submitted, or its tasks would sit in a queue no
+// dispatch round ever visits.
 func (s *DefaultScheduler) Resubmit(t *task.Task, st *task.Stage) {
+	if _, known := s.allowed[st.ID]; !known {
+		s.order = append(s.order, st.ID)
+		s.allowed[st.ID] = bestPossibleLevel(st)
+		s.lastLaunch[st.ID] = s.rt.Eng.Now()
+	}
 	s.pending[st.ID] = append(s.pending[st.ID], t)
 }
 
@@ -168,6 +179,22 @@ func (s *DefaultScheduler) ExecutorLost(node string) {
 	delete(s.runningByNodeStage, node)
 }
 
+// DriverRecovery implements RecoveryAware: the stock scheduler keeps no
+// learned state worth restoring, so a driver crash simply resets every
+// queue and counter. The runtime re-hands active stages over through
+// StageSubmitted right after, which refills the queues from the replayed
+// write-ahead-log truth.
+func (s *DefaultScheduler) DriverRecovery(ws *wal.State) {
+	s.pending = make(map[int][]*task.Task)
+	s.order = nil
+	s.allowed = make(map[int]hdfs.Locality)
+	s.lastLaunch = make(map[int]float64)
+	s.rot = 0
+	s.oomBackoff = make(map[int]int)
+	s.successStreak = make(map[int]int)
+	s.runningByNodeStage = make(map[string]map[int]int)
+}
+
 // Schedule implements Scheduler: fill free core slots with the
 // best-locality pending task each node can get, then spend leftover slots
 // on speculative copies.
@@ -211,7 +238,21 @@ func (s *DefaultScheduler) launchOn(node string) bool {
 	d := rt.Cfg.Tracer.NewDecision(s.Name(), node)
 	// Pending tasks first, stages in submission order (FIFO).
 	for _, id := range s.order {
+		// Compact away queue entries that are no longer pending — tasks
+		// finished or running elsewhere (a stage re-handed over by driver
+		// recovery enqueues all of its tasks, and a task can be enqueued
+		// twice by a resubmit racing the re-hand-over). Left in place they
+		// would be picked, refused by Launch, and re-appended forever,
+		// starving the genuinely pending work behind them.
 		q := s.pending[id]
+		kept := q[:0]
+		for _, t := range q {
+			if t.State == task.Pending {
+				kept = append(kept, t)
+			}
+		}
+		q = kept
+		s.pending[id] = q
 		if len(q) == 0 {
 			continue
 		}

@@ -6,6 +6,7 @@ import (
 	"rupam/internal/executor"
 	"rupam/internal/stats"
 	"rupam/internal/task"
+	"rupam/internal/wal"
 )
 
 // submitJob activates job j: resolves cache locations for its tasks and
@@ -14,6 +15,7 @@ func (rt *Runtime) submitJob(j int) {
 	rt.jobIdx = j
 	job := rt.app.Jobs[j]
 	rt.Cfg.Tracer.JobBegin(job.ID, job.Name)
+	rt.wlog.Append(wal.Record{Kind: wal.KindJobSubmitted, Job: j})
 	for _, st := range job.Stages {
 		rt.stages[st.ID] = st
 		for _, t := range st.Tasks {
@@ -40,6 +42,7 @@ func (rt *Runtime) maybeSubmitStage(st *task.Stage) {
 	rt.submitted[st.ID] = true
 	rt.activeStages[st.ID] = st
 	rt.Cfg.Tracer.StageBegin(st)
+	rt.wlog.Append(wal.Record{Kind: wal.KindStageSubmitted, Stage: st.ID, Job: rt.jobIdx})
 	for _, t := range st.Tasks {
 		rt.resolveCacheLocation(t)
 		t.State = task.Pending
@@ -74,7 +77,7 @@ func (rt *Runtime) CanRunOn(node string) bool {
 // if the launch was refused). All schedulers place tasks through this
 // single entry point.
 func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *executor.Run {
-	if rt.appDone || !rt.CanRunOn(node) {
+	if rt.appDone || rt.crashed || !rt.CanRunOn(node) {
 		return nil
 	}
 	ex := rt.Execs[node]
@@ -105,14 +108,24 @@ func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *exe
 	}
 	r := ex.Launch(t, st, opts, rt.onTaskEnd)
 	rt.runningAtt[t.ID] = append(rt.runningAtt[t.ID], r)
+	rt.wlog.Append(wal.Record{Kind: wal.KindTaskLaunched,
+		Task: t.ID, Stage: st.ID, Index: t.Index, Node: node, Spec: opts.Speculative})
 	return r
 }
 
 // RunningAttempts returns the live attempts of a task.
 func (rt *Runtime) RunningAttempts(t *task.Task) []*executor.Run { return rt.runningAtt[t.ID] }
 
-// onTaskEnd is the single completion path for every attempt.
+// onTaskEnd is the single completion path for every attempt. While the
+// driver is down (a DriverCrash window) completions are not lost: they
+// buffer in arrival order, modeling executors that hold their status
+// updates until the restarted driver re-registers them, and recovery
+// redelivers each through this same path.
 func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
+	if rt.crashed {
+		rt.orphaned = append(rt.orphaned, orphanEnd{r: r, out: out})
+		return
+	}
 	t := r.Task()
 	st := r.Stage()
 
@@ -133,6 +146,15 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 		if t.State != task.Finished {
 			t.State = task.Finished
 			delete(rt.speculatable, t.ID)
+			rt.wlog.Append(wal.Record{Kind: wal.KindTaskSucceeded,
+				Task: t.ID, Stage: st.ID, Index: t.Index,
+				Node: r.Metrics().Executor, Bytes: t.Demand.ShuffleWriteBytes})
+			if t.Demand.ShuffleWriteBytes > 0 && st.OutputNodeOf(t.Index) == "" {
+				// An adopted attempt's shuffle write landed before driver
+				// recovery wiped the stage's output map; re-register it so
+				// children can locate the blocks.
+				st.RecordShuffleOutput(t.Index, r.Metrics().Executor, t.Demand.ShuffleWriteBytes)
+			}
 			// The losing copies are cancelled; the driver does not route
 			// them through the failure path (no resubmission), but the
 			// scheduler still hears about each so its per-node accounting
@@ -140,13 +162,31 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 			for _, a := range append([]*executor.Run(nil), live...) {
 				a.Kill(false)
 				rt.sched.TaskEnded(t, a, executor.Killed)
+				rt.wlog.Append(wal.Record{Kind: wal.KindAttemptEnded,
+					Task: t.ID, Node: a.Metrics().Executor, Outcome: "killed"})
 			}
 			rt.runningAtt[t.ID] = nil
 			if st.MarkCompleted() {
 				rt.onStageComplete(st)
 			}
+		} else {
+			// A second success of an already-finished task (a redelivered
+			// race both copies of which completed while the driver was
+			// down). The completion is not double-counted; the attempt is
+			// simply drained. The count of drains licenses the extra
+			// successful attempt metrics for the invariant battery — only
+			// during orphan redelivery, so the strict at-most-one bound
+			// still holds everywhere a live driver could have killed the
+			// loser.
+			if rt.redelivering {
+				rt.dupSuccess[t.ID]++
+			}
+			rt.wlog.Append(wal.Record{Kind: wal.KindAttemptEnded,
+				Task: t.ID, Node: r.Metrics().Executor, Outcome: "success"})
 		}
 	case executor.OOM, executor.Killed, executor.Lost, executor.FetchFailed, executor.Flaked:
+		rt.wlog.Append(wal.Record{Kind: wal.KindAttemptEnded,
+			Task: t.ID, Node: r.Metrics().Executor, Outcome: out.String()})
 		if t.State == task.Finished {
 			break // a lost speculative copy; nothing to do
 		}
@@ -167,6 +207,7 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 		t.State = task.Pending
 		rt.resolveCacheLocation(t) // cache may have moved or been dropped
 		rt.Cfg.Tracer.TaskQueued(t.ID)
+		rt.wlog.Append(wal.Record{Kind: wal.KindTaskRequeued, Task: t.ID, Stage: st.ID})
 		rt.sched.Resubmit(t, st)
 	}
 	if rt.appDone {
@@ -180,12 +221,14 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 func (rt *Runtime) onStageComplete(st *task.Stage) {
 	delete(rt.activeStages, st.ID)
 	rt.Cfg.Tracer.StageEnd(st.ID)
+	rt.wlog.Append(wal.Record{Kind: wal.KindStageCompleted, Stage: st.ID, Job: rt.jobIdx})
 	job := rt.app.Jobs[rt.jobIdx]
 	for _, s := range job.Stages {
 		rt.maybeSubmitStage(s)
 	}
 	if st == job.Final {
 		rt.Cfg.Tracer.JobEnd(job.ID)
+		rt.wlog.Append(wal.Record{Kind: wal.KindJobCompleted, Job: rt.jobIdx})
 		rt.jobEnds = append(rt.jobEnds, rt.Eng.Now())
 		if rt.jobIdx+1 < len(rt.app.Jobs) {
 			rt.submitJob(rt.jobIdx + 1)
@@ -260,6 +303,7 @@ func (rt *Runtime) scanForStragglers() {
 			att := rt.runningAtt[t.ID][0]
 			if now-att.Metrics().Launch > threshold {
 				rt.Cfg.Tracer.SpeculatableMarked(t.ID)
+				rt.wlog.Append(wal.Record{Kind: wal.KindSpecMarked, Task: t.ID, Stage: st.ID})
 				rt.speculatable[t.ID] = t
 			}
 		}
@@ -285,6 +329,7 @@ func (rt *Runtime) SpeculativeTasks() []*task.Task {
 func (rt *Runtime) MarkSpeculatable(t *task.Task) {
 	if t.State == task.Running {
 		rt.Cfg.Tracer.SpeculatableMarked(t.ID)
+		rt.wlog.Append(wal.Record{Kind: wal.KindSpecMarked, Task: t.ID, Stage: t.StageID})
 		rt.speculatable[t.ID] = t
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"rupam/internal/executor"
 	"rupam/internal/task"
+	"rupam/internal/wal"
 )
 
 // This file is the driver's fault-tolerance layer: heartbeat-timeout
@@ -79,6 +80,7 @@ func (rt *Runtime) noteHeartbeat(node string) {
 		// registering and reaps the old one's state; do the same before
 		// accepting the report.
 		rt.lastInc[node] = ex.Incarnation
+		rt.wlog.Append(wal.Record{Kind: wal.KindExecIncarnation, Node: node, Inc: ex.Incarnation})
 		rt.executorLost(node, "executor restarted")
 	}
 	rt.lastHB[node] = rt.Eng.Now()
@@ -86,6 +88,7 @@ func (rt *Runtime) noteHeartbeat(node string) {
 		delete(rt.lostExecs, node)
 		rt.ExecutorsRejoined++
 		rt.Cfg.Tracer.ExecutorRejoined(node)
+		rt.wlog.Append(wal.Record{Kind: wal.KindExecRejoined, Node: node})
 	}
 }
 
@@ -101,6 +104,7 @@ func (rt *Runtime) executorLost(node string, reason string) {
 	rt.lostExecs[node] = true
 	rt.ExecutorsLost++
 	rt.Cfg.Tracer.ExecutorLost(node, reason)
+	rt.wlog.Append(wal.Record{Kind: wal.KindExecLost, Node: node, Reason: reason})
 
 	if ela, ok := rt.sched.(ExecutorLossAware); ok {
 		ela.ExecutorLost(node)
@@ -119,14 +123,52 @@ func (rt *Runtime) executorLost(node string, reason string) {
 		rt.onTaskEnd(r, executor.Lost)
 	}
 
-	// Fetch-fail every attempt mid-stream from the lost node's shuffle
-	// files.
+	// Attempts mid-fetch from the lost node's shuffle files: when the
+	// source executor is confirmed dead (fail-stopped, down, or seen
+	// restarting under a new incarnation) the connection is refused and
+	// the fetch escalates to FetchFailed immediately, as before. When the
+	// node merely stopped heartbeating — a driver-side partition, the
+	// process may well be alive and still serving shuffle blocks — the
+	// driver instead re-checks the fetch a bounded number of times with
+	// deterministic backoff, escalating only if the source is still gone.
+	confirmed := true
+	if ex := rt.Execs[node]; ex != nil && !ex.Down() && !ex.FailStopped() &&
+		reason != "executor restarted" && rt.Cfg.FetchRetries > 0 {
+		confirmed = false
+	}
 	for _, r := range rt.runningSorted() {
 		if r.FetchingFrom(node) {
-			r.FailFetch() // fires onTaskEnd(FetchFailed) via onDone
+			if confirmed {
+				r.FailFetch() // fires onTaskEnd(FetchFailed) via onDone
+			} else {
+				rt.deferFetchFailure(r, node, 1)
+			}
 		}
 	}
 	rt.sched.Schedule()
+}
+
+// deferFetchFailure arms re-check number attempt of a shuffle fetch from a
+// slow-but-alive source. At each firing: a fetch that completed, moved on,
+// or whose source rejoined needs nothing; a source meanwhile confirmed
+// dead escalates at once; otherwise the next re-check is armed until the
+// budget (Cfg.FetchRetries) is spent and the fetch fails over to the
+// rollback path.
+func (rt *Runtime) deferFetchFailure(r *executor.Run, node string, attempt int) {
+	rt.Eng.Schedule(rt.Cfg.FetchRetryBackoff*float64(attempt), func() {
+		if rt.appDone || r.Done() || !r.FetchingFrom(node) {
+			return
+		}
+		if !rt.lostExecs[node] {
+			return // the source rejoined; let the fetch finish
+		}
+		ex := rt.Execs[node]
+		if ex == nil || ex.Down() || ex.FailStopped() || attempt >= rt.Cfg.FetchRetries {
+			r.FailFetch()
+			return
+		}
+		rt.deferFetchFailure(r, node, attempt+1)
+	})
 }
 
 // attemptsOn returns the live attempts placed on node, in task-ID order.
@@ -178,6 +220,7 @@ func (rt *Runtime) rollbackOutputs(node string) {
 			rt.activeStages[st.ID] = st
 		}
 		for _, idx := range lost {
+			rt.wlog.Append(wal.Record{Kind: wal.KindOutputLost, Stage: st.ID, Index: idx, Node: node})
 			t := st.TaskByIndex(idx)
 			if t == nil || t.State != task.Finished {
 				continue
@@ -187,6 +230,7 @@ func (rt *Runtime) rollbackOutputs(node string) {
 			rt.Resubmissions++
 			rt.resubmits[t.ID]++
 			rt.Cfg.Tracer.TaskQueued(t.ID)
+			rt.wlog.Append(wal.Record{Kind: wal.KindTaskRolledBack, Task: t.ID, Stage: st.ID})
 			rt.sched.Resubmit(t, st)
 		}
 	}
@@ -217,7 +261,10 @@ func (rt *Runtime) noteTaskFailure(t *task.Task, st *task.Stage, r *executor.Run
 	if rt.bl != nil && out != executor.FetchFailed {
 		// A fetch failure blames the dead source, not the node the attempt
 		// ran on; the source is already being handled as an executor loss.
-		rt.bl.noteFailure(t.ID, r.Metrics().Executor)
+		if activated, until := rt.bl.noteFailure(t.ID, r.Metrics().Executor); activated {
+			rt.wlog.Append(wal.Record{Kind: wal.KindBlacklistAdd,
+				Node: r.Metrics().Executor, Until: until})
+		}
 	}
 	if rt.Cfg.TaskMaxFailures > 0 && rt.failCount[t.ID] >= rt.Cfg.TaskMaxFailures {
 		rt.abortJob(t, st, out.String())
@@ -241,6 +288,8 @@ func (rt *Runtime) abortJob(t *task.Task, st *task.Stage, reason string) {
 	}
 	t.State = task.Failed
 	rt.Cfg.Tracer.JobAborted(rt.aborted.Error())
+	rt.wlog.Append(wal.Record{Kind: wal.KindJobAborted, Job: rt.jobIdx, Task: t.ID,
+		Stage: st.ID, Reason: reason})
 	for _, r := range rt.runningSorted() {
 		r.Kill(false)
 	}
@@ -253,6 +302,14 @@ func (rt *Runtime) abortJob(t *task.Task, st *task.Stage, reason string) {
 // successful attempt to the task's history, which the chaos invariant
 // checker must not mistake for a double-counted completion.
 func (rt *Runtime) ResubmitCount(taskID int) int { return rt.resubmits[taskID] }
+
+// DuplicateSuccessCount reports how many redundant successes of the task
+// recovery drained from the orphan buffer: a speculative race whose copies
+// all completed while the driver was down yields one successful attempt
+// per copy, of which the driver counts exactly one. The invariant battery
+// uses this to license the extra attempt-level successes without loosening
+// its at-most-one bound for live-driver execution.
+func (rt *Runtime) DuplicateSuccessCount(taskID int) int { return rt.dupSuccess[taskID] }
 
 // TaskBlockedOn reports whether the blacklist forbids launching the task
 // on node; schedulers consult it when picking placements.

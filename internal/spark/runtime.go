@@ -18,6 +18,7 @@ import (
 	"rupam/internal/simx"
 	"rupam/internal/task"
 	"rupam/internal/tracing"
+	"rupam/internal/wal"
 )
 
 // Config carries the framework's tunables; zero fields take the Spark
@@ -66,6 +67,21 @@ type Config struct {
 	// cluster during the run. Nil or empty leaves the run byte-identical
 	// to one without the fault layer.
 	Faults *faults.Schedule
+	// WAL, when non-nil, receives every driver state transition as an
+	// append-only write-ahead log; crash recovery replays it. Left nil, an
+	// in-memory log is created automatically when the fault plan contains
+	// a DriverCrash (a crash without a WAL would be unrecoverable), and no
+	// log is kept otherwise.
+	WAL *wal.Log
+	// FetchRetries bounds how many deterministic-backoff re-checks a
+	// shuffle fetch from a slow-but-alive source gets before the driver
+	// escalates to FetchFailed (default 2; negative disables, escalating
+	// immediately as before). Fetches from a source whose executor is
+	// confirmed dead always escalate immediately.
+	FetchRetries int
+	// FetchRetryBackoff is the base backoff between fetch re-checks in
+	// seconds; check i fires backoff×i after the previous (default 1.5).
+	FetchRetryBackoff float64
 	// SampleInterval is the utilization-trace sampling period (default
 	// 1 s; 0 keeps the default, negative disables tracing).
 	SampleInterval float64
@@ -110,6 +126,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleInterval == 0 {
 		c.SampleInterval = 1
+	}
+	if c.FetchRetries == 0 {
+		c.FetchRetries = 2
+	}
+	if c.FetchRetryBackoff == 0 {
+		c.FetchRetryBackoff = 1.5
 	}
 	if c.MaxSimTime == 0 {
 		c.MaxSimTime = 86400
@@ -186,6 +208,14 @@ type Runtime struct {
 	inj       *faults.Injector   // nil unless Cfg.Faults is non-empty
 	aborted   *AbortError
 
+	// crash-recovery state (recovery.go)
+	wlog         *wal.Log    // nil unless WAL configured or plan crashes the driver
+	crashed      bool        // driver is down; completions buffer in orphaned
+	crashAt      float64     // virtual time of the current/last crash
+	orphaned     []orphanEnd // completions that landed while the driver was down
+	redelivering bool        // recovery is draining the orphan buffer right now
+	dupSuccess   map[int]int // per task: duplicate successes drained across crash windows
+
 	// counters
 	SpecCopies        int
 	MemKills          int
@@ -196,6 +226,12 @@ type Runtime struct {
 	ExecutorsRejoined int
 	FetchFailures     int
 	Resubmissions     int
+	DriverCrashes     int
+	DriverRecoveries  int
+	// SpecLiveAtCrash records, per crash, how many speculative copies were
+	// in flight at the instant the driver died (test observability for the
+	// crash-during-speculation race).
+	SpecLiveAtCrash []int
 }
 
 // NewRuntime builds a runtime over the cluster for the given scheduler.
@@ -229,6 +265,7 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 		lastInc:      make(map[string]int),
 		failCount:    make(map[int]int),
 		resubmits:    make(map[int]int),
+		dupSuccess:   make(map[int]int),
 	}
 	if cfg.Blacklist.Enabled {
 		rt.bl = newBlacklist(eng, cfg.Blacklist)
@@ -243,6 +280,20 @@ func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
 // Injector returns the fault injector, or nil when no faults were
 // configured. Experiments read its counters for reporting.
 func (rt *Runtime) Injector() *faults.Injector { return rt.inj }
+
+// WAL returns the run's write-ahead log (nil when none is kept).
+func (rt *Runtime) WAL() *wal.Log { return rt.wlog }
+
+// BlacklistUntil returns node's absolute blacklist-expiry virtual time (0
+// when the node is not blacklisted or blacklisting is off) — a test hook
+// for verifying that recovery restores deadlines rather than re-arming
+// them.
+func (rt *Runtime) BlacklistUntil(node string) float64 {
+	if rt.bl == nil {
+		return 0
+	}
+	return rt.bl.until[node]
+}
 
 // Result summarizes one application run.
 type Result struct {
@@ -267,6 +318,11 @@ type Result struct {
 	NodesBlacklisted  int
 	FailStops         int
 	TaskFlakes        int
+	DriverCrashes     int
+	DriverRecoveries  int
+	// SpecLiveAtCrash records, per driver crash, how many speculative
+	// copies were in flight at the instant the driver died.
+	SpecLiveAtCrash []int
 	// Aborted is non-nil when the run ended in a job abort instead of
 	// completing; Duration then measures time to the abort.
 	Aborted *AbortError
@@ -316,10 +372,22 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 	for _, n := range rt.Clu.Nodes {
 		rt.lastHB[n.Name()] = rt.Eng.Now()
 	}
+	rt.wlog = rt.Cfg.WAL
+	if rt.wlog != nil {
+		// A configured log may predate this engine (the CLI opens the file
+		// before the run is built); stamp its records with our clock.
+		rt.wlog.SetClock(rt.Eng.Now)
+	}
 	if !rt.Cfg.Faults.Empty() {
 		rt.inj = faults.NewInjector(rt.Eng, rt.Clu, rt.Execs)
 		rt.Mon.Drop = rt.inj.Suppressed
 		rt.inj.Collector = rt.Cfg.Tracer
+		rt.inj.OnDriverCrash = rt.driverCrash
+		if rt.wlog == nil && rt.Cfg.Faults.HasKind(faults.DriverCrash) {
+			// A crash without a WAL would be unrecoverable; keep an
+			// in-memory log so the plan's DriverCrash events can replay.
+			rt.wlog = wal.New(nil, wal.Options{Clock: rt.Eng.Now})
+		}
 		rt.inj.Install(rt.Cfg.Faults)
 	}
 	rt.armWatchdog()
@@ -366,6 +434,9 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 		ExecutorsRejoined: rt.ExecutorsRejoined,
 		FetchFailures:     rt.FetchFailures,
 		Resubmissions:     rt.Resubmissions,
+		DriverCrashes:     rt.DriverCrashes,
+		DriverRecoveries:  rt.DriverRecoveries,
+		SpecLiveAtCrash:   rt.SpecLiveAtCrash,
 		Aborted:           rt.aborted,
 	}
 	if rt.bl != nil {

@@ -263,6 +263,36 @@ func (s *Stage) RecordShuffleOutput(taskIndex int, node string, bytes int64) {
 // OutputNodeOf returns the node holding taskIndex's map output, or "".
 func (s *Stage) OutputNodeOf(taskIndex int) string { return s.outputLoc[taskIndex].node }
 
+// OutputOf returns the node and size of taskIndex's materialized map
+// output ("" and 0 if none is registered).
+func (s *Stage) OutputOf(taskIndex int) (string, int64) {
+	loc := s.outputLoc[taskIndex]
+	return loc.node, loc.bytes
+}
+
+// ResetShuffleOutputs forgets every materialized map output and zeroes the
+// completion counter. Crash recovery uses it to rebuild the stage's output
+// registry from the write-ahead log: only outputs whose success records
+// were durably logged are re-registered, anything an executor wrote but
+// never reported lands again through redelivered completions.
+func (s *Stage) ResetShuffleOutputs() {
+	s.ShuffleOutputByNode = nil
+	s.outputLoc = nil
+	s.completed = 0
+}
+
+// SetCompleted forces the completion counter, clamped to [0, NumTasks].
+// Recovery sets it to the number of logged-finished tasks in the stage.
+func (s *Stage) SetCompleted(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(s.Tasks) {
+		n = len(s.Tasks)
+	}
+	s.completed = n
+}
+
 // LoseNodeOutputs removes every map output the stage had materialized on
 // node (a fail-stop loss of the node's shuffle files) and returns the
 // indices of the tasks whose output is gone, in ascending order. The

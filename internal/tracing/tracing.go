@@ -254,6 +254,53 @@ func (c *Collector) ExecutorRejoined(node string) {
 	})
 }
 
+// DriverCrashed records the driver process dying; restartAfter is the
+// scheduled downtime before recovery begins.
+func (c *Collector) DriverCrashed(restartAfter float64) {
+	if c == nil {
+		return
+	}
+	c.instants = append(c.instants, instant{
+		seq: c.nextSeq(), time: c.now(),
+		name: "driver crashed", cat: "driver",
+		args: map[string]interface{}{"restart_after": restartAfter},
+	})
+}
+
+// DriverRecovered records the end of a crash-recovery replay: how many
+// in-flight attempts were re-adopted from surviving executors, how many
+// buffered executor results were delivered, and how many WAL records the
+// rebuild folded.
+func (c *Collector) DriverRecovered(adopted, delivered, walRecords int) {
+	if c == nil {
+		return
+	}
+	c.instants = append(c.instants, instant{
+		seq: c.nextSeq(), time: c.now(),
+		name: "driver recovered", cat: "driver",
+		args: map[string]interface{}{
+			"adopted":     adopted,
+			"delivered":   delivered,
+			"wal_records": walRecords,
+		},
+	})
+}
+
+// RecoverySpan records the driver's downtime window [crashAt, recoveredAt]
+// on the driver track.
+func (c *Collector) RecoverySpan(crashAt, recoveredAt float64) {
+	if c == nil {
+		return
+	}
+	if recoveredAt > c.maxTime {
+		c.maxTime = recoveredAt
+	}
+	c.spans = append(c.spans, span{
+		seq: c.nextSeq(), start: crashAt, end: recoveredAt,
+		name: "driver recovery", cat: "recovery",
+	})
+}
+
 // JobAborted records a structured job abort.
 func (c *Collector) JobAborted(reason string) {
 	if c == nil {

@@ -1,0 +1,220 @@
+package wal
+
+import "encoding/json"
+
+// Attempt is one in-flight task attempt as the log last saw it.
+type Attempt struct {
+	Node string `json:"node"`
+	Spec bool   `json:"spec,omitempty"`
+}
+
+// Output is one registered map output (partition → location).
+type Output struct {
+	Node  string `json:"node"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Counters are the driver's WAL-covered accounting counters. Launches in
+// particular must round-trip exactly: the chaos invariant battery checks
+// that per-task attempt metrics sum to the launch counter across a crash.
+type Counters struct {
+	Launches          int `json:"launches"`
+	SpecCopies        int `json:"spec_copies"`
+	FetchFailures     int `json:"fetch_failures"`
+	Resubmissions     int `json:"resubmissions"`
+	ExecutorsLost     int `json:"executors_lost"`
+	ExecutorsRejoined int `json:"executors_rejoined"`
+	NodesBlacklisted  int `json:"nodes_blacklisted"`
+}
+
+// State is the replayed driver state: the pure fold of a record stream.
+// Everything in it is keyed by stable IDs (task/stage/job ints, node
+// names) so it is independent of in-memory object identity, and Encode is
+// canonical (encoding/json sorts map keys) so replay is byte-exact.
+type State struct {
+	Seq              uint64                     `json:"seq"`
+	T                float64                    `json:"t"`
+	JobIdx           int                        `json:"job_idx"` // highest submitted job, -1 before the first
+	Submitted        map[int]bool               `json:"submitted,omitempty"`
+	Finished         map[int]bool               `json:"finished,omitempty"`
+	Running          map[int][]Attempt          `json:"running,omitempty"`
+	Outputs          map[int]map[int]Output     `json:"outputs,omitempty"`
+	FailCount        map[int]int                `json:"fail_count,omitempty"`
+	Resubmits        map[int]int                `json:"resubmits,omitempty"`
+	TaskNodeFailures map[int]map[string]int     `json:"task_node_failures,omitempty"`
+	NodeFailures     map[string]int             `json:"node_failures,omitempty"`
+	Blacklist        map[string]float64         `json:"blacklist,omitempty"` // node → absolute virtual-clock expiry
+	LostExecs        map[string]bool            `json:"lost_execs,omitempty"`
+	LastInc          map[string]int             `json:"last_inc,omitempty"`
+	CharDB           map[string]json.RawMessage `json:"chardb,omitempty"` // "signature|partition" → persisted record
+	Counters         Counters                   `json:"counters"`
+}
+
+// NewState returns the empty pre-application state.
+func NewState() *State { return &State{JobIdx: -1} }
+
+// Apply folds one record into the state. The fold is total: unknown and
+// audit-only kinds are no-ops, and attempt removals tolerate absence, so
+// replaying any valid prefix of a log never fails.
+func (s *State) Apply(r *Record) {
+	s.Seq, s.T = r.Seq, r.T
+	switch r.Kind {
+	case KindSnapshot:
+		var snap State
+		if json.Unmarshal(r.Snapshot, &snap) == nil {
+			*s = snap
+			s.Seq, s.T = r.Seq, r.T
+		}
+	case KindJobSubmitted:
+		if r.Job > s.JobIdx {
+			s.JobIdx = r.Job
+		}
+	case KindStageSubmitted:
+		if s.Submitted == nil {
+			s.Submitted = make(map[int]bool)
+		}
+		s.Submitted[r.Stage] = true
+	case KindTaskLaunched:
+		s.addAttempt(r)
+		s.Counters.Launches++
+		if r.Spec {
+			s.Counters.SpecCopies++
+		}
+	case KindTaskAdopted:
+		// A recovery re-registration of an attempt whose task-launched
+		// record already counted it: no counter movement.
+		s.addAttempt(r)
+	case KindTaskSucceeded:
+		if s.Finished == nil {
+			s.Finished = make(map[int]bool)
+		}
+		s.Finished[r.Task] = true
+		s.removeAttempt(r.Task, r.Node)
+		if r.Bytes > 0 {
+			if s.Outputs == nil {
+				s.Outputs = make(map[int]map[int]Output)
+			}
+			if s.Outputs[r.Stage] == nil {
+				s.Outputs[r.Stage] = make(map[int]Output)
+			}
+			s.Outputs[r.Stage][r.Index] = Output{Node: r.Node, Bytes: r.Bytes}
+		}
+	case KindAttemptEnded:
+		s.removeAttempt(r.Task, r.Node)
+		switch r.Outcome {
+		case "success", "killed":
+			// Loser copies and late successes: no failure accounting,
+			// mirroring noteTaskFailure's Killed exemption.
+		case "fetch-failed":
+			s.bumpFail(r.Task)
+			s.Counters.FetchFailures++
+		default: // oom, lost, flaked
+			s.bumpFail(r.Task)
+			if s.TaskNodeFailures == nil {
+				s.TaskNodeFailures = make(map[int]map[string]int)
+			}
+			if s.TaskNodeFailures[r.Task] == nil {
+				s.TaskNodeFailures[r.Task] = make(map[string]int)
+			}
+			s.TaskNodeFailures[r.Task][r.Node]++
+			if s.NodeFailures == nil {
+				s.NodeFailures = make(map[string]int)
+			}
+			s.NodeFailures[r.Node]++
+		}
+	case KindTaskRolledBack:
+		delete(s.Finished, r.Task)
+		if s.Resubmits == nil {
+			s.Resubmits = make(map[int]int)
+		}
+		s.Resubmits[r.Task]++
+		s.Counters.Resubmissions++
+	case KindOutputLost:
+		if m := s.Outputs[r.Stage]; m != nil {
+			delete(m, r.Index)
+			if len(m) == 0 {
+				delete(s.Outputs, r.Stage)
+			}
+		}
+	case KindExecLost:
+		if s.LostExecs == nil {
+			s.LostExecs = make(map[string]bool)
+		}
+		s.LostExecs[r.Node] = true
+		s.Counters.ExecutorsLost++
+	case KindExecRejoined:
+		delete(s.LostExecs, r.Node)
+		if len(s.LostExecs) == 0 {
+			s.LostExecs = nil
+		}
+		s.Counters.ExecutorsRejoined++
+	case KindExecIncarnation:
+		if s.LastInc == nil {
+			s.LastInc = make(map[string]int)
+		}
+		s.LastInc[r.Node] = r.Inc
+	case KindBlacklistAdd:
+		if s.Blacklist == nil {
+			s.Blacklist = make(map[string]float64)
+		}
+		s.Blacklist[r.Node] = r.Until
+		// Activation resets the node's failure tally (blacklist.noteFailure).
+		delete(s.NodeFailures, r.Node)
+		if len(s.NodeFailures) == 0 {
+			s.NodeFailures = nil
+		}
+		s.Counters.NodesBlacklisted++
+	case KindCharDBPut:
+		if s.CharDB == nil {
+			s.CharDB = make(map[string]json.RawMessage)
+		}
+		s.CharDB[r.Key] = append(json.RawMessage(nil), r.CharDB...)
+	case KindRecovered:
+		// Recovery barrier: every pre-crash in-flight attempt is either
+		// re-adopted (task-adopted records follow) or back in the pool.
+		s.Running = nil
+	}
+}
+
+func (s *State) addAttempt(r *Record) {
+	if s.Running == nil {
+		s.Running = make(map[int][]Attempt)
+	}
+	s.Running[r.Task] = append(s.Running[r.Task], Attempt{Node: r.Node, Spec: r.Spec})
+}
+
+func (s *State) removeAttempt(tid int, node string) {
+	atts := s.Running[tid]
+	for i, a := range atts {
+		if a.Node == node {
+			atts = append(atts[:i], atts[i+1:]...)
+			break
+		}
+	}
+	if len(atts) == 0 {
+		delete(s.Running, tid)
+		if len(s.Running) == 0 {
+			s.Running = nil
+		}
+	} else {
+		s.Running[tid] = atts
+	}
+}
+
+func (s *State) bumpFail(tid int) {
+	if s.FailCount == nil {
+		s.FailCount = make(map[int]int)
+	}
+	s.FailCount[tid]++
+}
+
+// Encode renders the state canonically: encoding/json sorts map keys, so
+// equal states produce byte-identical output — the determinism invariant
+// the chaos recovery battery checks by replaying the same log twice.
+func (s *State) Encode() []byte {
+	b, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		panic("wal: encode state: " + err.Error())
+	}
+	return append(b, '\n')
+}

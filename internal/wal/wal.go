@@ -1,0 +1,191 @@
+// Package wal implements the driver's write-ahead log: a deterministic,
+// append-only record of every driver state transition (job/stage
+// submission, task launches and terminations, map-output registration and
+// rollback, CharDB updates, blacklist activations, executor membership),
+// stamped with virtual-clock time and periodically checkpointed with full
+// state snapshots embedded in the stream.
+//
+// The log exists so a crashed driver can be rebuilt exactly: Replay folds
+// the serialized bytes back into a State, stopping cleanly at the first
+// torn line, and State.Encode is canonical so two replays of the same
+// bytes are byte-identical — the recovery invariant the chaos harness
+// checks. The package is deliberately leaf-level (no imports from spark or
+// core): records refer to jobs, stages, tasks and nodes by ID, and CharDB
+// payloads travel as opaque pre-marshaled JSON.
+//
+// Framing: one record per line, "crc32(hex) space json\n". The CRC covers
+// the JSON body, so a crash mid-append (torn write) is detected and the
+// valid prefix recovered. A *Log with a nil receiver is a no-op on every
+// method, mirroring tracing.Collector, so an unlogged run pays nothing.
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"encoding/json"
+)
+
+// Record kinds. Fold semantics live in State.Apply; kinds marked audit-only
+// carry forensic detail but do not change replayed state.
+const (
+	KindJobSubmitted    = "job-submitted"    // Job
+	KindStageSubmitted  = "stage-submitted"  // Stage, Job
+	KindTaskLaunched    = "task-launched"    // Task, Stage, Node, Spec
+	KindTaskAdopted     = "task-adopted"     // Task, Stage, Node, Spec (recovery re-registration; no launch counted)
+	KindTaskSucceeded   = "task-succeeded"   // Task, Stage, Index, Node, Bytes (map-output registration when Bytes > 0)
+	KindAttemptEnded    = "attempt-ended"    // Task, Node, Outcome (loser kills, failures, late successes)
+	KindTaskRequeued    = "task-requeued"    // Task (audit-only: failed attempt put back in the pool)
+	KindTaskRolledBack  = "task-rolled-back" // Task, Stage (finished task resubmitted after output loss)
+	KindOutputLost      = "output-lost"      // Stage, Index, Node (map-output rollback)
+	KindExecLost        = "exec-lost"        // Node
+	KindExecRejoined    = "exec-rejoined"    // Node
+	KindExecIncarnation = "exec-incarnation" // Node, Inc
+	KindBlacklistAdd    = "blacklist-add"    // Node, Until (absolute virtual-clock expiry)
+	KindCharDBPut       = "chardb-put"       // Key, CharDB (last-writer-wins upsert)
+	KindSpecMarked      = "spec-marked"      // Task (audit-only: speculation decision)
+	KindStageCompleted  = "stage-completed"  // Stage (audit-only)
+	KindJobCompleted    = "job-completed"    // Job (audit-only)
+	KindJobAborted      = "job-aborted"      // Reason (audit-only; an aborted app is done, never recovered)
+	KindDriverCrashed   = "driver-crashed"   // audit-only crash marker
+	KindRecovered       = "recovered"        // recovery barrier: drops all pre-crash in-flight attempts
+	KindSnapshot        = "snapshot"         // Snapshot (full State checkpoint; replay restarts the fold here)
+)
+
+// Record is one WAL entry. Numeric zero values are elided on the wire
+// (omitempty) and restored as zeros on decode, so encoding is lossless.
+type Record struct {
+	Seq      uint64          `json:"seq"`
+	T        float64         `json:"t"`
+	Kind     string          `json:"kind"`
+	Job      int             `json:"job,omitempty"`
+	Stage    int             `json:"stage,omitempty"`
+	Task     int             `json:"task,omitempty"`
+	Index    int             `json:"index,omitempty"`
+	Node     string          `json:"node,omitempty"`
+	Bytes    int64           `json:"bytes,omitempty"`
+	Spec     bool            `json:"spec,omitempty"`
+	Outcome  string          `json:"outcome,omitempty"`
+	Until    float64         `json:"until,omitempty"`
+	Inc      int             `json:"inc,omitempty"`
+	Key      string          `json:"key,omitempty"`
+	Reason   string          `json:"reason,omitempty"`
+	CharDB   json.RawMessage `json:"chardb,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+}
+
+// Options configures a Log.
+type Options struct {
+	// SnapshotEvery is the checkpoint cadence: a full state snapshot is
+	// appended after this many records. 0 uses the default (128); negative
+	// disables snapshots (pure log).
+	SnapshotEvery int
+	// Clock supplies virtual-clock timestamps for appended records. Nil
+	// stamps zero times (unit tests).
+	Clock func() float64
+}
+
+// DefaultSnapshotEvery is the checkpoint cadence when Options leaves it 0.
+const DefaultSnapshotEvery = 128
+
+// Log is an append-only WAL writer. It always retains the full serialized
+// stream in memory (the simulator's recovery path replays it, and chaos
+// verifies byte-identity on it); an optional io.Writer mirror receives the
+// same bytes for on-disk persistence.
+type Log struct {
+	mirror bytes.Buffer
+	out    io.Writer
+	err    error
+	seq    uint64
+	since  int
+	every  int
+	clock  func() float64
+	state  *State
+}
+
+// New creates a Log. out may be nil for an in-memory-only log.
+func New(out io.Writer, opts Options) *Log {
+	every := opts.SnapshotEvery
+	if every == 0 {
+		every = DefaultSnapshotEvery
+	}
+	return &Log{out: out, every: every, clock: opts.Clock, state: NewState()}
+}
+
+// SetClock replaces the log's timestamp source. The runtime installs its
+// engine's virtual clock on whatever log the configuration supplied, so a
+// file-backed log can be constructed before the engine exists.
+func (l *Log) SetClock(clock func() float64) { l.clock = clock }
+
+// Append stamps, frames and writes one record, folds it into the writer's
+// shadow state, and emits a snapshot checkpoint when the cadence is due.
+// Safe on a nil receiver (no-op).
+func (l *Log) Append(r Record) {
+	if l == nil || l.err != nil {
+		return
+	}
+	l.seq++
+	r.Seq = l.seq
+	if l.clock != nil {
+		r.T = l.clock()
+	}
+	l.write(&r)
+	l.state.Apply(&r)
+	l.since++
+	if l.every > 0 && l.since >= l.every {
+		snap, err := json.Marshal(l.state)
+		if err != nil {
+			l.err = fmt.Errorf("wal: snapshot: %w", err)
+			return
+		}
+		l.seq++
+		sr := Record{Seq: l.seq, T: r.T, Kind: KindSnapshot, Snapshot: snap}
+		l.write(&sr)
+		// Fold the snapshot back in so the shadow state is exactly what a
+		// replay starting from this checkpoint would hold (JSON round-trip
+		// normalizes empty containers away).
+		l.state.Apply(&sr)
+		l.since = 0
+	}
+}
+
+func (l *Log) write(r *Record) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		l.err = fmt.Errorf("wal: encode: %w", err)
+		return
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(b), b)
+	l.mirror.WriteString(line)
+	if l.out != nil {
+		if _, werr := io.WriteString(l.out, line); werr != nil {
+			l.err = fmt.Errorf("wal: write: %w", werr)
+		}
+	}
+}
+
+// Bytes returns the full serialized log so far. Nil-safe (returns nil).
+func (l *Log) Bytes() []byte {
+	if l == nil {
+		return nil
+	}
+	return l.mirror.Bytes()
+}
+
+// Seq returns the sequence number of the last appended record. Nil-safe.
+func (l *Log) Seq() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq
+}
+
+// Err returns the first write/encode error, if any. Nil-safe.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	return l.err
+}

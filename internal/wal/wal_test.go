@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// scriptedLog appends a representative driver history: two stages, a
+// launch/success cycle with map-output registration, a failure with
+// blacklist activation, an executor loss with rollback, and a CharDB put.
+func scriptedLog(t *testing.T, snapshotEvery int) *Log {
+	t.Helper()
+	now := 0.0
+	l := New(nil, Options{SnapshotEvery: snapshotEvery, Clock: func() float64 { now += 0.5; return now }})
+	l.Append(Record{Kind: KindJobSubmitted, Job: 0})
+	l.Append(Record{Kind: KindStageSubmitted, Stage: 0, Job: 0})
+	l.Append(Record{Kind: KindStageSubmitted, Stage: 1, Job: 0})
+	l.Append(Record{Kind: KindTaskLaunched, Task: 10, Stage: 0, Node: "fast"})
+	l.Append(Record{Kind: KindTaskLaunched, Task: 11, Stage: 0, Node: "slow"})
+	l.Append(Record{Kind: KindTaskLaunched, Task: 11, Stage: 0, Node: "gpu", Spec: true})
+	l.Append(Record{Kind: KindTaskSucceeded, Task: 10, Stage: 0, Index: 0, Node: "fast", Bytes: 1 << 20})
+	l.Append(Record{Kind: KindAttemptEnded, Task: 11, Node: "slow", Outcome: "flaked"})
+	l.Append(Record{Kind: KindTaskRequeued, Task: 11})
+	l.Append(Record{Kind: KindBlacklistAdd, Node: "slow", Until: 64.25})
+	l.Append(Record{Kind: KindTaskSucceeded, Task: 11, Stage: 0, Index: 1, Node: "gpu", Bytes: 2 << 20})
+	l.Append(Record{Kind: KindExecLost, Node: "fast"})
+	l.Append(Record{Kind: KindOutputLost, Stage: 0, Index: 0, Node: "fast"})
+	l.Append(Record{Kind: KindTaskRolledBack, Task: 10, Stage: 0})
+	l.Append(Record{Kind: KindExecIncarnation, Node: "fast", Inc: 1})
+	l.Append(Record{Kind: KindExecRejoined, Node: "fast"})
+	l.Append(Record{Kind: KindCharDBPut, Key: "grad|0", CharDB: []byte(`{"signature":"grad","partition":0}`)})
+	l.Append(Record{Kind: KindTaskLaunched, Task: 10, Stage: 0, Node: "gpu"})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestReplayFoldsHistory(t *testing.T) {
+	l := scriptedLog(t, -1)
+	s, n, err := Replay(bytes.NewReader(l.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 18 {
+		t.Fatalf("folded %d records, want 18", n)
+	}
+	if s.JobIdx != 0 || !s.Submitted[0] || !s.Submitted[1] {
+		t.Fatalf("job/stage state wrong: %+v", s)
+	}
+	if s.Finished[10] || !s.Finished[11] {
+		t.Fatalf("finished set wrong after rollback: %+v", s.Finished)
+	}
+	if got := s.Running[10]; len(got) != 1 || got[0].Node != "gpu" {
+		t.Fatalf("task 10 in-flight attempts wrong: %+v", got)
+	}
+	if len(s.Running[11]) != 0 {
+		t.Fatalf("task 11 should have drained: %+v", s.Running[11])
+	}
+	if out, ok := s.Outputs[0][1]; !ok || out.Node != "gpu" || out.Bytes != 2<<20 {
+		t.Fatalf("surviving output wrong: %+v", s.Outputs)
+	}
+	if _, ok := s.Outputs[0][0]; ok {
+		t.Fatal("rolled-back output survived replay")
+	}
+	if s.Blacklist["slow"] != 64.25 {
+		t.Fatalf("blacklist expiry not absolute: %v", s.Blacklist)
+	}
+	if s.LostExecs["fast"] || s.LastInc["fast"] != 1 {
+		t.Fatalf("executor membership wrong: lost=%v inc=%v", s.LostExecs, s.LastInc)
+	}
+	if s.FailCount[11] != 1 || s.TaskNodeFailures[11]["slow"] != 1 {
+		t.Fatalf("failure accounting wrong: %+v / %+v", s.FailCount, s.TaskNodeFailures)
+	}
+	c := s.Counters
+	if c.Launches != 4 || c.SpecCopies != 1 || c.Resubmissions != 1 ||
+		c.ExecutorsLost != 1 || c.ExecutorsRejoined != 1 || c.NodesBlacklisted != 1 {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+	if string(s.CharDB["grad|0"]) != `{"signature":"grad","partition":0}` {
+		t.Fatalf("chardb payload wrong: %s", s.CharDB["grad|0"])
+	}
+}
+
+func TestReplayTwiceIsByteIdentical(t *testing.T) {
+	l := scriptedLog(t, 4)
+	a, _, err := Replay(bytes.NewReader(l.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Replay(bytes.NewReader(l.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatalf("two replays of the same bytes differ:\n%s\n---\n%s", a.Encode(), b.Encode())
+	}
+}
+
+func TestSnapshotPlusTailEqualsFullReplay(t *testing.T) {
+	// The same history logged with and without checkpoints must replay to
+	// the same state: snapshots are an optimization, not a semantic.
+	snap := scriptedLog(t, 3)
+	flat := scriptedLog(t, -1)
+	recs, err := ReadRecords(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsnaps := 0
+	for _, r := range recs {
+		if r.Kind == KindSnapshot {
+			nsnaps++
+		}
+	}
+	if nsnaps == 0 {
+		t.Fatal("cadence 3 produced no snapshot records")
+	}
+	a, _, err := Replay(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Replay(bytes.NewReader(flat.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seq diverges (snapshot records consume sequence numbers); everything
+	// else must match byte-for-byte.
+	a.Seq, b.Seq = 0, 0
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatalf("checkpointed replay diverges from flat replay:\n%s\n---\n%s", a.Encode(), b.Encode())
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	l := scriptedLog(t, -1)
+	full := l.Bytes()
+	fullState, fullN, err := Replay(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear mid-way through the final line: the prefix must replay cleanly.
+	torn := full[:len(full)-7]
+	s, n, err := Replay(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if n != fullN-1 {
+		t.Fatalf("folded %d records from torn log, want %d", n, fullN-1)
+	}
+	// The torn record was task 10's relaunch on gpu.
+	if len(s.Running[10]) != 0 {
+		t.Fatalf("torn record leaked into state: %+v", s.Running[10])
+	}
+	if s.Counters.Launches != fullState.Counters.Launches-1 {
+		t.Fatalf("launch counter counted the torn record: %d", s.Counters.Launches)
+	}
+
+	// A corrupt line mid-log fences off everything after it.
+	lines := strings.SplitAfter(string(full), "\n")
+	lines[4] = "deadbeef " + lines[4][9:]
+	s2, n2, err := Replay(strings.NewReader(strings.Join(lines, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 4 {
+		t.Fatalf("replay read %d records past a corrupt line, want 4", n2)
+	}
+	if s2.Counters.Launches != 1 {
+		t.Fatalf("state after fence wrong: %+v", s2.Counters)
+	}
+}
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Append(Record{Kind: KindJobSubmitted})
+	if l.Bytes() != nil || l.Seq() != 0 || l.Err() != nil {
+		t.Fatal("nil log must be inert")
+	}
+}
+
+func TestMirrorWriterReceivesSameBytes(t *testing.T) {
+	var sink bytes.Buffer
+	now := 0.0
+	l := New(&sink, Options{SnapshotEvery: 2, Clock: func() float64 { now++; return now }})
+	l.Append(Record{Kind: KindJobSubmitted, Job: 0})
+	l.Append(Record{Kind: KindStageSubmitted, Stage: 0})
+	l.Append(Record{Kind: KindTaskLaunched, Task: 1, Stage: 0, Node: "fast"})
+	if !bytes.Equal(sink.Bytes(), l.Bytes()) {
+		t.Fatal("external sink diverged from in-memory mirror")
+	}
+}
