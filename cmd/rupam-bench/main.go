@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy]
 //	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
+//	            [-tenancy-seeds N] [-tenancy-apps N]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
@@ -18,7 +19,12 @@
 // and the tracesanity experiment (traced runs under both schedulers with
 // trace-format, determinism, decision-audit and critical-path invariant
 // checks) must be requested explicitly — none is part of "all", which
-// stays fault-free and byte-reproducible.
+// stays fault-free and byte-reproducible. The tenancy experiment
+// (-tenancy-seeds open-loop arrival streams per scheduler on the shared
+// cluster, reporting per-pool throughput, latency percentiles and
+// slowdown versus isolated runs; -csv writes tenancy_pools.csv, -json the
+// full report, and any invariant violation exits nonzero) is likewise
+// explicit-only.
 package main
 
 import (
@@ -40,7 +46,7 @@ import (
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
 	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "recovery",
-	"tracesanity",
+	"tracesanity", "tenancy",
 }
 
 func main() {
@@ -49,7 +55,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base PRNG seed")
 	csvDir := flag.String("csv", "", "directory for raw CSV series (fig2, fig3, fig9)")
 	chaosSeeds := flag.Int("chaos-seeds", 20, "fault-plan seeds in the chaos sweep")
-	jsonPath := flag.String("json", "", "file for the chaos sweep's JSON report")
+	jsonPath := flag.String("json", "", "file for the chaos/tenancy sweep's JSON report")
+	tenancySeeds := flag.Int("tenancy-seeds", 5, "arrival-stream seeds in the tenancy sweep")
+	tenancyApps := flag.Int("tenancy-apps", 10, "application arrivals per tenancy stream")
 	flag.Parse()
 
 	known := false
@@ -230,6 +238,40 @@ func main() {
 			}
 			if rep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: recovery sweep found %d violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "tenancy" {
+		matched = true
+		run("Multi-tenant sweep", func() {
+			if *tenancySeeds < 1 || *tenancyApps < 1 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -tenancy-seeds and -tenancy-apps must be at least 1\n")
+				os.Exit(2)
+			}
+			rep := experiments.Tenancy(experiments.TenancyConfig{
+				BaseSeed: *seed,
+				Seeds:    *tenancySeeds,
+				Apps:     *tenancyApps,
+			})
+			rep.Print(w)
+			writeCSV("tenancy_pools.csv", func(f *os.File) error {
+				return rep.WritePoolCSV(f)
+			})
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			if rep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: tenancy sweep found %d invariant violations\n", rep.Violations)
 				os.Exit(1)
 			}
 		})

@@ -30,6 +30,16 @@ type pendingCounter interface {
 //   - completed runs drained the straggler set and the scheduler queues;
 //   - resource conservation (CheckResourceConservation).
 func CheckInvariants(res *spark.Result, rt *spark.Runtime) []string {
+	return append(CheckAppInvariants(res, rt), CheckResourceConservation(rt)...)
+}
+
+// CheckAppInvariants is the application-scoped battery: everything in
+// CheckInvariants except resource conservation. In a multi-tenant run the
+// executors, heaps and cache registry are shared across applications, so
+// per-node conservation only holds for the whole substrate (the tenant
+// manager's end-state check) — but each application's completion, attempt
+// and queue-drain accounting must still hold on its own.
+func CheckAppInvariants(res *spark.Result, rt *spark.Runtime) []string {
 	var v []string
 	completed := res.Aborted == nil
 
@@ -83,7 +93,7 @@ func CheckInvariants(res *spark.Result, rt *spark.Runtime) []string {
 		}
 	}
 
-	return append(v, CheckResourceConservation(rt)...)
+	return v
 }
 
 // CheckResourceConservation verifies that after a run no simulated

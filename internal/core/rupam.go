@@ -146,6 +146,20 @@ type RUPAM struct {
 	// turned fail-slow (report hook).
 	LocksReleased int
 
+	// UncharacterizedLaunches counts launches of tasks the database had
+	// never observed (no record, or zero successful runs). With a shared
+	// CharDB this measures the warm-start benefit: the second app of a
+	// workload should launch far fewer blind tasks than the first.
+	UncharacterizedLaunches int
+
+	// externalDB marks the characteristics database as externally owned
+	// (the paper's Cassandra-backed DB_taskchar, here a database shared
+	// across applications by the tenant manager). An external DB is
+	// persistent: driver recovery keeps it instead of rebuilding from the
+	// WAL, and it is never cleared — wiping it would also wipe what
+	// sibling applications learned.
+	externalDB bool
+
 	// inFlight counts launched-but-unfinished attempts per node per
 	// dimension (the queue that placed them), implementing the
 	// Dispatcher's "number of tasks to launch on a specific node".
@@ -167,6 +181,20 @@ func New(cfg Config) *RUPAM {
 		inFlight:     make(map[string]*[NumResources]int),
 		dimOf:        make(map[*executor.Run]Resource),
 	}
+}
+
+// NewWithDB returns a RUPAM scheduler backed by an externally-owned
+// characteristics database. The caller keeps the database alive across
+// applications (and driver crashes), so every task learned by one app
+// warm-starts its successors — the simulated equivalent of the paper's
+// Cassandra-persisted DB_taskchar.
+func NewWithDB(cfg Config, db *CharDB) *RUPAM {
+	s := New(cfg)
+	if db != nil {
+		s.db = db
+		s.externalDB = true
+	}
+	return s
 }
 
 // DB exposes the task-characteristics database (tests and reports).
@@ -375,15 +403,21 @@ func (s *RUPAM) DriverRecovery(ws *wal.State) {
 	s.rrIdx = 0
 	s.offerSeq = 0
 
-	s.db.Clear()
-	keys := make([]string, 0, len(ws.CharDB))
-	for k := range ws.CharDB {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if err := s.db.InstallPayload(ws.CharDB[k]); err != nil {
-			continue // torn journal payload; relearned from fresh completions
+	if !s.externalDB {
+		// An in-process database died with the driver: rebuild it from the
+		// journaled payloads. An external database survived the crash by
+		// construction (and holds sibling apps' learning), so it is kept
+		// as-is and only the stage-GPU marking below is re-derived.
+		s.db.Clear()
+		keys := make([]string, 0, len(ws.CharDB))
+		for k := range ws.CharDB {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := s.db.InstallPayload(ws.CharDB[k]); err != nil {
+				continue // torn journal payload; relearned from fresh completions
+			}
 		}
 	}
 	for key, rec := range s.db.store {
@@ -623,7 +657,7 @@ func (s *RUPAM) Schedule() {
 		if !ok {
 			break
 		}
-		d := s.rt.Cfg.Tracer.NewDecision(s.Name(), offer.node)
+		d := s.rt.NewDecision(s.Name(), offer.node)
 		d.SetQueue(res.String(), offer.cap, offer.util)
 		t, lvl, heuristic := s.pickTask(res, offer.node, d)
 		spec := false
@@ -657,6 +691,9 @@ func (s *RUPAM) Schedule() {
 
 // noteLaunch records the dimension that placed an attempt on a node.
 func (s *RUPAM) noteLaunch(node string, run *executor.Run, res Resource) {
+	if rec := s.db.Lookup(KeyFor(run.Stage(), run.Task())); rec == nil || rec.Runs == 0 {
+		s.UncharacterizedLaunches++
+	}
 	f := s.inFlight[node]
 	if f == nil {
 		f = new([NumResources]int)
@@ -1105,7 +1142,7 @@ func (s *RUPAM) rescueStarvation() {
 	}
 	if bestNode != "" {
 		if run := s.rt.Launch(t, bestNode, executor.Options{Locality: t.LocalityOn(bestNode)}); run != nil {
-			d := s.rt.Cfg.Tracer.NewDecision(s.Name(), bestNode)
+			d := s.rt.NewDecision(s.Name(), bestNode)
 			if d != nil {
 				d.Note("liveness net: nothing running anywhere, forced onto roomiest node")
 				d.SetWinner(t.ID, "starvation-rescue", t.LocalityOn(bestNode).String(), false)

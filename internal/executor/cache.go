@@ -133,6 +133,48 @@ func (c *CacheTracker) DropNode(node string) int64 {
 	return lost
 }
 
+// DropNodeRange removes the partitions cached on node whose RDD ID falls
+// in [rddLo, rddHi), returning the bytes reclaimed. In multi-tenant runs
+// each application owns a disjoint RDD ID range, so this drops exactly one
+// app's partitions when its executor lease on the node is released while
+// leaving sibling apps' cached state (and all shuffle outputs) alone.
+func (c *CacheTracker) DropNodeRange(node string, rddLo, rddHi int) int64 {
+	var lost int64
+	for key, e := range c.byNode[node] {
+		if key.RDD < rddLo || key.RDD >= rddHi {
+			continue
+		}
+		lost += e.bytes
+		delete(c.entries, key)
+		delete(c.byNode[node], key)
+	}
+	return lost
+}
+
+// Keys returns every cached partition key with its node, in deterministic
+// order (isolation audits: a tenant invariant checker walks the whole cache
+// to prove each entry sits inside its owner's RDD ID range).
+func (c *CacheTracker) Keys() []CacheKeyAt {
+	out := make([]CacheKeyAt, 0, len(c.entries))
+	for key, e := range c.entries {
+		out = append(out, CacheKeyAt{Key: key, Node: e.node, Bytes: e.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.RDD != out[j].Key.RDD {
+			return out[i].Key.RDD < out[j].Key.RDD
+		}
+		return out[i].Key.Partition < out[j].Key.Partition
+	})
+	return out
+}
+
+// CacheKeyAt is one cached partition with its location (audit snapshot).
+type CacheKeyAt struct {
+	Key   CacheKey
+	Node  string
+	Bytes int64
+}
+
 func (c *CacheTracker) remove(key CacheKey) {
 	e, ok := c.entries[key]
 	if !ok {

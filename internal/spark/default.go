@@ -179,6 +179,47 @@ func (s *DefaultScheduler) ExecutorLost(node string) {
 	delete(s.runningByNodeStage, node)
 }
 
+// ExecutorSetChanged implements ExecutorSetAware: re-derive each pending
+// stage's delay-scheduling state against the executors that are usable
+// *now*. Without this, a stage whose preferred nodes all left the usable
+// set (executor loss, or a dynamic-allocation lease revoked) stalls at a
+// stale locality level: every sibling launch re-arms the stage-wide
+// lastLaunch timer, so the relaxation clock never expires while the stuck
+// task's wait can't ever be satisfied. Conversely, when better nodes come
+// back (rejoin, scale-up), the level tightens again with a fresh wait so
+// the stage actually uses the restored locality.
+func (s *DefaultScheduler) ExecutorSetChanged() {
+	now := s.rt.Eng.Now()
+	for id, q := range s.pending {
+		reachable, pending := hdfs.Any+1, false
+		for _, t := range q {
+			if t.State != task.Pending {
+				continue
+			}
+			pending = true
+			best := hdfs.Any
+			if t.CachedOn != "" && s.rt.CanRunOn(t.CachedOn) {
+				best = hdfs.ProcessLocal
+			} else {
+				for _, p := range t.PrefNodes {
+					if s.rt.CanRunOn(p) {
+						best = hdfs.NodeLocal
+						break
+					}
+				}
+			}
+			if best < reachable {
+				reachable = best
+			}
+		}
+		if !pending || reachable == s.allowed[id] {
+			continue
+		}
+		s.allowed[id] = reachable
+		s.lastLaunch[id] = now
+	}
+}
+
 // DriverRecovery implements RecoveryAware: the stock scheduler keeps no
 // learned state worth restoring, so a driver crash simply resets every
 // queue and counter. The runtime re-hands active stages over through
@@ -235,7 +276,7 @@ func (s *DefaultScheduler) Schedule() {
 // slots when no pending task qualifies.
 func (s *DefaultScheduler) launchOn(node string) bool {
 	rt := s.rt
-	d := rt.Cfg.Tracer.NewDecision(s.Name(), node)
+	d := rt.NewDecision(s.Name(), node)
 	// Pending tasks first, stages in submission order (FIFO).
 	for _, id := range s.order {
 		// Compact away queue entries that are no longer pending — tasks

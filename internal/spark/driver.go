@@ -25,7 +25,7 @@ func (rt *Runtime) submitJob(j int) {
 	for _, st := range job.Stages {
 		rt.maybeSubmitStage(st)
 	}
-	rt.sched.Schedule()
+	rt.reschedule()
 }
 
 // maybeSubmitStage submits st to the scheduler if all parents are complete
@@ -64,13 +64,21 @@ func (rt *Runtime) resolveCacheLocation(t *task.Task) {
 }
 
 // CanRunOn reports whether node's executor exists, is up, has not been
-// declared lost by the driver, and is not blacklisted.
+// declared lost by the driver, is not blacklisted, and — in tenant mode —
+// passes the launch gate (a dynamic-allocation lease with free capacity
+// and a fair-share slot budget). Both schedulers route every placement
+// through this check, so the pool layer decides *whether this app* may
+// take the slot while the scheduler's heuristics keep deciding *which
+// node* fits the task.
 func (rt *Runtime) CanRunOn(node string) bool {
 	ex, ok := rt.Execs[node]
 	if !ok || ex.Down() || rt.lostExecs[node] {
 		return false
 	}
-	return rt.bl == nil || !rt.bl.nodeBlacklisted(node)
+	if rt.bl != nil && rt.bl.nodeBlacklisted(node) {
+		return false
+	}
+	return rt.gate == nil || rt.gate(node)
 }
 
 // Launch starts an attempt of t on node, returning the attempt's Run (nil
@@ -100,6 +108,9 @@ func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *exe
 		if max := rt.Cfg.SpeculationMaxPerStage; max > 0 && rt.SpecInFlight(st.ID) >= max {
 			return nil
 		}
+	}
+	if rt.capFn != nil && !rt.capFn() {
+		return nil // FAIR slot budget spent; another pool's turn
 	}
 	t.State = task.Running
 	rt.LaunchCount++
@@ -213,7 +224,7 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 	if rt.appDone {
 		return
 	}
-	rt.sched.Schedule()
+	rt.reschedule()
 }
 
 // onStageComplete advances the DAG: submits newly-ready stages, and when
@@ -241,7 +252,11 @@ func (rt *Runtime) onStageComplete(st *task.Stage) {
 func (rt *Runtime) finishApp() {
 	rt.appDone = true
 	rt.appEnd = rt.Eng.Now()
-	rt.Mon.Stop()
+	if rt.ownsSubstrate {
+		// A shared monitor keeps beating for the sibling applications; only
+		// a single-application run tears it down with the app.
+		rt.Mon.Stop()
+	}
 	if rt.Rec != nil {
 		rt.Rec.Stop()
 	}
@@ -252,6 +267,9 @@ func (rt *Runtime) finishApp() {
 	if rt.wdTimer != nil {
 		rt.wdTimer.Cancel()
 		rt.wdTimer = nil
+	}
+	if rt.OnAppDone != nil {
+		rt.OnAppDone()
 	}
 }
 
@@ -265,7 +283,7 @@ func (rt *Runtime) scheduleSpeculationScan() {
 		}
 		rt.scanForStragglers()
 		rt.scheduleSpeculationScan()
-		rt.sched.Schedule()
+		rt.reschedule()
 	})
 }
 
@@ -408,6 +426,20 @@ func (rt *Runtime) LiveAttempts() int {
 // SpeculatableCount returns the size of the straggler set (drained to
 // zero by the end of a completed run).
 func (rt *Runtime) SpeculatableCount() int { return len(rt.speculatable) }
+
+// RunningOn counts this application's live attempts currently placed on
+// node — the tenant layer's per-lease occupancy view.
+func (rt *Runtime) RunningOn(node string) int {
+	n := 0
+	for _, rs := range rt.runningAtt {
+		for _, r := range rs {
+			if !r.Done() && r.Metrics().Executor == node {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // BlacklistedNow returns how many nodes are currently inside a blacklist
 // window (0 when blacklisting is off).

@@ -89,6 +89,9 @@ func (rt *Runtime) noteHeartbeat(node string) {
 		rt.ExecutorsRejoined++
 		rt.Cfg.Tracer.ExecutorRejoined(node)
 		rt.wlog.Append(wal.Record{Kind: wal.KindExecRejoined, Node: node})
+		// A rejoined node may restore locality levels the pending stages
+		// gave up on; let the scheduler re-derive its delay state.
+		rt.notifyExecutorSetChanged()
 	}
 }
 
@@ -109,6 +112,7 @@ func (rt *Runtime) executorLost(node string, reason string) {
 	if ela, ok := rt.sched.(ExecutorLossAware); ok {
 		ela.ExecutorLost(node)
 	}
+	rt.notifyExecutorSetChanged()
 
 	// Map-output rollback first, so the launch gates below already see the
 	// parent stages as incomplete when attempts start getting resubmitted.
@@ -145,7 +149,7 @@ func (rt *Runtime) executorLost(node string, reason string) {
 			}
 		}
 	}
-	rt.sched.Schedule()
+	rt.reschedule()
 }
 
 // deferFetchFailure arms re-check number attempt of a shuffle fetch from a

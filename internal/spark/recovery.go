@@ -68,7 +68,12 @@ func (rt *Runtime) driverCrash(restartAfter float64) {
 	rt.SpecLiveAtCrash = append(rt.SpecLiveAtCrash, spec)
 	rt.Cfg.Tracer.DriverCrashed(restartAfter)
 	rt.wlog.Append(wal.Record{Kind: wal.KindDriverCrashed})
-	rt.Mon.Stop()
+	if rt.ownsSubstrate {
+		// A shared monitor belongs to the tenant manager and keeps beating
+		// for the sibling applications; this driver simply stops listening
+		// (DeliverHeartbeat refuses reports while crashed).
+		rt.Mon.Stop()
+	}
 	if rt.specTimer != nil {
 		rt.specTimer.Cancel()
 		rt.specTimer = nil
@@ -79,6 +84,12 @@ func (rt *Runtime) driverCrash(restartAfter float64) {
 	}
 	rt.Eng.Schedule(restartAfter, rt.recoverDriver)
 }
+
+// CrashDriver injects a driver crash with the given restart delay — the
+// tenant manager's entry point for routing a substrate-level DriverCrash
+// fault to one application's driver. A driver without a WAL refuses the
+// crash (recovery would be impossible), exactly like driverCrash.
+func (rt *Runtime) CrashDriver(restartAfter float64) { rt.driverCrash(restartAfter) }
 
 // recoverDriver is the restarted driver's boot sequence: replay the WAL,
 // rebuild driver and scheduler state, reconcile with the surviving
@@ -165,7 +176,9 @@ func (rt *Runtime) recoverDriver() {
 	for _, n := range rt.Clu.Nodes {
 		rt.lastHB[n.Name()] = rt.Eng.Now()
 	}
-	rt.Mon.Resume()
+	if rt.ownsSubstrate {
+		rt.Mon.Resume()
+	}
 	rt.armWatchdog()
 	rt.scheduleSpeculationScan()
 
@@ -174,7 +187,7 @@ func (rt *Runtime) recoverDriver() {
 	rt.Cfg.Tracer.RecoverySpan(rt.crashAt, rt.Eng.Now())
 	rt.Cfg.Tracer.DriverRecovered(adopted, delivered, nrec)
 	if !rt.appDone {
-		rt.sched.Schedule()
+		rt.reschedule()
 	}
 }
 
@@ -296,6 +309,9 @@ func (rt *Runtime) adoptSurvivors(s *wal.State) int {
 		}
 		for _, r := range ex.Running() {
 			t := r.Task()
+			if _, mine := rt.stageOf[t.ID]; !mine {
+				continue // a sibling application's attempt on the shared executor
+			}
 			if r.Done() {
 				continue
 			}
@@ -334,6 +350,9 @@ func (rt *Runtime) reconcileLost(s *wal.State) {
 		}
 		if !rt.execReachable(name) {
 			for _, r := range ex.Running() {
+				if _, mine := rt.stageOf[r.Task().ID]; !mine {
+					continue // a sibling application's attempt; not ours to fence
+				}
 				r.Kill(false)
 			}
 			if !rt.lostExecs[name] {

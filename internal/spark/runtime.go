@@ -97,6 +97,11 @@ type Config struct {
 	// lifecycle, stage/job spans, decision audit). Nil disables tracing
 	// with zero behavioral difference.
 	Tracer *tracing.Collector
+	// AppLabel and PoolLabel scope trace events and decision audits when
+	// several applications share one Collector (multi-tenant runs). Both
+	// are empty for single-application runs.
+	AppLabel  string
+	PoolLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +150,26 @@ type CacheRelocator interface {
 	RelocatesCache() bool
 }
 
+// ExecutorSetAware is an optional Scheduler capability: schedulers whose
+// pending queues carry time-based state keyed to the set of usable
+// executors (the default scheduler's delay-scheduling level and timer)
+// implement it to re-derive that state when the set changes — a node is
+// lost or rejoins, a crashed worker restarts, or dynamic allocation
+// grants/revokes the application's slots on a node.
+type ExecutorSetAware interface {
+	ExecutorSetChanged()
+}
+
+// Substrate is the cluster-side state a multi-application run shares: one
+// executor (node-level worker) per node, one cache registry, and one
+// heartbeat monitor. A tenant manager builds it once and hands it to every
+// application's Runtime; single-application runs build their own in Start.
+type Substrate struct {
+	Execs map[string]*executor.Executor
+	Cache *executor.CacheTracker
+	Mon   *monitor.Monitor
+}
+
 // Scheduler is the task-placement policy. The Runtime notifies it of
 // schedulable work and cluster events; the scheduler responds by calling
 // Runtime.Launch.
@@ -182,6 +207,33 @@ type Runtime struct {
 
 	sched Scheduler
 	app   *task.Application
+
+	// multi-application (tenant) mode. sub is non-nil when this runtime
+	// shares its executors, cache and monitor with sibling applications;
+	// the substrate's owner (the tenant manager) then drives heartbeats
+	// through DeliverHeartbeat and the engine itself. ownsSubstrate marks
+	// the classic single-application path, where the runtime creates and
+	// tears down those objects itself.
+	sub           *Substrate
+	ownsSubstrate bool
+	// gate, when set, is the tenant layer's per-node launch admission:
+	// fair-share slot caps and dynamic-allocation leases. Nil (single-app
+	// runs) admits everything, preserving the historical behavior.
+	gate func(node string) bool
+	// capFn, when set, is the application-wide slot budget (FAIR share);
+	// Launch refuses new attempts once it reports the budget spent.
+	capFn func() bool
+	// rescheduleFn replaces direct sched.Schedule() calls so the tenant
+	// manager can run a global FAIR round across all applications instead
+	// of a local one. Nil means local.
+	rescheduleFn func()
+	// OnAppDone, when set, fires once when the application completes or
+	// aborts — the tenant manager's completion hook.
+	OnAppDone func()
+	// hbDelivered counts heartbeats this runtime actually processed; in
+	// shared-monitor mode Result.Heartbeats reports it instead of the
+	// monitor's all-application total.
+	hbDelivered int
 
 	// driver state (driver.go)
 	stages       map[int]*task.Stage
@@ -237,6 +289,14 @@ type Runtime struct {
 // NewRuntime builds a runtime over the cluster for the given scheduler.
 // Executors are created lazily in Run, sized by the scheduler.
 func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Config) *Runtime {
+	return NewRuntimeOn(eng, clu, sched, cfg, nil)
+}
+
+// NewRuntimeOn builds a runtime that shares sub's executors, cache and
+// monitor with sibling applications (multi-tenant mode). A nil sub is the
+// single-application path: the runtime owns its substrate and NewRuntimeOn
+// behaves exactly like NewRuntime.
+func NewRuntimeOn(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Config, sub *Substrate) *Runtime {
 	cfg = cfg.withDefaults()
 	if cfg.DriverNode == "" && len(clu.Nodes) > 0 {
 		cfg.DriverNode = clu.Nodes[0].Name()
@@ -253,6 +313,7 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 		Cfg:          cfg,
 		Cache:        executor.NewCacheTracker(),
 		Execs:        make(map[string]*executor.Executor),
+		sub:          sub,
 		sched:        sched,
 		stages:       make(map[int]*task.Stage),
 		stageOf:      make(map[int]*task.Stage),
@@ -267,12 +328,100 @@ func NewRuntime(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg Con
 		resubmits:    make(map[int]int),
 		dupSuccess:   make(map[int]int),
 	}
+	if sub != nil {
+		rt.Cache = sub.Cache
+		rt.Execs = sub.Execs
+		rt.Mon = sub.Mon
+	}
 	if cfg.Blacklist.Enabled {
 		rt.bl = newBlacklist(eng, cfg.Blacklist)
 	}
 	sched.Bind(rt)
 	return rt
 }
+
+// SetLaunchGate installs the tenant layer's per-node launch admission
+// check (dynamic-allocation leases); CanRunOn consults it so both
+// schedulers see non-leased nodes as unusable. Must be set before Start.
+func (rt *Runtime) SetLaunchGate(gate func(node string) bool) { rt.gate = gate }
+
+// SetSlotCap installs the tenant layer's application-wide slot budget (the
+// FAIR share). Unlike the per-node gate it is consulted only at launch
+// time, not in CanRunOn: the budget fluctuates every scheduling round, and
+// folding it into node usability would make delay-scheduling locality
+// state thrash. Must be set before Start.
+func (rt *Runtime) SetSlotCap(fn func() bool) { rt.capFn = fn }
+
+// SetReschedule replaces local scheduling rounds with fn — the tenant
+// manager's global FAIR round. Must be set before Start.
+func (rt *Runtime) SetReschedule(fn func()) { rt.rescheduleFn = fn }
+
+// SetSharedFaults points the runtime at a substrate-owned fault injector
+// so driver recovery can tell a partitioned node from a dead one. The
+// injector's installation and crash routing stay with the substrate owner.
+func (rt *Runtime) SetSharedFaults(inj *faults.Injector) { rt.inj = inj }
+
+// reschedule triggers a scheduling round: the bound scheduler's own in
+// single-application mode, the tenant manager's global round otherwise.
+func (rt *Runtime) reschedule() {
+	if rt.rescheduleFn != nil {
+		rt.rescheduleFn()
+		return
+	}
+	rt.sched.Schedule()
+}
+
+// notifyExecutorSetChanged tells a capable scheduler the usable executor
+// set changed, so stale delay-scheduling state can be re-derived.
+func (rt *Runtime) notifyExecutorSetChanged() {
+	if esa, ok := rt.sched.(ExecutorSetAware); ok {
+		esa.ExecutorSetChanged()
+	}
+}
+
+// NotifyExecutorSetChanged is the exported hook the tenant layer calls
+// when dynamic allocation grants or revokes this application's slots.
+func (rt *Runtime) NotifyExecutorSetChanged() { rt.notifyExecutorSetChanged() }
+
+// DeliverHeartbeat feeds one node report into this application's driver:
+// loss detection bookkeeping plus the scheduler's resource view. In
+// single-application mode the monitor calls it directly; in tenant mode
+// the manager fans each heartbeat out to every active application. A
+// crashed or finished driver ignores reports (its executors buffer their
+// completions; monitoring state is rebuilt at recovery).
+func (rt *Runtime) DeliverHeartbeat(node string, nm *monitor.NodeMetrics) {
+	if rt.appDone || rt.crashed {
+		return
+	}
+	rt.hbDelivered++
+	rt.noteHeartbeat(node)
+	rt.sched.Heartbeat(node, nm)
+}
+
+// NewDecision opens a placement-decision audit record scoped to this
+// runtime's application and pool labels (empty labels leave the decision
+// unscoped, as before). Schedulers open their per-offer audits through
+// this instead of the collector directly so multi-tenant traces can tell
+// whose task won the slot.
+func (rt *Runtime) NewDecision(scheduler, node string) *tracing.Decision {
+	d := rt.Cfg.Tracer.NewDecision(scheduler, node)
+	if rt.Cfg.AppLabel != "" || rt.Cfg.PoolLabel != "" {
+		d.SetScope(rt.Cfg.AppLabel, rt.Cfg.PoolLabel)
+	}
+	return d
+}
+
+// Done reports whether the application has completed or aborted.
+func (rt *Runtime) Done() bool { return rt.appDone }
+
+// Crashed reports whether the driver is currently down (crash window).
+func (rt *Runtime) Crashed() bool { return rt.crashed }
+
+// App returns the application this runtime is driving (nil before Start).
+func (rt *Runtime) App() *task.Application { return rt.app }
+
+// Aborted returns the structured abort error, or nil.
+func (rt *Runtime) Aborted() *AbortError { return rt.aborted }
 
 // Scheduler returns the bound scheduler.
 func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
@@ -331,78 +480,7 @@ type Result struct {
 // Run executes the application to completion and returns its Result. It
 // panics if called twice on the same Runtime.
 func (rt *Runtime) Run(app *task.Application) *Result {
-	if rt.app != nil {
-		panic("spark: Runtime.Run called twice")
-	}
-	if len(app.Jobs) == 0 {
-		panic("spark: application with no jobs")
-	}
-	rt.app = app
-	rt.appStart = rt.Eng.Now()
-	rt.Cfg.Tracer.Bind(rt.Eng)
-	for _, n := range rt.Clu.Nodes {
-		rt.Cfg.Tracer.RegisterNode(n.Name(), n.Spec.Cores)
-	}
-
-	// Executors, sized by the scheduler's policy.
-	peers := rt.Execs
-	for i, n := range rt.Clu.Nodes {
-		cfg := rt.Cfg.Exec
-		cfg.HeapBytes = rt.sched.HeapFor(n)
-		cfg.Seed = rt.Cfg.Seed + uint64(i)*7919
-		ex := executor.New(rt.Eng, rt.Clu, n, rt.Cache, peers, cfg)
-		ex.OnRestart = func() { rt.sched.Schedule() }
-	}
-
-	// Heartbeats drive scheduling rounds (and RUPAM's RM).
-	rt.Mon = monitor.New(rt.Eng, rt.Clu, rt.Cfg.HeartbeatInterval)
-	for name, ex := range rt.Execs {
-		rt.Mon.RegisterProbe(name, ex)
-	}
-	rt.Mon.OnHeartbeat = func(node string, nm *monitor.NodeMetrics) {
-		rt.noteHeartbeat(node)
-		rt.sched.Heartbeat(node, nm)
-		rt.sched.Schedule()
-	}
-	rt.Mon.Start()
-
-	// Fault injection (opt-in) and executor-loss detection. The watchdog
-	// is always armed: with every node heartbeating on time it observes
-	// nothing, so fault-free runs are unchanged.
-	for _, n := range rt.Clu.Nodes {
-		rt.lastHB[n.Name()] = rt.Eng.Now()
-	}
-	rt.wlog = rt.Cfg.WAL
-	if rt.wlog != nil {
-		// A configured log may predate this engine (the CLI opens the file
-		// before the run is built); stamp its records with our clock.
-		rt.wlog.SetClock(rt.Eng.Now)
-	}
-	if !rt.Cfg.Faults.Empty() {
-		rt.inj = faults.NewInjector(rt.Eng, rt.Clu, rt.Execs)
-		rt.Mon.Drop = rt.inj.Suppressed
-		rt.inj.Collector = rt.Cfg.Tracer
-		rt.inj.OnDriverCrash = rt.driverCrash
-		if rt.wlog == nil && rt.Cfg.Faults.HasKind(faults.DriverCrash) {
-			// A crash without a WAL would be unrecoverable; keep an
-			// in-memory log so the plan's DriverCrash events can replay.
-			rt.wlog = wal.New(nil, wal.Options{Clock: rt.Eng.Now})
-		}
-		rt.inj.Install(rt.Cfg.Faults)
-	}
-	rt.armWatchdog()
-
-	// Utilization tracing.
-	if rt.Cfg.SampleInterval > 0 {
-		rt.Rec = metrics.NewRecorder(rt.Eng, rt.Clu, rt.Execs, rt.Cfg.SampleInterval)
-		rt.Rec.Start()
-	}
-
-	// Speculation scan.
-	rt.scheduleSpeculationScan()
-
-	// Go.
-	rt.submitJob(0)
+	rt.Start(app)
 	rt.Eng.RunUntil(rt.Cfg.MaxSimTime)
 	if !rt.appDone && rt.Eng.Pending() > 0 {
 		done := 0
@@ -418,7 +496,106 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 		panic(fmt.Sprintf("spark: app %q deadlocked at t=%.2f (job %d of %d)",
 			app.Name, rt.Eng.Now(), rt.jobIdx+1, len(app.Jobs)))
 	}
+	return rt.BuildResult()
+}
 
+// Start boots the application's driver without driving the engine: it
+// creates the substrate (single-application mode only), arms the periodic
+// machinery, and submits job 0. Single-application callers use Run; a
+// tenant manager calls Start per admitted application and runs the shared
+// engine itself, collecting each Result via BuildResult once OnAppDone
+// fires. It panics if called twice on the same Runtime.
+func (rt *Runtime) Start(app *task.Application) {
+	if rt.app != nil {
+		panic("spark: Runtime.Start called twice")
+	}
+	if len(app.Jobs) == 0 {
+		panic("spark: application with no jobs")
+	}
+	rt.app = app
+	rt.appStart = rt.Eng.Now()
+	rt.Cfg.Tracer.Bind(rt.Eng)
+	for _, n := range rt.Clu.Nodes {
+		rt.Cfg.Tracer.RegisterNode(n.Name(), n.Spec.Cores)
+	}
+
+	if rt.sub == nil {
+		rt.ownsSubstrate = true
+
+		// Executors, sized by the scheduler's policy.
+		peers := rt.Execs
+		for i, n := range rt.Clu.Nodes {
+			cfg := rt.Cfg.Exec
+			cfg.HeapBytes = rt.sched.HeapFor(n)
+			cfg.Seed = rt.Cfg.Seed + uint64(i)*7919
+			ex := executor.New(rt.Eng, rt.Clu, n, rt.Cache, peers, cfg)
+			ex.OnRestart = func() {
+				rt.notifyExecutorSetChanged()
+				rt.reschedule()
+			}
+		}
+
+		// Heartbeats drive scheduling rounds (and RUPAM's RM).
+		rt.Mon = monitor.New(rt.Eng, rt.Clu, rt.Cfg.HeartbeatInterval)
+		for name, ex := range rt.Execs {
+			rt.Mon.RegisterProbe(name, ex)
+		}
+		rt.Mon.OnHeartbeat = func(node string, nm *monitor.NodeMetrics) {
+			rt.DeliverHeartbeat(node, nm)
+			rt.reschedule()
+		}
+		rt.Mon.Start()
+	}
+
+	// Fault injection (opt-in) and executor-loss detection. The watchdog
+	// is always armed: with every node heartbeating on time it observes
+	// nothing, so fault-free runs are unchanged. In shared-substrate mode
+	// the injector (if any) belongs to the manager, which installs it once
+	// over the shared executors and routes driver crashes itself.
+	for _, n := range rt.Clu.Nodes {
+		rt.lastHB[n.Name()] = rt.Eng.Now()
+	}
+	rt.wlog = rt.Cfg.WAL
+	if rt.wlog != nil {
+		// A configured log may predate this engine (the CLI opens the file
+		// before the run is built); stamp its records with our clock.
+		rt.wlog.SetClock(rt.Eng.Now)
+	}
+	if rt.ownsSubstrate && !rt.Cfg.Faults.Empty() {
+		rt.inj = faults.NewInjector(rt.Eng, rt.Clu, rt.Execs)
+		rt.Mon.Drop = rt.inj.Suppressed
+		rt.inj.Collector = rt.Cfg.Tracer
+		rt.inj.OnDriverCrash = rt.driverCrash
+		if rt.wlog == nil && rt.Cfg.Faults.HasKind(faults.DriverCrash) {
+			// A crash without a WAL would be unrecoverable; keep an
+			// in-memory log so the plan's DriverCrash events can replay.
+			rt.wlog = wal.New(nil, wal.Options{Clock: rt.Eng.Now})
+		}
+		rt.inj.Install(rt.Cfg.Faults)
+	}
+	rt.armWatchdog()
+
+	// Utilization tracing.
+	if rt.ownsSubstrate && rt.Cfg.SampleInterval > 0 {
+		rt.Rec = metrics.NewRecorder(rt.Eng, rt.Clu, rt.Execs, rt.Cfg.SampleInterval)
+		rt.Rec.Start()
+	}
+
+	// Speculation scan.
+	rt.scheduleSpeculationScan()
+
+	// Go.
+	rt.submitJob(0)
+}
+
+// BuildResult assembles the run's Result. Run calls it after the engine
+// drains; tenant managers call it per application after OnAppDone.
+func (rt *Runtime) BuildResult() *Result {
+	app := rt.app
+	heartbeats := rt.hbDelivered
+	if rt.ownsSubstrate {
+		heartbeats = rt.Mon.Heartbeats
+	}
 	res := &Result{
 		App:        app,
 		Scheduler:  rt.sched.Name(),
@@ -428,7 +605,7 @@ func (rt *Runtime) Run(app *task.Application) *Result {
 		SpecCopies: rt.SpecCopies,
 		MemKills:   rt.MemKills,
 		Launches:   rt.LaunchCount,
-		Heartbeats: rt.Mon.Heartbeats,
+		Heartbeats: heartbeats,
 
 		ExecutorsLost:     rt.ExecutorsLost,
 		ExecutorsRejoined: rt.ExecutorsRejoined,

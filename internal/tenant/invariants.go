@@ -1,0 +1,128 @@
+package tenant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mid-run and end-state invariants. Violations accumulate on the manager
+// (deduplicated — the audit runs every allocation tick) and are surfaced
+// in the report; the tenancy experiment and the chaos soak both fail a
+// run that reports any.
+
+// auditIsolation walks the shared cache registry and attributes every
+// cached partition to its owning application through the RDD ID
+// namespace. A partition outside any live application's range is a
+// cross-application leak: either an ID collision or cached state that
+// outlived its owner.
+func (m *Manager) auditIsolation() {
+	for _, e := range m.sub.Cache.Keys() {
+		owner := e.Key.RDD/IDSpan - 1
+		if owner < 0 || owner >= len(m.apps) {
+			m.violate(fmt.Sprintf("cache entry rdd %d on %s belongs to no application", e.Key.RDD, e.Node))
+			continue
+		}
+		a := m.apps[owner]
+		if !a.started {
+			m.violate(fmt.Sprintf("cache entry rdd %d on %s owned by never-started %s", e.Key.RDD, e.Node, a.label))
+		} else if a.done {
+			m.violate(fmt.Sprintf("cache entry rdd %d on %s outlived its owner %s", e.Key.RDD, e.Node, a.label))
+		}
+	}
+}
+
+func (m *Manager) violate(v string) {
+	for _, prev := range m.violations {
+		if prev == v {
+			return
+		}
+	}
+	m.violations = append(m.violations, v)
+}
+
+// checkEndState runs the post-run battery: admission accounting, lease
+// drain, substrate resource conservation, and per-application ID
+// namespace containment.
+func (m *Manager) checkEndState() {
+	if m.arrived != m.admitted+m.rejectedN {
+		m.violate(fmt.Sprintf("admission accounting: %d arrived != %d admitted + %d rejected",
+			m.arrived, m.admitted, m.rejectedN))
+	}
+	if m.arrived != len(m.arrivals) {
+		m.violate(fmt.Sprintf("arrival accounting: %d arrived of %d scheduled", m.arrived, len(m.arrivals)))
+	}
+
+	for _, a := range m.apps {
+		if a.rejected {
+			if a.started {
+				m.violate(fmt.Sprintf("%s both rejected and started", a.label))
+			}
+			continue
+		}
+		if !a.started || !a.done {
+			m.violate(fmt.Sprintf("admitted %s never ran to completion (started=%v done=%v)",
+				a.label, a.started, a.done))
+			continue
+		}
+		if n := len(a.leases); n != 0 {
+			m.violate(fmt.Sprintf("%s finished holding %d leases", a.label, n))
+		}
+		m.checkNamespace(a)
+	}
+
+	nodes := append([]string(nil), m.nodeOrder...)
+	sort.Strings(nodes)
+	for _, name := range nodes {
+		if n := m.leasedNow[name]; n != 0 {
+			m.violate(fmt.Sprintf("%s: %d cores still leased after drain", name, n))
+		}
+		ex := m.sub.Execs[name]
+		if n := ex.RunningTasks(); n != 0 {
+			m.violate(fmt.Sprintf("%s: %d tasks still running", name, n))
+		}
+		if node := m.clu.Node(name); node != nil && node.GPU.InUse() != 0 {
+			m.violate(fmt.Sprintf("%s: %d GPU tokens leaked", name, node.GPU.InUse()))
+		}
+		if cached := m.sub.Cache.NodeBytes(name); cached != 0 {
+			m.violate(fmt.Sprintf("%s: %d cached bytes survived all lease releases", name, cached))
+		}
+		if used := ex.Heap().Used(); used != 0 {
+			m.violate(fmt.Sprintf("%s: heap still holds %d bytes after drain", name, used))
+		}
+		if ex.ProjectedFree() != ex.HeapFree() {
+			m.violate(fmt.Sprintf("%s: dangling memory reservation (%d bytes)",
+				name, ex.HeapFree()-ex.ProjectedFree()))
+		}
+	}
+}
+
+// checkNamespace asserts every identifier of the application sits inside
+// its own [base, base+IDSpan) range — the structural isolation guarantee
+// the shared cache and WAL keys rely on.
+func (m *Manager) checkNamespace(a *appState) {
+	in := func(id int) bool { return id >= a.base && id < a.base+IDSpan }
+	for _, j := range a.app.Jobs {
+		if !in(j.ID) {
+			m.violate(fmt.Sprintf("%s: job %d outside namespace [%d,%d)", a.label, j.ID, a.base, a.base+IDSpan))
+		}
+		for _, st := range j.Stages {
+			if !in(st.ID) {
+				m.violate(fmt.Sprintf("%s: stage %d outside namespace", a.label, st.ID))
+			}
+			if st.RDDID != 0 && !in(st.RDDID) {
+				m.violate(fmt.Sprintf("%s: stage %d rdd %d outside namespace", a.label, st.ID, st.RDDID))
+			}
+			if st.CacheRDDID != 0 && !in(st.CacheRDDID) {
+				m.violate(fmt.Sprintf("%s: stage %d cache rdd %d outside namespace", a.label, st.ID, st.CacheRDDID))
+			}
+			for _, t := range st.Tasks {
+				if !in(t.ID) {
+					m.violate(fmt.Sprintf("%s: task %d outside namespace", a.label, t.ID))
+				}
+				if t.CacheRDD != 0 && !in(t.CacheRDD) {
+					m.violate(fmt.Sprintf("%s: task %d cache rdd %d outside namespace", a.label, t.ID, t.CacheRDD))
+				}
+			}
+		}
+	}
+}

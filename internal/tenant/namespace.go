@@ -1,0 +1,37 @@
+package tenant
+
+import "rupam/internal/task"
+
+// Renumber moves every identifier in app into the namespace starting at
+// base: task, stage and job IDs, and the RDD IDs behind cache keys. Stage
+// signatures are deliberately left alone — they identify the computation,
+// not the instance, and the shared characteristics database recognizes
+// recurring work across applications through them (the paper's §III-B2
+// observation that data centers re-run the same applications).
+func Renumber(app *task.Application, base int) {
+	seenStage := make(map[*task.Stage]bool)
+	for _, j := range app.Jobs {
+		j.ID += base
+		for _, st := range j.Stages {
+			if seenStage[st] {
+				continue
+			}
+			seenStage[st] = true
+			st.ID += base
+			st.JobID += base
+			if st.RDDID != 0 {
+				st.RDDID += base
+			}
+			if st.CacheRDDID != 0 {
+				st.CacheRDDID += base
+			}
+			for _, t := range st.Tasks {
+				t.ID += base
+				t.StageID += base
+				if t.CacheRDD != 0 {
+					t.CacheRDD += base
+				}
+			}
+		}
+	}
+}

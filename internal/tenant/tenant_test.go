@@ -1,0 +1,251 @@
+package tenant
+
+import (
+	"testing"
+
+	"rupam/internal/core"
+	"rupam/internal/hdfs"
+	"rupam/internal/workloads"
+)
+
+// quickCfg is a small, fast scenario: six applications, short gaps.
+func quickCfg(scheduler string, seed uint64) Config {
+	return Config{
+		Scheduler: scheduler,
+		Seed:      seed,
+		Arrivals:  ArrivalConfig{Count: 6, MeanGap: 15},
+	}
+}
+
+func TestTenancySmoke(t *testing.T) {
+	for _, sched := range []string{"spark", "rupam"} {
+		t.Run(sched, func(t *testing.T) {
+			rep := NewManager(quickCfg(sched, 1)).Run()
+			if len(rep.Violations) != 0 {
+				t.Fatalf("invariant violations: %v", rep.Violations)
+			}
+			if rep.Arrived != 6 {
+				t.Fatalf("arrived %d, want 6", rep.Arrived)
+			}
+			if rep.Arrived != rep.Admitted+rep.Rejected {
+				t.Fatalf("admission accounting: %d != %d + %d", rep.Arrived, rep.Admitted, rep.Rejected)
+			}
+			if rep.Completed+rep.Aborted != rep.Admitted {
+				t.Fatalf("%d completed + %d aborted != %d admitted", rep.Completed, rep.Aborted, rep.Admitted)
+			}
+			if rep.Aborted != 0 {
+				t.Fatalf("fault-free run aborted %d apps", rep.Aborted)
+			}
+			if rep.PeakLeasedCores > rep.CapacityCores {
+				t.Fatalf("leases exceeded capacity: %d > %d", rep.PeakLeasedCores, rep.CapacityCores)
+			}
+			if rep.PeakLeasedCores == 0 {
+				t.Fatal("no leases ever granted")
+			}
+			if rep.P50Latency <= 0 || rep.P99Latency < rep.P50Latency {
+				t.Fatalf("bad latency percentiles: p50=%v p99=%v", rep.P50Latency, rep.P99Latency)
+			}
+			for _, n := range rep.LeaseHighWater {
+				if n <= 0 {
+					t.Fatalf("lease high-water not tracked: %v", rep.LeaseHighWater)
+				}
+			}
+		})
+	}
+}
+
+func TestTenancyDeterminism(t *testing.T) {
+	for _, sched := range []string{"spark", "rupam"} {
+		a := NewManager(quickCfg(sched, 7)).Run()
+		b := NewManager(quickCfg(sched, 7)).Run()
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("%s: fingerprints differ across identical runs: %s vs %s",
+				sched, a.Fingerprint, b.Fingerprint)
+		}
+		c := NewManager(quickCfg(sched, 8)).Run()
+		if a.Fingerprint == c.Fingerprint {
+			t.Fatalf("%s: different seeds produced identical fingerprints", sched)
+		}
+	}
+}
+
+// TestAdmissionControl floods a single-slot system and checks that every
+// arrival is accounted for: admitted + rejected == arrived, with real
+// rejections and a bounded queue.
+func TestAdmissionControl(t *testing.T) {
+	cfg := Config{
+		Scheduler:         "spark",
+		Seed:              3,
+		MaxConcurrentApps: 1,
+		MaxPendingApps:    1,
+		Arrivals: ArrivalConfig{
+			Count: 6, MeanGap: 1, Distribution: "fixed",
+			Mix: []AppMix{{Workload: "PR", Pool: "analytics", Weight: 1,
+				Params: workloads.Params{InputGB: 0.5, Partitions: 16, Iterations: 2}}},
+		},
+	}
+	rep := NewManager(cfg).Run()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Rejected == 0 {
+		t.Fatal("expected rejections with a 1-deep admission queue and 1 s arrivals")
+	}
+	if rep.Arrived != rep.Admitted+rep.Rejected {
+		t.Fatalf("admission accounting: %d != %d + %d", rep.Arrived, rep.Admitted, rep.Rejected)
+	}
+	// Rejected apps must carry a record too — no silent drops.
+	rejectedRecords := 0
+	for _, a := range rep.Apps {
+		if a.Rejected {
+			rejectedRecords++
+		}
+	}
+	if rejectedRecords != rep.Rejected {
+		t.Fatalf("%d rejected apps but %d rejection records", rep.Rejected, rejectedRecords)
+	}
+}
+
+// TestSharedCharDBWarmStart is the cross-application learning check: with
+// the shared characteristics database, the second instance of a workload
+// launches far fewer uncharacterized (never-observed) tasks than the
+// first, because the first app's observations persist.
+func TestSharedCharDBWarmStart(t *testing.T) {
+	cfg := Config{
+		Scheduler: "rupam",
+		Seed:      5,
+		Arrivals: ArrivalConfig{
+			Count: 2, MeanGap: 400, Distribution: "fixed",
+			Mix: []AppMix{{Workload: "PR", Pool: "analytics", Weight: 1,
+				Params: workloads.Params{InputGB: 0.5, Partitions: 16, Iterations: 2}}},
+		},
+	}
+	rep := NewManager(cfg).Run()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	m2 := NewManager(cfg)
+	m2.cfg.PrivateCharDB = true
+	rep2 := m2.Run()
+	if len(rep2.Violations) != 0 {
+		t.Fatalf("violations (private DB): %v", rep2.Violations)
+	}
+
+	uncharacterized := func(m *Manager) []int {
+		var out []int
+		for _, run := range m.AppRuns() {
+			s, ok := run.Runtime.Scheduler().(*core.RUPAM)
+			if !ok {
+				t.Fatal("rupam run without RUPAM scheduler")
+			}
+			out = append(out, s.UncharacterizedLaunches)
+		}
+		return out
+	}
+
+	mShared := NewManager(cfg)
+	repShared := mShared.Run()
+	if repShared.Fingerprint != rep.Fingerprint {
+		t.Fatalf("warm-start rerun not deterministic")
+	}
+	shared := uncharacterized(mShared)
+	if len(shared) != 2 {
+		t.Fatalf("expected 2 app runs, got %d", len(shared))
+	}
+	if shared[0] == 0 {
+		t.Fatal("first app launched zero uncharacterized tasks (counter broken?)")
+	}
+	if shared[1] >= shared[0] {
+		t.Fatalf("shared CharDB did not warm-start: app0=%d app1=%d uncharacterized launches",
+			shared[0], shared[1])
+	}
+
+	mPriv := NewManager(cfg)
+	mPriv.cfg.PrivateCharDB = true
+	mPriv.Run()
+	private := uncharacterized(mPriv)
+	if private[1] < shared[1] {
+		t.Fatalf("private DBs warm-started better than the shared one: %d < %d", private[1], shared[1])
+	}
+}
+
+// TestDynallocScalesAndDrains checks the allocation state machine:
+// backlogged applications grow past their initial lease, and every lease
+// is back with the cluster by the end (the drain is asserted by the
+// invariant battery; here we assert growth actually happened).
+func TestDynallocScalesAndDrains(t *testing.T) {
+	rep := NewManager(quickCfg("spark", 11)).Run()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	execCores := 8 // DynallocConfig default
+	if rep.PeakLeasedCores <= execCores {
+		t.Fatalf("dynamic allocation never scaled past the initial lease (peak %d cores)",
+			rep.PeakLeasedCores)
+	}
+}
+
+func TestRenumber(t *testing.T) {
+	store := hdfs.NewStore([]string{"n1", "n2"}, 2, 1)
+	app := workloads.Build("PR", store, workloads.Params{InputGB: 0.5, Partitions: 8, Iterations: 2, Seed: 9})
+	base := 3 * IDSpan
+	Renumber(app, base)
+	seen := make(map[int]bool)
+	for _, tk := range app.AllTasks() {
+		if tk.ID < base || tk.ID >= base+IDSpan {
+			t.Fatalf("task %d outside namespace", tk.ID)
+		}
+		if seen[tk.ID] {
+			t.Fatalf("duplicate task id %d after renumbering", tk.ID)
+		}
+		seen[tk.ID] = true
+		if tk.StageID < base || tk.StageID >= base+IDSpan {
+			t.Fatalf("stage id %d outside namespace", tk.StageID)
+		}
+		if tk.CacheRDD != 0 && (tk.CacheRDD < base || tk.CacheRDD >= base+IDSpan) {
+			t.Fatalf("cache rdd %d outside namespace", tk.CacheRDD)
+		}
+	}
+	for _, j := range app.Jobs {
+		if j.ID < base || j.ID >= base+IDSpan {
+			t.Fatalf("job %d outside namespace", j.ID)
+		}
+	}
+}
+
+func TestWaterFill(t *testing.T) {
+	mk := func(name string, w float64, min, demand int) *poolShare {
+		return &poolShare{cfg: PoolConfig{Name: name, Weight: w, MinShare: min}, demand: demand}
+	}
+	// Over-demanded system: minShares honored first, remainder by
+	// weight, every grant capped by demand.
+	pools := []*poolShare{
+		mk("a", 2, 32, 100),
+		mk("b", 1, 16, 10),
+		mk("c", 1, 0, 100),
+	}
+	waterFill(120, pools)
+	total := 0
+	for _, p := range pools {
+		if p.grant > p.demand {
+			t.Fatalf("pool %s granted %d beyond demand %d", p.cfg.Name, p.grant, p.demand)
+		}
+		total += p.grant
+	}
+	if total != 120 {
+		t.Fatalf("granted %d of 120 despite excess demand", total)
+	}
+	if pools[1].grant != 10 {
+		t.Fatalf("pool b should be demand-capped at 10, got %d", pools[1].grant)
+	}
+	// a (weight 2) should end up with more than c (weight 1).
+	if pools[0].grant <= pools[2].grant {
+		t.Fatalf("weighted sharing violated: a=%d c=%d", pools[0].grant, pools[2].grant)
+	}
+	// Under-demanded system: everyone fully satisfied.
+	pools = []*poolShare{mk("a", 1, 0, 20), mk("b", 1, 0, 30)}
+	waterFill(240, pools)
+	if pools[0].grant != 20 || pools[1].grant != 30 {
+		t.Fatalf("under-demanded grants wrong: %d, %d", pools[0].grant, pools[1].grant)
+	}
+}

@@ -190,6 +190,12 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		if d.Queue != "" {
 			args["queue"] = d.Queue
 		}
+		if d.App != "" {
+			args["app"] = d.App
+		}
+		if d.Pool != "" {
+			args["pool"] = d.Pool
+		}
 		if d.Speculative {
 			args["speculative"] = true
 		}

@@ -34,6 +34,11 @@ type Decision struct {
 	Scheduler string
 	Node      string
 
+	// App and Pool scope the decision to one application and its FAIR
+	// pool in multi-tenant runs; both are empty for single-app runs.
+	App  string
+	Pool string
+
 	// Queue names the resource dimension whose offer is being filled
 	// (RUPAM) or is empty for slot-based scheduling (default Spark).
 	Queue     string
@@ -55,6 +60,15 @@ func (c *Collector) NewDecision(scheduler, node string) *Decision {
 		return nil
 	}
 	return &Decision{c: c, Time: c.now(), Scheduler: scheduler, Node: node, Winner: -1}
+}
+
+// SetScope attributes the decision to an application and its FAIR pool
+// (multi-tenant runs; the spark runtime applies it from its config labels).
+func (d *Decision) SetScope(app, pool string) {
+	if d == nil {
+		return
+	}
+	d.App, d.Pool = app, pool
 }
 
 // SetQueue records the resource queue (and the offer's capability/
@@ -224,6 +238,9 @@ func writeDecision(w io.Writer, d *Decision) {
 	fmt.Fprintf(w, "  [%8.2fs] %s placed task %d on %s%s%s\n",
 		d.Time, d.Scheduler, d.Winner, d.Node, queueSuffix(d), spec)
 	fmt.Fprintf(w, "      winner: locality %s — heuristic: %s\n", d.WinnerLocality, d.Heuristic)
+	if d.App != "" {
+		fmt.Fprintf(w, "      app: %s (pool %q)\n", d.App, d.Pool)
+	}
 	for _, n := range d.Notes {
 		fmt.Fprintf(w, "      note: %s\n", n)
 	}

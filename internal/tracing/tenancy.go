@@ -1,0 +1,75 @@
+package tracing
+
+import "fmt"
+
+// This file is the multi-tenant track: application lifecycle instants
+// (arrival → admission/rejection → start → finish) and pool-scoped spans,
+// recorded by the tenant manager so a trace of a tenancy run shows which
+// pool owned each application and how long it queued. Like every other
+// collector method these are nil-receiver safe and allocation-only.
+
+// appInstant files one application lifecycle point event on the driver
+// track under the "tenant" category.
+func (c *Collector) appInstant(name, app, pool string, args map[string]interface{}) {
+	if c == nil {
+		return
+	}
+	if args == nil {
+		args = map[string]interface{}{}
+	}
+	args["app"] = app
+	if pool != "" {
+		args["pool"] = pool
+	}
+	c.instants = append(c.instants, instant{
+		seq: c.nextSeq(), time: c.now(),
+		name: fmt.Sprintf("%s %s", name, app), cat: "tenant",
+		args: args,
+	})
+}
+
+// AppArrived records an application entering the system (open-loop
+// arrival generator submission).
+func (c *Collector) AppArrived(app, pool, workload string) {
+	c.appInstant("app arrived", app, pool, map[string]interface{}{"workload": workload})
+}
+
+// AppAdmitted records admission control accepting an application into the
+// pending queue.
+func (c *Collector) AppAdmitted(app, pool string, queueDepth int) {
+	c.appInstant("app admitted", app, pool, map[string]interface{}{"queue_depth": queueDepth})
+}
+
+// AppRejected records admission control turning an application away
+// (pending queue full).
+func (c *Collector) AppRejected(app, pool, reason string) {
+	c.appInstant("app rejected", app, pool, map[string]interface{}{"reason": reason})
+}
+
+// AppStarted records an application's driver booting (a concurrency slot
+// freed up and the app left the pending queue).
+func (c *Collector) AppStarted(app, pool string, waited float64) {
+	c.appInstant("app started", app, pool, map[string]interface{}{"queued_for": waited})
+}
+
+// AppFinished records an application completing (or aborting) and frees
+// its span on the tenant track.
+func (c *Collector) AppFinished(app, pool string, duration float64, aborted bool) {
+	c.appInstant("app finished", app, pool, map[string]interface{}{
+		"duration": duration,
+		"aborted":  aborted,
+	})
+}
+
+// LeaseChanged records a dynamic-allocation lease transition for an
+// application on a node: positive cores for a grant, zero for a release.
+func (c *Collector) LeaseChanged(app, node string, cores int, reason string) {
+	if c == nil {
+		return
+	}
+	c.instants = append(c.instants, instant{
+		seq: c.nextSeq(), time: c.now(),
+		name: fmt.Sprintf("lease %s/%s=%d", app, node, cores), cat: "tenant", node: node,
+		args: map[string]interface{}{"app": app, "cores": cores, "reason": reason},
+	})
+}
