@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy|preempt|elastic]
 //	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
-//	            [-tenancy-seeds N] [-tenancy-apps N]
+//	            [-tenancy-seeds N] [-tenancy-apps N] [-elastic-seeds N]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
@@ -24,7 +24,12 @@
 // cluster, reporting per-pool throughput, latency percentiles and
 // slowdown versus isolated runs; -csv writes tenancy_pools.csv, -json the
 // full report, and any invariant violation exits nonzero) is likewise
-// explicit-only.
+// explicit-only. So are the two elastic-substrate sweeps: the preempt
+// experiment (a -chaos-seeds wide preemption soak on the elastic instance
+// market, auditing the graceful-drain protocol end to end) and the elastic
+// experiment (the cost-vs-makespan Pareto sweep over acquisition policies
+// under identical reclamation plans; -csv writes elastic_pareto.csv, -json
+// the full report, and any frontier or invariant violation exits nonzero).
 package main
 
 import (
@@ -46,7 +51,7 @@ import (
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
 	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "recovery",
-	"tracesanity", "tenancy",
+	"tracesanity", "tenancy", "preempt", "elastic",
 }
 
 func main() {
@@ -58,6 +63,7 @@ func main() {
 	jsonPath := flag.String("json", "", "file for the chaos/tenancy sweep's JSON report")
 	tenancySeeds := flag.Int("tenancy-seeds", 5, "arrival-stream seeds in the tenancy sweep")
 	tenancyApps := flag.Int("tenancy-apps", 10, "application arrivals per tenancy stream")
+	elasticSeeds := flag.Int("elastic-seeds", 0, "arrival-stream seeds per policy in the elastic sweep (0 = default)")
 	flag.Parse()
 
 	known := false
@@ -272,6 +278,70 @@ func main() {
 			}
 			if rep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: tenancy sweep found %d invariant violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "preempt" {
+		matched = true
+		run("Preemption soak", func() {
+			if *chaosSeeds < 1 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -chaos-seeds must be at least 1, got %d\n", *chaosSeeds)
+				os.Exit(2)
+			}
+			seeds := make([]uint64, *chaosSeeds)
+			for i := range seeds {
+				seeds[i] = *seed + uint64(i)
+			}
+			rep := chaos.PreemptionSoak(chaos.PreemptConfig{Seeds: seeds})
+			rep.Print(w)
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			if rep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: preemption soak found %d invariant violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "elastic" {
+		matched = true
+		run("Elastic Pareto sweep", func() {
+			if *elasticSeeds < 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -elastic-seeds must be non-negative, got %d\n", *elasticSeeds)
+				os.Exit(2)
+			}
+			rep := experiments.Elastic(experiments.ElasticConfig{
+				BaseSeed: *seed,
+				Seeds:    *elasticSeeds,
+			})
+			rep.Print(w)
+			writeCSV("elastic_pareto.csv", func(f *os.File) error {
+				return rep.WriteParetoCSV(f)
+			})
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			if rep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: elastic sweep found %d violations\n", rep.Violations)
 				os.Exit(1)
 			}
 		})

@@ -6,7 +6,7 @@
 //
 //	rupam-sim -workload PR [-scheduler rupam|spark] [-cluster hydra|motivation]
 //	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
-//	          [-chardb FILE] [-chaos-seed N]
+//	          [-chardb FILE] [-chaos-seed N] [-preempt NODE:AT:GRACE]...
 //	          [-wal FILE] [-crash-at T] [-restart-after D]
 //	          [-trace FILE] [-critical-path] [-explain TASKID]
 //
@@ -19,6 +19,13 @@
 // CPU degradation, memory pressure, task flakes, heartbeat loss) drawn
 // with that seed is injected into the run, under the same hardened
 // framework configuration the chaos soak harness uses.
+//
+// With -preempt NODE:AT:GRACE (repeatable), the named node receives a spot
+// preemption notice at virtual time AT seconds and is reclaimed GRACE
+// seconds later. During the grace window the driver fences the instance
+// out of scheduling, re-replicates its completed shuffle outputs, and
+// takes the kill as an announced loss (no blacklist entry, no retry-budget
+// charge) — the single-run lens on the elastic substrate's drain protocol.
 //
 // With -wal FILE, every driver state transition is appended to FILE as a
 // CRC-framed, virtual-clock-stamped write-ahead log with periodic snapshot
@@ -41,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"rupam/internal/chaos"
@@ -62,6 +70,37 @@ func usageError(format string, args ...interface{}) {
 	os.Exit(2)
 }
 
+// preemptPlan collects repeated -preempt NODE:AT:GRACE values into spot
+// reclamation events.
+type preemptPlan []faults.Event
+
+func (p *preemptPlan) String() string {
+	var parts []string
+	for _, ev := range *p {
+		parts = append(parts, fmt.Sprintf("%s:%g:%g", ev.Node, ev.At, ev.Duration))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *preemptPlan) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return fmt.Errorf("want NODE:AT:GRACE, got %q", s)
+	}
+	at, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || at < 0 {
+		return fmt.Errorf("notice time %q must be a non-negative number of seconds", parts[1])
+	}
+	grace, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || grace <= 0 {
+		return fmt.Errorf("grace window %q must be a positive number of seconds", parts[2])
+	}
+	*p = append(*p, faults.Event{
+		Kind: faults.SpotPreempt, Node: parts[0], At: at, Duration: grace,
+	})
+	return nil
+}
+
 func main() {
 	workload := flag.String("workload", "PR", "workload: "+strings.Join(workloads.Names(), ", "))
 	scheduler := flag.String("scheduler", "rupam", "task scheduler: spark or rupam")
@@ -73,6 +112,8 @@ func main() {
 	compare := flag.Bool("compare", false, "run under both schedulers and compare")
 	charDB := flag.String("chardb", "", "persist RUPAM's DB_taskchar across invocations")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "inject a random gray-failure fault plan drawn with this seed (0 = none)")
+	var preempts preemptPlan
+	flag.Var(&preempts, "preempt", "spot-preempt NODE at time AT with a GRACE-second notice window, as NODE:AT:GRACE (repeatable)")
 	walPath := flag.String("wal", "", "append the driver write-ahead log to this file")
 	crashAt := flag.Float64("crash-at", 0, "kill the driver at this virtual time in seconds and recover from the WAL (0 = never)")
 	restartAfter := flag.Float64("restart-after", 1, "driver restart delay in seconds after -crash-at")
@@ -138,6 +179,23 @@ func main() {
 		spec.Spark.Faults.Events = append(spec.Spark.Faults.Events, faults.Event{
 			Kind: faults.DriverCrash, At: *crashAt, Duration: *restartAfter,
 		})
+	}
+	if len(preempts) > 0 {
+		names := experiments.BuildCluster(simx.NewEngine(), *clusterName).NodeNames()
+		known := make(map[string]bool, len(names))
+		for _, n := range names {
+			known[n] = true
+		}
+		for _, ev := range preempts {
+			if !known[ev.Node] {
+				usageError("-preempt names unknown node %q (cluster %s has: %s)",
+					ev.Node, *clusterName, strings.Join(names, ", "))
+			}
+		}
+		if spec.Spark.Faults == nil {
+			spec.Spark.Faults = &faults.Schedule{}
+		}
+		spec.Spark.Faults.Events = append(spec.Spark.Faults.Events, preempts...)
 	}
 	// Open the WAL sink up front, like -trace: a typo'd path must fail
 	// before the simulation runs. The runtime stamps the log with its own
@@ -242,6 +300,11 @@ func report(r *spark.Result) {
 	if r.ExecutorsLost+r.FetchFailures+r.Resubmissions+r.NodesBlacklisted+r.FailStops > 0 || r.Aborted != nil {
 		fmt.Printf("fault tolerance: %d fail-stops, %d executors lost (%d rejoined), %d fetch failures, %d resubmissions, %d blacklistings\n",
 			r.FailStops, r.ExecutorsLost, r.ExecutorsRejoined, r.FetchFailures, r.Resubmissions, r.NodesBlacklisted)
+	}
+	if r.PreemptNotices > 0 {
+		fmt.Printf("preemption: %d notices, %d kills, %d drains completed, %d blocks re-replicated (%d redirected fetches), %d losses uncharged\n",
+			r.PreemptNotices, r.PreemptKills, r.DrainsCompleted,
+			r.DrainBlocksMoved, r.DrainFetchRedirects, r.PreemptLossesUncharged)
 	}
 	if r.DriverCrashes > 0 {
 		fmt.Printf("driver: %d crashes, %d recoveries from the write-ahead log\n",

@@ -123,6 +123,20 @@ func (db *CharDB) Lookup(key TaskKey) *Record {
 	return nil
 }
 
+// MeanComputeTime averages the latest observed compute time over every
+// flushed record — the elastic autoscaler's per-task work predictor when
+// sizing spot-vs-on-demand acquisitions. Returns false on an empty store.
+func (db *CharDB) MeanComputeTime() (float64, bool) {
+	if len(db.store) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, r := range db.store {
+		sum += r.ComputeTime
+	}
+	return sum / float64(len(db.store)), true
+}
+
 // Update enqueues a metrics observation for the task; it merges with the
 // task's existing record (flushed or queued) and appends to the write
 // queue.

@@ -539,6 +539,9 @@ func (s *RUPAM) detectResourceStragglers() {
 		}
 		for _, r := range ex.Running() {
 			t := r.Task()
+			if s.rt.StageOf(t) == nil {
+				continue // another tenant's attempt on the shared executor
+			}
 			rec := s.db.Lookup(keyByRuntime(s.rt, t))
 			if rec == nil || rec.BestTime == 0 {
 				continue
@@ -579,6 +582,9 @@ func (s *RUPAM) raceGPUTasks() {
 		}
 		for _, r := range ex.Running() {
 			t := r.Task()
+			if s.rt.StageOf(t) == nil {
+				continue // another tenant's attempt on the shared executor
+			}
 			if t.Demand.GPUCapable() && !r.Metrics().UsedGPU &&
 				now-r.Metrics().Launch > s.cfg.GPURaceMinRun {
 				s.rt.MarkSpeculatable(t)

@@ -279,6 +279,13 @@ func (ex *Executor) FailStop(recoverAfter float64) {
 	}
 	if recoverAfter > 0 {
 		ex.eng.Schedule(recoverAfter, func() {
+			if !ex.failStopped {
+				// Reactivate already brought the node back (the elastic
+				// substrate re-acquired it before this crash's recovery
+				// timer fired); a second restart would double-count an
+				// incarnation.
+				return
+			}
 			ex.failStopped = false
 			ex.down = false
 			ex.Incarnation++
@@ -286,6 +293,23 @@ func (ex *Executor) FailStop(recoverAfter float64) {
 				ex.OnRestart()
 			}
 		})
+	}
+}
+
+// Reactivate brings a fail-stopped executor back immediately — the elastic
+// substrate re-acquiring a previously preempted (or released) instance.
+// The machine returns empty: a fresh incarnation with nothing running, no
+// cache and a clean heap, and the driver sees the new incarnation's first
+// heartbeat exactly like a fail-stop recovery. A no-op on a live executor.
+func (ex *Executor) Reactivate() {
+	if !ex.failStopped {
+		return
+	}
+	ex.failStopped = false
+	ex.down = false
+	ex.Incarnation++
+	if ex.OnRestart != nil {
+		ex.OnRestart()
 	}
 }
 

@@ -600,6 +600,37 @@ func (r *Run) FetchingFrom(node string) bool {
 	return false
 }
 
+// RedirectFetch re-targets the attempt's in-flight shuffle read from a
+// dying source to a peer that holds re-replicated copies of its blocks:
+// each active flow from the old node is cancelled and its untransferred
+// remainder restarted from the new home, keeping the completion barrier
+// intact. Reports whether any flow was redirected.
+func (r *Run) RedirectFetch(from, to string) bool {
+	if r.done || from == to {
+		return false
+	}
+	r.ex.clu.Net.Sync()
+	moved := false
+	for i, f := range r.flows {
+		if f.Done() || f.Src() != from {
+			continue
+		}
+		if nf := r.ex.clu.Net.Redirect(f, to); nf != nil {
+			r.flows[i] = nf
+		}
+	}
+	// Rewriting fetchSrcs covers the flow that already delivered its bytes
+	// while the barrier still waits on other transfers: those bytes are
+	// safely local, so the read no longer depends on the dying node.
+	for i, s := range r.fetchSrcs {
+		if s == from {
+			r.fetchSrcs[i] = to
+			moved = true
+		}
+	}
+	return moved
+}
+
 // FailFetch terminates the attempt with a FetchFailed outcome — its
 // shuffle-read source died and the map output it was fetching is gone.
 // The onDone callback fires with FetchFailed.

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rupam/internal/chaos"
+	"rupam/internal/faults"
+	"rupam/internal/spark"
+	"rupam/internal/tenant"
+)
+
+// The elastic experiment: the same seeded arrival streams run under four
+// instance-acquisition policies — all on-demand, a mixed fleet, a
+// spot-heavy fleet with graceful drain, and the same spot-heavy fleet with
+// preemption notices ignored — tracing out the cost-vs-makespan Pareto
+// frontier. Fault plans are held identical across policies: one master
+// reclamation plan is drawn per seed over the full spot pool and each
+// policy sees exactly the events on its own spot nodes, so a cheaper
+// policy is cheaper under the *same* provider behavior, not under a
+// luckier draw.
+
+// ElasticPolicy is one acquisition strategy in the sweep.
+type ElasticPolicy struct {
+	Name string `json:"name"`
+	// SpotNodes is the policy's spot pool (subset of the master pool);
+	// empty means everything is bought on-demand.
+	SpotNodes []string `json:"spot_nodes"`
+	// IgnoreNotices drops preemption warnings (the notice-blind baseline).
+	IgnoreNotices bool `json:"ignore_notices,omitempty"`
+}
+
+// ElasticConfig parameterizes the sweep.
+type ElasticConfig struct {
+	// BaseSeed is the first run seed; runs use BaseSeed..BaseSeed+Seeds-1.
+	BaseSeed uint64
+	// Seeds is the number of arrival streams per (policy, scheduler)
+	// (default 3).
+	Seeds int
+	// Apps is the arrival count per stream (default 4).
+	Apps int
+	// MeanGap is the mean inter-arrival gap in seconds (default 20).
+	MeanGap float64
+	// Policies overrides the default four-policy sweep.
+	Policies []ElasticPolicy
+}
+
+func (c ElasticConfig) withDefaults() ElasticConfig {
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Seeds == 0 {
+		// Per-seed makespans are dominated by placement luck (a narrow app
+		// pinned on a slow node for a stage); five arrival streams per
+		// (policy, scheduler) is the smallest sweep where the policy means
+		// separate from that noise.
+		c.Seeds = 5
+	}
+	if c.Apps == 0 {
+		c.Apps = 4
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 20
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = DefaultElasticPolicies()
+	}
+	return c
+}
+
+// DefaultElasticPolicies is the shipped sweep: the frontier anchors
+// (on-demand, spot-heavy) plus a mixed point, and the notice-blind
+// spot-heavy baseline that isolates what the graceful drain buys.
+func DefaultElasticPolicies() []ElasticPolicy {
+	spot := chaos.DefaultSpotNodes()
+	return []ElasticPolicy{
+		{Name: "on-demand"},
+		{Name: "mixed", SpotNodes: []string{"thor4", "hulk3", "stack2"}},
+		{Name: "spot-heavy", SpotNodes: spot},
+		{Name: "spot-heavy-ignore", SpotNodes: spot, IgnoreNotices: true},
+	}
+}
+
+// ElasticRun is one (policy, scheduler, seed) outcome.
+type ElasticRun struct {
+	Policy    string  `json:"policy"`
+	Scheduler string  `json:"scheduler"`
+	Seed      uint64  `json:"seed"`
+	Events    int     `json:"spot_events"`
+	Makespan  float64 `json:"makespan_s"`
+	Completed int     `json:"completed"`
+	Aborted   int     `json:"aborted"`
+
+	CloudCost       float64 `json:"cloud_cost"`
+	Acquisitions    int     `json:"acquisitions"`
+	Notices         int     `json:"notices"`
+	Kills           int     `json:"kills"`
+	DrainsCompleted int     `json:"drains_completed"`
+	BlocksMoved     int     `json:"blocks_moved"`
+	FetchRedirects  int     `json:"fetch_redirects"`
+	LossesUncharged int     `json:"losses_uncharged"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ElasticSummary aggregates one policy's runs (means over all schedulers
+// and seeds — one point of the Pareto frontier).
+type ElasticSummary struct {
+	Policy       string  `json:"policy"`
+	MeanCost     float64 `json:"mean_cost"`
+	MeanMakespan float64 `json:"mean_makespan_s"`
+	Completed    int     `json:"completed"`
+	Aborted      int     `json:"aborted"`
+	Kills        int     `json:"kills"`
+}
+
+// ElasticResult is the sweep artifact the CLI gates on.
+type ElasticResult struct {
+	Config   ElasticConfig    `json:"config"`
+	Runs     []ElasticRun     `json:"runs"`
+	Frontier []ElasticSummary `json:"frontier"`
+	// FrontierViolations are failures of the frontier's expected shape,
+	// kept separate from per-run manager violations so the report shows
+	// which layer failed.
+	FrontierViolations []string `json:"frontier_violations,omitempty"`
+	Violations         int      `json:"violations"`
+}
+
+// Elastic runs the sweep and checks the frontier's expected shape: the
+// spot-heavy fleet must be strictly cheaper than all-on-demand, and under
+// the identical spot plan the graceful drain must beat the notice-blind
+// baseline on makespan without completing fewer applications.
+func Elastic(cfg ElasticConfig) *ElasticResult {
+	cfg = cfg.withDefaults()
+	res := &ElasticResult{Config: cfg}
+
+	masterPool := chaos.DefaultSpotNodes()
+	hazards := chaos.SpotHazards(nil, masterPool)
+
+	sums := make(map[string]*ElasticSummary)
+	var order []string
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.BaseSeed + uint64(i)
+		master := faults.SpotSchedule(seed, masterPool, hazards, chaos.PreemptGen())
+		for _, pol := range cfg.Policies {
+			plan := filterPlan(master, pol.SpotNodes)
+			for _, sched := range []string{SchedSpark, SchedRUPAM} {
+				run := runElastic(pol, sched, seed, plan, cfg)
+				res.Violations += len(run.Violations)
+				res.Runs = append(res.Runs, run)
+
+				g := sums[pol.Name]
+				if g == nil {
+					g = &ElasticSummary{Policy: pol.Name}
+					sums[pol.Name] = g
+					order = append(order, pol.Name)
+				}
+				g.MeanCost += run.CloudCost
+				g.MeanMakespan += run.Makespan
+				g.Completed += run.Completed
+				g.Aborted += run.Aborted
+				g.Kills += run.Kills
+			}
+		}
+	}
+	n := float64(cfg.Seeds * 2)
+	for _, name := range order {
+		g := sums[name]
+		g.MeanCost /= n
+		g.MeanMakespan /= n
+		res.Frontier = append(res.Frontier, *g)
+	}
+
+	res.checkFrontier(sums)
+	return res
+}
+
+// runElastic executes one policy run on the elastic substrate.
+func runElastic(pol ElasticPolicy, scheduler string, seed uint64,
+	plan *faults.Schedule, cfg ElasticConfig) ElasticRun {
+	run := ElasticRun{Policy: pol.Name, Scheduler: scheduler, Seed: seed,
+		Events: len(plan.Events)}
+
+	m := tenant.NewManager(tenant.Config{
+		Scheduler: scheduler,
+		Seed:      seed,
+		Arrivals:  tenant.ArrivalConfig{Count: cfg.Apps, MeanGap: cfg.MeanGap},
+		Faults:    plan,
+		// Hardened like the chaos soaks: enough retry budget that the
+		// notice-blind baseline pays for its charged losses in time, not in
+		// aborts, and a tight heartbeat so it discovers kills promptly (the
+		// fairest version of the baseline).
+		Spark: spark.Config{
+			TaskMaxFailures:        8,
+			Blacklist:              spark.BlacklistConfig{Enabled: true},
+			SpeculationMaxPerStage: 4,
+			HeartbeatInterval:      0.5,
+			HeartbeatTimeout:       4,
+		},
+		Elastic: tenant.ElasticConfig{
+			Enabled:       true,
+			SpotNodes:     pol.SpotNodes,
+			IgnoreNotices: pol.IgnoreNotices,
+		},
+	})
+	rep := m.Run()
+
+	run.Makespan = rep.Makespan
+	run.Completed = rep.Completed
+	run.Aborted = rep.Aborted
+	run.CloudCost = rep.CloudCost
+	run.Acquisitions = rep.Acquisitions
+	run.Notices, run.Kills = m.SpotEvents()
+	run.Violations = append(run.Violations, rep.Violations...)
+	for _, ar := range m.AppRuns() {
+		run.DrainsCompleted += ar.Result.DrainsCompleted
+		run.BlocksMoved += ar.Result.DrainBlocksMoved
+		run.FetchRedirects += ar.Result.DrainFetchRedirects
+		run.LossesUncharged += ar.Result.PreemptLossesUncharged
+	}
+	return run
+}
+
+// filterPlan restricts the master reclamation plan to the policy's spot
+// nodes — the identical-provider-behavior guarantee across policies.
+func filterPlan(master *faults.Schedule, spotNodes []string) *faults.Schedule {
+	in := make(map[string]bool, len(spotNodes))
+	for _, n := range spotNodes {
+		in[n] = true
+	}
+	out := &faults.Schedule{}
+	for _, ev := range master.Events {
+		if in[ev.Node] {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
+// checkFrontier asserts the sweep's economic shape as violations on the
+// result (the CLI exits nonzero on any).
+func (r *ElasticResult) checkFrontier(sums map[string]*ElasticSummary) {
+	od, sh, ig := sums["on-demand"], sums["spot-heavy"], sums["spot-heavy-ignore"]
+	if od == nil || sh == nil || ig == nil {
+		return // custom policy set; nothing structural to assert
+	}
+	violate := func(f string, args ...interface{}) {
+		r.Violations++
+		r.FrontierViolations = append(r.FrontierViolations, fmt.Sprintf(f, args...))
+	}
+	if sh.MeanCost >= od.MeanCost {
+		violate("spot-heavy mean cost $%.4f not below on-demand $%.4f",
+			sh.MeanCost, od.MeanCost)
+	}
+	if sh.MeanMakespan >= ig.MeanMakespan {
+		violate("graceful drain mean makespan %.1fs not below notice-blind %.1fs under the same plan",
+			sh.MeanMakespan, ig.MeanMakespan)
+	}
+	if sh.Completed < ig.Completed {
+		violate("graceful drain completed %d apps, notice-blind completed %d",
+			sh.Completed, ig.Completed)
+	}
+}
+
+// WriteJSON writes the sweep as a deterministic, indented JSON artifact.
+func (r *ElasticResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteParetoCSV writes one row per run — the raw series behind the
+// cost-vs-makespan frontier plot.
+func (r *ElasticResult) WriteParetoCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "policy,scheduler,seed,spot_events,makespan_s,completed,aborted,cloud_cost,acquisitions,kills,drains_completed,blocks_moved,fetch_redirects,losses_uncharged"); err != nil {
+		return err
+	}
+	for _, run := range r.Runs {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.2f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d\n",
+			run.Policy, run.Scheduler, run.Seed, run.Events, run.Makespan,
+			run.Completed, run.Aborted, run.CloudCost, run.Acquisitions,
+			run.Kills, run.DrainsCompleted, run.BlocksMoved,
+			run.FetchRedirects, run.LossesUncharged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Print summarizes the sweep: one line per run, the frontier table, and
+// the verdict.
+func (r *ElasticResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Elastic sweep: %d policies x 2 schedulers x %d seeds, %d arrivals each\n",
+		len(r.Config.Policies), r.Config.Seeds, r.Config.Apps)
+	fmt.Fprintf(w, "%-18s %-6s %5s %7s %9s %4s %4s %6s %9s %7s\n",
+		"policy", "sched", "seed", "events", "makespan", "done", "abrt", "kills", "cost($)", "drains")
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%-18s %-6s %5d %7d %9.1f %4d %4d %6d %9.4f %7d\n",
+			run.Policy, run.Scheduler, run.Seed, run.Events, run.Makespan,
+			run.Completed, run.Aborted, run.Kills, run.CloudCost, run.DrainsCompleted)
+		for _, v := range run.Violations {
+			fmt.Fprintf(w, "    VIOLATION: %s\n", v)
+		}
+	}
+	fmt.Fprintf(w, "\ncost-vs-makespan frontier (means over %d seeds x 2 schedulers):\n", r.Config.Seeds)
+	fmt.Fprintf(w, "%-18s %10s %12s %5s %5s %6s\n", "policy", "cost($)", "makespan(s)", "done", "abrt", "kills")
+	for _, s := range r.Frontier {
+		fmt.Fprintf(w, "%-18s %10.4f %12.1f %5d %5d %6d\n",
+			s.Policy, s.MeanCost, s.MeanMakespan, s.Completed, s.Aborted, s.Kills)
+	}
+	for _, v := range r.FrontierViolations {
+		fmt.Fprintf(w, "FRONTIER VIOLATION: %s\n", v)
+	}
+	if r.Violations == 0 {
+		fmt.Fprintf(w, "0 violations across %d runs\n", len(r.Runs))
+	} else {
+		fmt.Fprintf(w, "%d VIOLATIONS across %d runs\n", r.Violations, len(r.Runs))
+	}
+}

@@ -17,11 +17,11 @@ import (
 // apples to apples.
 func FaultSchedule() *faults.Schedule {
 	return &faults.Schedule{Events: []faults.Event{
-		{Kind: faults.NodeCrash, Node: "thor2", At: 45},                                // permanent
-		{Kind: faults.NodeCrash, Node: "hulk2", At: 30, Duration: 25},                  // crash + recover
-		{Kind: faults.NodeCrash, Node: "hulk2", At: 80, Duration: 25},                  // again
-		{Kind: faults.NICDegrade, Node: "thor3", At: 20, Duration: 40, Factor: 0.25},   // flaky link
-		{Kind: faults.HeartbeatLoss, Node: "hulk1", At: 50, Duration: 12},              // partition > timeout
+		{Kind: faults.NodeCrash, Node: "thor2", At: 45},                              // permanent
+		{Kind: faults.NodeCrash, Node: "hulk2", At: 30, Duration: 25},                // crash + recover
+		{Kind: faults.NodeCrash, Node: "hulk2", At: 80, Duration: 25},                // again
+		{Kind: faults.NICDegrade, Node: "thor3", At: 20, Duration: 40, Factor: 0.25}, // flaky link
+		{Kind: faults.HeartbeatLoss, Node: "hulk1", At: 50, Duration: 12},            // partition > timeout
 	}}
 }
 

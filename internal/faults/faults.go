@@ -57,6 +57,13 @@ const (
 	// delay before recovery replays the log and reconciles with survivors.
 	// Node is empty — the fault targets the driver, not a worker.
 	DriverCrash
+	// SpotPreempt reclaims a spot instance with notice: at At the provider
+	// delivers a preemption warning, and Duration seconds later (the grace
+	// window) the node fail-stops permanently — only the elastic substrate
+	// re-acquiring the instance brings it back. A notice-aware driver uses
+	// the window to fence the node and drain its shuffle outputs; a
+	// notice-ignoring one experiences it as a plain crash at At+Duration.
+	SpotPreempt
 )
 
 // String names the kind.
@@ -78,6 +85,8 @@ func (k Kind) String() string {
 		return "task-flake"
 	case DriverCrash:
 		return "driver-crash"
+	case SpotPreempt:
+		return "spot-preempt"
 	default:
 		return fmt.Sprintf("faults.Kind(%d)", int(k))
 	}
@@ -132,6 +141,10 @@ func (e Event) Validate() error {
 	case DriverCrash:
 		if e.Duration <= 0 {
 			return fmt.Errorf("faults: driver-crash needs a positive restart delay, got %g", e.Duration)
+		}
+	case SpotPreempt:
+		if e.Duration <= 0 {
+			return fmt.Errorf("faults: spot-preempt needs a positive grace window, got %g", e.Duration)
 		}
 	default:
 		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
@@ -203,6 +216,26 @@ func (s *Schedule) Validate() error {
 			for j := i + 1; j < len(evs); j++ {
 				if crashWindowsOverlap(evs[i], evs[j]) {
 					return fmt.Errorf("faults: overlapping crash windows on %s (%s / %s)",
+						node, evs[i], evs[j])
+				}
+			}
+		}
+	}
+	// A node cannot receive a second preemption notice while an earlier
+	// notice's grace window is still open: the instance is already doomed.
+	// (A later notice after a kill is fine — it models the re-acquired
+	// instance being reclaimed again.)
+	preempts := make(map[string][]Event)
+	for _, e := range s.Events {
+		if e.Kind == SpotPreempt {
+			preempts[e.Node] = append(preempts[e.Node], e)
+		}
+	}
+	for node, evs := range preempts {
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				if crashWindowsOverlap(evs[i], evs[j]) {
+					return fmt.Errorf("faults: overlapping preemption notices on %s (%s / %s)",
 						node, evs[i], evs[j])
 				}
 			}
@@ -294,6 +327,13 @@ type GenConfig struct {
 	DriverCrashes    int
 	MinDriverRestart float64
 	MaxDriverRestart float64
+	// SpotPreempts is the number of spot-reclamation events; each delivers
+	// a notice, then kills the node after a grace window drawn between
+	// MinGrace and MaxGrace. Like the driver-crash fields these sit last so
+	// their RNG draws append to the draw sequence of pre-existing plans.
+	SpotPreempts int
+	MinGrace     float64
+	MaxGrace     float64
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -329,6 +369,12 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.MaxDriverRestart < g.MinDriverRestart {
 		g.MaxDriverRestart = g.MinDriverRestart + 6
+	}
+	if g.MinGrace <= 0 {
+		g.MinGrace = 6
+	}
+	if g.MaxGrace < g.MinGrace {
+		g.MaxGrace = g.MinGrace + 18
 	}
 	return g
 }
@@ -445,11 +491,72 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 			}
 		}
 	}
+	// Spot preemptions draw last of all (see GenConfig.SpotPreempts) and
+	// redraw when a notice window would overlap an earlier one on the same
+	// node — an instance cannot be re-warned while already doomed.
+	preempts := make(map[string][]Event)
+	for i := 0; i < cfg.SpotPreempts; i++ {
+		for try := 0; try < 16; try++ {
+			ev := Event{
+				Kind:     SpotPreempt,
+				Node:     nodes[rng.Intn(len(nodes))],
+				At:       rng.Range(0, cfg.Horizon),
+				Duration: rng.Range(cfg.MinGrace, cfg.MaxGrace),
+			}
+			overlaps := false
+			for _, prev := range preempts[ev.Node] {
+				if crashWindowsOverlap(prev, ev) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				preempts[ev.Node] = append(preempts[ev.Node], ev)
+				evs = append(evs, ev)
+				break
+			}
+		}
+	}
 	s := &Schedule{Events: evs}
 	if err := s.Validate(); err != nil {
 		// Construction guarantees validity; a failure here is a bug in
 		// the generator, not in the caller's inputs.
 		panic(fmt.Sprintf("faults: RandomSchedule produced an invalid plan: %v", err))
+	}
+	return s
+}
+
+// SpotSchedule draws a reproducible spot-reclamation plan: each node with
+// a positive hazard (expected preemptions/hour) is reclaimed as a Poisson
+// process at that rate over the horizon, so price-correlated hazards —
+// deeper spot discounts, hotter instances — translate directly into more
+// preemptions on the cheap capacity. Grace windows draw between MinGrace
+// and MaxGrace; successive windows on one node never overlap because the
+// next arrival is drawn from the end of the previous window (a reclaimed
+// instance must be re-acquired before it can be reclaimed again). Nodes
+// absent from hazards (or with hazard ≤ 0) are on-demand and untouched.
+func SpotSchedule(seed uint64, nodes []string, hazards map[string]float64, cfg GenConfig) *Schedule {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRand(seed ^ 0x5b07e5eed)
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	var evs []Event
+	for _, node := range sorted {
+		rate := hazards[node] / 3600 // preemptions per second
+		if rate <= 0 {
+			continue
+		}
+		t := rng.Exp(rate)
+		for t < cfg.Horizon {
+			grace := rng.Range(cfg.MinGrace, cfg.MaxGrace)
+			evs = append(evs, Event{Kind: SpotPreempt, Node: node, At: t, Duration: grace})
+			t = t + grace + rng.Exp(rate)
+		}
+	}
+	s := &Schedule{Events: evs}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("faults: SpotSchedule produced an invalid plan: %v", err))
 	}
 	return s
 }

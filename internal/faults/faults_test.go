@@ -12,14 +12,14 @@ import (
 
 func TestEventValidate(t *testing.T) {
 	bad := []Event{
-		{Kind: NodeCrash},                                                // no node
-		{Kind: NodeCrash, Node: "a", At: -1},                             // negative time
-		{Kind: NodeCrash, Node: "a", Duration: -2},                       // negative duration
-		{Kind: NICDegrade, Node: "a", Duration: 5},                       // factor 0
-		{Kind: NICDegrade, Node: "a", Duration: 5, Factor: 1.5},          // factor > 1
-		{Kind: DiskDegrade, Node: "a", Factor: 0.5},                      // no duration
-		{Kind: HeartbeatLoss, Node: "a"},                                 // no duration
-		{Kind: Kind(99), Node: "a"},                                      // unknown kind
+		{Kind: NodeCrash},                                       // no node
+		{Kind: NodeCrash, Node: "a", At: -1},                    // negative time
+		{Kind: NodeCrash, Node: "a", Duration: -2},              // negative duration
+		{Kind: NICDegrade, Node: "a", Duration: 5},              // factor 0
+		{Kind: NICDegrade, Node: "a", Duration: 5, Factor: 1.5}, // factor > 1
+		{Kind: DiskDegrade, Node: "a", Factor: 0.5},             // no duration
+		{Kind: HeartbeatLoss, Node: "a"},                        // no duration
+		{Kind: Kind(99), Node: "a"},                             // unknown kind
 	}
 	for _, e := range bad {
 		if e.Validate() == nil {
@@ -27,8 +27,8 @@ func TestEventValidate(t *testing.T) {
 		}
 	}
 	good := []Event{
-		{Kind: NodeCrash, Node: "a", At: 10},                             // permanent crash
-		{Kind: NodeCrash, Node: "a", At: 10, Duration: 5},                // with recovery
+		{Kind: NodeCrash, Node: "a", At: 10},              // permanent crash
+		{Kind: NodeCrash, Node: "a", At: 10, Duration: 5}, // with recovery
 		{Kind: NICDegrade, Node: "a", At: 1, Duration: 5, Factor: 0.25},
 		{Kind: DiskDegrade, Node: "a", At: 1, Duration: 5, Factor: 1},
 		{Kind: HeartbeatLoss, Node: "a", At: 1, Duration: 5},
@@ -190,5 +190,58 @@ func TestKindString(t *testing.T) {
 	}
 	if !strings.Contains(Kind(42).String(), "42") {
 		t.Error("unknown kind string uninformative")
+	}
+}
+
+func TestSpotScheduleDeterministicAndShaped(t *testing.T) {
+	nodes := []string{"c", "a", "b", "d"}
+	hazards := map[string]float64{"a": 60, "b": 120, "c": 0, "d": -5}
+	cfg := GenConfig{Horizon: 600, MinGrace: 5, MaxGrace: 12}
+
+	plan := SpotSchedule(7, nodes, hazards, cfg)
+	if len(plan.Events) == 0 {
+		t.Fatal("hazards of 60-120/hour over 10 minutes drew no preemptions")
+	}
+
+	// Same seed reproduces the plan bit-for-bit, and the draw order is
+	// pinned to sorted node names, not the caller's slice order.
+	again := SpotSchedule(7, []string{"d", "b", "a", "c"}, hazards, cfg)
+	if !reflect.DeepEqual(plan, again) {
+		t.Fatal("same seed and inputs drew a different plan")
+	}
+	if other := SpotSchedule(8, nodes, hazards, cfg); reflect.DeepEqual(plan, other) {
+		t.Fatal("different seeds drew identical plans")
+	}
+
+	last := map[string]float64{}
+	for _, ev := range plan.Events {
+		if ev.Kind != SpotPreempt {
+			t.Fatalf("non-preemption event %v in a spot plan", ev)
+		}
+		if ev.Node == "c" || ev.Node == "d" {
+			t.Fatalf("on-demand node %s was reclaimed", ev.Node)
+		}
+		if ev.At >= cfg.Horizon {
+			t.Fatalf("event at %.1f beyond horizon %.0f", ev.At, cfg.Horizon)
+		}
+		if ev.Duration < cfg.MinGrace || ev.Duration > cfg.MaxGrace {
+			t.Fatalf("grace %.2f outside [%.0f, %.0f]", ev.Duration, cfg.MinGrace, cfg.MaxGrace)
+		}
+		// A reclaimed instance must be re-acquired before it can be warned
+		// again: windows on one node never overlap.
+		if ev.At < last[ev.Node] {
+			t.Fatalf("node %s re-warned at %.2f while doomed until %.2f", ev.Node, ev.At, last[ev.Node])
+		}
+		last[ev.Node] = ev.At + ev.Duration
+	}
+
+	// The hotter hazard reclaims more often over a long horizon.
+	count := map[string]int{}
+	long := SpotSchedule(7, nodes, hazards, GenConfig{Horizon: 7200, MinGrace: 5, MaxGrace: 12})
+	for _, ev := range long.Events {
+		count[ev.Node]++
+	}
+	if count["b"] <= count["a"] {
+		t.Fatalf("hazard 120/h drew %d events vs %d for 60/h", count["b"], count["a"])
 	}
 }

@@ -51,6 +51,16 @@ type Injector struct {
 	// here. Unset, driver-crash events are ignored (a driverless harness).
 	OnDriverCrash func(restartAfter float64)
 
+	// OnSpotNotice, if set, receives each spot-preemption warning with the
+	// grace window; notice-aware drivers fence and drain the node here. The
+	// kill itself happens regardless — the provider does not wait for
+	// anyone to acknowledge the notice.
+	OnSpotNotice func(node string, grace float64)
+	// OnSpotKill, if set, fires right after the reclaimed node fail-stops,
+	// so the driver can treat the loss as announced rather than discovering
+	// it by heartbeat timeout.
+	OnSpotKill func(node string)
+
 	// Counters for reporting.
 	Crashes         int
 	Recoveries      int
@@ -61,6 +71,8 @@ type Injector struct {
 	MemPressures    int
 	TaskFlakes      int
 	DriverCrashes   int
+	SpotNotices     int
+	SpotKills       int
 }
 
 type windowKey struct {
@@ -136,7 +148,40 @@ func (inj *Injector) apply(ev Event) {
 		inj.flakeTasks(ev)
 	case DriverCrash:
 		inj.crashDriver(ev)
+	case SpotPreempt:
+		inj.preempt(ev)
 	}
+}
+
+// preempt delivers a spot-reclamation notice and schedules the kill at the
+// end of the grace window. A node already fail-stopped when the notice
+// fires is skipped (the provider cannot reclaim an instance nobody holds);
+// a node that dies some other way during the grace window is likewise not
+// killed twice. The kill is a permanent fail-stop: only the elastic
+// substrate re-acquiring the instance (executor.Reactivate) brings it back.
+func (inj *Injector) preempt(ev Event) {
+	ex, ok := inj.execs[ev.Node]
+	if !ok || ex.FailStopped() {
+		return
+	}
+	inj.SpotNotices++
+	inj.trace("spot notice %s (kill in %.1fs)", ev.Node, ev.Duration)
+	inj.Collector.FaultSpan(ev.Node, "spot-preempt",
+		fmt.Sprintf("grace %.1fs", ev.Duration), ev.Duration)
+	if inj.OnSpotNotice != nil {
+		inj.OnSpotNotice(ev.Node, ev.Duration)
+	}
+	inj.eng.Schedule(ev.Duration, func() {
+		if ex.FailStopped() {
+			return
+		}
+		inj.SpotKills++
+		inj.trace("spot kill %s", ev.Node)
+		ex.FailStop(0)
+		if inj.OnSpotKill != nil {
+			inj.OnSpotKill(ev.Node)
+		}
+	})
 }
 
 func (inj *Injector) crashDriver(ev Event) {

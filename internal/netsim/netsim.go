@@ -89,6 +89,15 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 // Rate returns the flow's currently allocated rate in bytes/sec.
 func (f *Flow) Rate() float64 { return f.rate }
 
+// Src returns the node name the flow transfers from.
+func (f *Flow) Src() string { return f.src.name }
+
+// Dst returns the node name the flow transfers to.
+func (f *Flow) Dst() string { return f.dst.name }
+
+// Done reports whether the flow has finished or been cancelled.
+func (f *Flow) Done() bool { return f.done }
+
 // Network is the collection of interfaces and active flows.
 type Network struct {
 	eng        *simx.Engine
@@ -189,6 +198,20 @@ func (n *Network) Cancel(f *Flow) float64 {
 	rem := f.remaining
 	n.reallocate()
 	return rem
+}
+
+// Redirect cancels an in-flight flow and restarts its untransferred
+// remainder from a different source node, preserving the destination and
+// completion callback — a reader switching to a replica mid-transfer.
+// Returns the replacement flow, or nil if the original had already
+// finished (there is nothing left to redirect).
+func (n *Network) Redirect(f *Flow, newSrc string) *Flow {
+	if f == nil || f.done {
+		return nil
+	}
+	dst, onDone := f.dst.name, f.onDone
+	rem := n.Cancel(f)
+	return n.Start(newSrc, dst, rem, onDone)
 }
 
 // Sync folds the elapsed interval into flow progress and utilization

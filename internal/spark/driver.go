@@ -75,6 +75,11 @@ func (rt *Runtime) CanRunOn(node string) bool {
 	if !ok || ex.Down() || rt.lostExecs[node] {
 		return false
 	}
+	if rt.preempted[node] {
+		// A preemption notice dooms the node: new launches and speculative
+		// copies go to healthy executors for the rest of the grace window.
+		return false
+	}
 	if rt.bl != nil && rt.bl.nodeBlacklisted(node) {
 		return false
 	}
@@ -157,6 +162,12 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 		if t.State != task.Finished {
 			t.State = task.Finished
 			delete(rt.speculatable, t.ID)
+			if m := r.Metrics(); m.End > m.Launch {
+				// Observed attempt wall time feeds the drain's fence-point
+				// prediction (how late a doomed node can still accept work).
+				rt.attemptDurSum += m.End - m.Launch
+				rt.attemptDurN++
+			}
 			rt.wlog.Append(wal.Record{Kind: wal.KindTaskSucceeded,
 				Task: t.ID, Stage: st.ID, Index: t.Index,
 				Node: r.Metrics().Executor, Bytes: t.Demand.ShuffleWriteBytes})
@@ -196,8 +207,14 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 				Task: t.ID, Node: r.Metrics().Executor, Outcome: "success"})
 		}
 	case executor.OOM, executor.Killed, executor.Lost, executor.FetchFailed, executor.Flaked:
+		outcome := out.String()
+		if out == executor.Lost && rt.preempted[r.Metrics().Executor] {
+			// An announced spot reclamation: the distinct WAL outcome keeps a
+			// post-crash replay from folding the loss into failure counts.
+			outcome = "preempted"
+		}
 		rt.wlog.Append(wal.Record{Kind: wal.KindAttemptEnded,
-			Task: t.ID, Node: r.Metrics().Executor, Outcome: out.String()})
+			Task: t.ID, Node: r.Metrics().Executor, Outcome: outcome})
 		if t.State == task.Finished {
 			break // a lost speculative copy; nothing to do
 		}

@@ -89,6 +89,9 @@ func (rt *Runtime) noteHeartbeat(node string) {
 		rt.ExecutorsRejoined++
 		rt.Cfg.Tracer.ExecutorRejoined(node)
 		rt.wlog.Append(wal.Record{Kind: wal.KindExecRejoined, Node: node})
+		// A rejoined preempted node is a fresh instance the elastic substrate
+		// re-acquired: lift the preemption fence before re-deriving state.
+		rt.clearPreempted(node)
 		// A rejoined node may restore locality levels the pending stages
 		// gave up on; let the scheduler re-derive its delay state.
 		rt.notifyExecutorSetChanged()
@@ -113,6 +116,15 @@ func (rt *Runtime) executorLost(node string, reason string) {
 		ela.ExecutorLost(node)
 	}
 	rt.notifyExecutorSetChanged()
+
+	// Decide fetch redirection before the rollback wipes the stage maps: a
+	// preempted node whose still-needed shuffle outputs were all relocated
+	// during the grace window leaves its in-flight readers a healthy home
+	// to re-source from, so their fetches need not fail at all.
+	redirectTo := ""
+	if rt.preempted[node] {
+		redirectTo = rt.drainRedirectTarget(node)
+	}
 
 	// Map-output rollback first, so the launch gates below already see the
 	// parent stages as incomplete when attempts start getting resubmitted.
@@ -141,12 +153,20 @@ func (rt *Runtime) executorLost(node string, reason string) {
 		confirmed = false
 	}
 	for _, r := range rt.runningSorted() {
-		if r.FetchingFrom(node) {
-			if confirmed {
-				r.FailFetch() // fires onTaskEnd(FetchFailed) via onDone
-			} else {
-				rt.deferFetchFailure(r, node, 1)
-			}
+		if !r.FetchingFrom(node) {
+			continue
+		}
+		if redirectTo != "" && r.RedirectFetch(node, redirectTo) {
+			// The blocks this attempt was streaming have live relocated
+			// copies: the read resumes from the new home mid-transfer, the
+			// way a block-manager decommission hands readers its replicas.
+			rt.DrainFetchRedirects++
+			continue
+		}
+		if confirmed {
+			r.FailFetch() // fires onTaskEnd(FetchFailed) via onDone
+		} else {
+			rt.deferFetchFailure(r, node, 1)
 		}
 	}
 	rt.reschedule()
@@ -261,6 +281,14 @@ func (rt *Runtime) outputsNeeded(st *task.Stage, job *task.Job) bool {
 // fetch failure — never a deliberate kill) against the retry budget and
 // the blacklist, aborting the job when the budget is exhausted.
 func (rt *Runtime) noteTaskFailure(t *task.Task, st *task.Stage, r *executor.Run, out executor.Outcome) {
+	if out == executor.Lost && rt.preempted[r.Metrics().Executor] {
+		// An announced spot reclamation killed the attempt. The cloud took
+		// the instance back; neither the task nor the node did anything
+		// wrong, so the loss charges neither the retry budget nor the
+		// blacklist — a task preempted arbitrarily many times still runs.
+		rt.PreemptLossesUncharged++
+		return
+	}
 	rt.failCount[t.ID]++
 	if rt.bl != nil && out != executor.FetchFailed {
 		// A fetch failure blames the dead source, not the node the attempt

@@ -356,7 +356,16 @@ func (rt *Runtime) reconcileLost(s *wal.State) {
 				r.Kill(false)
 			}
 			if !rt.lostExecs[name] {
-				rt.executorLost(name, "unreachable at driver recovery")
+				// A node the provider reclaimed during the outage is an
+				// announced loss even though the driver never heard the
+				// notice: the preempted mark (set at kill, surviving the
+				// in-memory restore) keeps the loss uncharged and lets
+				// audits tell a drained instance from a crashed one.
+				reason := "unreachable at driver recovery"
+				if rt.preempted[name] {
+					reason = "spot-preempted (reconciled)"
+				}
+				rt.executorLost(name, reason)
 			}
 			continue
 		}

@@ -15,6 +15,7 @@ import (
 	"rupam/internal/faults"
 	"rupam/internal/metrics"
 	"rupam/internal/monitor"
+	"rupam/internal/netsim"
 	"rupam/internal/simx"
 	"rupam/internal/task"
 	"rupam/internal/tracing"
@@ -260,6 +261,15 @@ type Runtime struct {
 	inj       *faults.Injector   // nil unless Cfg.Faults is non-empty
 	aborted   *AbortError
 
+	// spot-preemption / graceful-drain state (preempt.go)
+	preempted         map[string]bool           // notice delivered, not yet cleared by re-acquisition
+	preemptRecs       []*PreemptionRecord       // notice→kill episodes, in notice order
+	drainFlows        map[string][]*netsim.Flow // in-flight drain copies per doomed node
+	drainRR           int                       // round-robin cursor over drain destinations
+	preemptViolations []string                  // drain-protocol audit failures
+	attemptDurSum     float64                   // Σ wall seconds of successful attempts
+	attemptDurN       int                       // count behind attemptDurSum
+
 	// crash-recovery state (recovery.go)
 	wlog         *wal.Log    // nil unless WAL configured or plan crashes the driver
 	crashed      bool        // driver is down; completions buffer in orphaned
@@ -280,6 +290,17 @@ type Runtime struct {
 	Resubmissions     int
 	DriverCrashes     int
 	DriverRecoveries  int
+	// Preemption counters (preempt.go): notices heard, kills observed,
+	// kills that landed on a fully drained node, drain re-replication
+	// volume, and announced losses exempted from failure accounting.
+	PreemptNotices         int
+	PreemptKills           int
+	DrainsCompleted        int
+	DrainBlocksMoved       int
+	DrainBytesMoved        int64
+	DrainBlocksSkipped     int
+	DrainFetchRedirects    int
+	PreemptLossesUncharged int
 	// SpecLiveAtCrash records, per crash, how many speculative copies were
 	// in flight at the instant the driver died (test observability for the
 	// crash-during-speculation race).
@@ -327,6 +348,8 @@ func NewRuntimeOn(eng *simx.Engine, clu *cluster.Cluster, sched Scheduler, cfg C
 		failCount:    make(map[int]int),
 		resubmits:    make(map[int]int),
 		dupSuccess:   make(map[int]int),
+		preempted:    make(map[string]bool),
+		drainFlows:   make(map[string][]*netsim.Flow),
 	}
 	if sub != nil {
 		rt.Cache = sub.Cache
@@ -469,6 +492,16 @@ type Result struct {
 	TaskFlakes        int
 	DriverCrashes     int
 	DriverRecoveries  int
+
+	// Spot-preemption outcomes (all zero without SpotPreempt events).
+	PreemptNotices         int
+	PreemptKills           int
+	DrainsCompleted        int
+	DrainBlocksMoved       int
+	DrainBytesMoved        int64
+	DrainBlocksSkipped     int
+	DrainFetchRedirects    int
+	PreemptLossesUncharged int
 	// SpecLiveAtCrash records, per driver crash, how many speculative
 	// copies were in flight at the instant the driver died.
 	SpecLiveAtCrash []int
@@ -554,6 +587,14 @@ func (rt *Runtime) Start(app *task.Application) {
 	// over the shared executors and routes driver crashes itself.
 	for _, n := range rt.Clu.Nodes {
 		rt.lastHB[n.Name()] = rt.Eng.Now()
+		// Seed incarnation tracking with the executors' current state: an
+		// application attaching to a shared substrate after a node has
+		// already restarted (spot churn before this app arrived) must not
+		// mistake the node's first heartbeat for a fresh restart and kill
+		// its own just-launched attempts there.
+		if ex := rt.Execs[n.Name()]; ex != nil {
+			rt.lastInc[n.Name()] = ex.Incarnation
+		}
 	}
 	rt.wlog = rt.Cfg.WAL
 	if rt.wlog != nil {
@@ -566,6 +607,8 @@ func (rt *Runtime) Start(app *task.Application) {
 		rt.Mon.Drop = rt.inj.Suppressed
 		rt.inj.Collector = rt.Cfg.Tracer
 		rt.inj.OnDriverCrash = rt.driverCrash
+		rt.inj.OnSpotNotice = rt.PreemptNotice
+		rt.inj.OnSpotKill = rt.SpotKill
 		if rt.wlog == nil && rt.Cfg.Faults.HasKind(faults.DriverCrash) {
 			// A crash without a WAL would be unrecoverable; keep an
 			// in-memory log so the plan's DriverCrash events can replay.
@@ -615,6 +658,15 @@ func (rt *Runtime) BuildResult() *Result {
 		DriverRecoveries:  rt.DriverRecoveries,
 		SpecLiveAtCrash:   rt.SpecLiveAtCrash,
 		Aborted:           rt.aborted,
+
+		PreemptNotices:         rt.PreemptNotices,
+		PreemptKills:           rt.PreemptKills,
+		DrainsCompleted:        rt.DrainsCompleted,
+		DrainBlocksMoved:       rt.DrainBlocksMoved,
+		DrainBytesMoved:        rt.DrainBytesMoved,
+		DrainBlocksSkipped:     rt.DrainBlocksSkipped,
+		DrainFetchRedirects:    rt.DrainFetchRedirects,
+		PreemptLossesUncharged: rt.PreemptLossesUncharged,
 	}
 	if rt.bl != nil {
 		res.NodesBlacklisted = rt.bl.NodesBlacklisted

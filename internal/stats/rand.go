@@ -71,6 +71,20 @@ func (r *Rand) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(r.Normal(mu, sigma))
 }
 
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate) via inverse-CDF; Poisson arrival processes — spot
+// reclamations per instance — draw their inter-arrival gaps from this.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
 // Zipf returns a value in [1, n] following a Zipf distribution with
 // exponent s, via inverse-CDF on the precomputed harmonic weights held in
 // z. Use NewZipf to build z once per distribution.

@@ -270,6 +270,28 @@ func (s *Stage) OutputOf(taskIndex int) (string, int64) {
 	return loc.node, loc.bytes
 }
 
+// RelocateOutput moves taskIndex's materialized map output from its
+// current node to another (a graceful-drain re-replication during a spot
+// grace window), keeping the per-node byte aggregates consistent so child
+// stages split their shuffle reads against the new location. Returns the
+// moved byte count, or ok=false when the index has no registered output,
+// already lives on to, or the move would be a no-op — the drain path calls
+// this from a transfer-completion callback, by which time a rerun may have
+// re-registered the output elsewhere.
+func (s *Stage) RelocateOutput(taskIndex int, to string) (int64, bool) {
+	loc, ok := s.outputLoc[taskIndex]
+	if !ok || loc.node == to || loc.bytes <= 0 {
+		return 0, false
+	}
+	s.ShuffleOutputByNode[loc.node] -= loc.bytes
+	if s.ShuffleOutputByNode[loc.node] <= 0 {
+		delete(s.ShuffleOutputByNode, loc.node)
+	}
+	s.AddShuffleOutput(to, loc.bytes)
+	s.outputLoc[taskIndex] = shuffleLoc{node: to, bytes: loc.bytes}
+	return loc.bytes, true
+}
+
 // ResetShuffleOutputs forgets every materialized map output and zeroes the
 // completion counter. Crash recovery uses it to rebuild the stage's output
 // registry from the write-ahead log: only outputs whose success records

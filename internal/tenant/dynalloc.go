@@ -51,25 +51,38 @@ func (m *Manager) dynallocTick() {
 			}
 		}
 		// Scale up: a backlog that outlives the timeout doubles the
-		// lease count, capped by what the demand can actually use.
+		// lease count, capped by what the demand can actually use. Leases
+		// on draining (preemption-noticed) nodes are walking dead — they
+		// count as zero here so the doubling reflects capacity that will
+		// still exist, and replacements are granted while the doomed node
+		// works through its grace window.
 		_, pending := m.demandOf(a)
 		if pending > 0 && now-a.lastScale >= m.cfg.Dynalloc.BacklogTimeout {
 			live, pend := m.demandOf(a)
 			needExecs := (live + pend + m.cfg.Dynalloc.ExecCores - 1) / m.cfg.Dynalloc.ExecCores
-			want := 2 * len(a.leases)
+			effLeases := 0
+			for node := range a.leases {
+				if !m.draining[node] {
+					effLeases++
+				}
+			}
+			want := 2 * effLeases
 			if want < 1 {
 				want = 1
 			}
 			if want > needExecs {
 				want = needExecs
 			}
-			if want > len(a.leases) {
-				if granted := m.scaleUp(a, want-len(a.leases)); granted > 0 {
+			if want > effLeases {
+				if granted := m.scaleUp(a, want-effLeases); granted > 0 {
 					a.lastScale = now
 					changed = true
 				}
 			}
 		}
+	}
+	if m.cfg.Elastic.Enabled {
+		m.releaseIdleInstances()
 	}
 	m.auditIsolation()
 	if changed {
@@ -104,6 +117,9 @@ func (m *Manager) scaleUp(a *appState, n int) int {
 		if a.leases[node] > 0 {
 			continue
 		}
+		if !m.instanceUsable(node) {
+			continue // not acquired from the market, or draining toward a kill
+		}
 		cores := m.cfg.Dynalloc.ExecCores
 		free := m.clu.Node(node).Spec.Cores - m.leasedNow[node]
 		if free < cores {
@@ -128,6 +144,12 @@ func (m *Manager) scaleUp(a *appState, n int) int {
 	}
 	if granted > 0 && a.rt != nil {
 		a.rt.NotifyExecutorSetChanged()
+	}
+	if granted < n {
+		// Unmet demand becomes an acquisition request (no-op unless the
+		// elastic market is on): the pilot queue delivers capacity later
+		// and the next allocation tick retries the grant.
+		m.requestInstances(n - granted)
 	}
 	return granted
 }

@@ -1,0 +1,415 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rupam/internal/cluster"
+)
+
+// This file is the elastic cloud substrate: the workload manager stops
+// treating the cluster as a fixed asset and instead *acquires* instances
+// from a priced market (on-demand or spot per node class), holds them
+// while leases need them, and releases them when idle — metering $-cost
+// the whole way. Acquisition is a pilot-job queue: requests batch, arrive
+// after a provisioning delay, and capacity denials retry under bounded
+// deterministic exponential backoff. Spot instances come with a preemption
+// hazard; the manager routes provider notices into every running driver's
+// graceful-drain path (spark.PreemptNotice/SpotKill), fences draining
+// instances out of lease grants, and requests replacement capacity the
+// moment a leased instance is doomed. Scale-up chooses between spot and
+// on-demand flavors by effective price: the spot rate inflated by the
+// CharDB-predicted probability of losing the hold's remaining work.
+
+// ElasticConfig parameterizes the elastic substrate. The zero value
+// (Enabled=false) preserves the fixed-cluster behavior exactly.
+type ElasticConfig struct {
+	// Enabled turns the instance market on: lease grants then require an
+	// acquired (held) instance, and idle instances are released.
+	Enabled bool
+	// Market prices the instance classes; nil takes cluster.DefaultMarket.
+	Market *cluster.Market
+	// SpotNodes names the nodes billed (and preemption-hazarded) as spot
+	// instances; every other node is on-demand. Node→billing is fixed for
+	// the run so the fault plan's per-node hazard draws stay meaningful.
+	SpotNodes []string
+	// QueueDelay is the pilot-job provisioning latency: seconds between an
+	// acquisition request and its grant batch arriving (default 5).
+	QueueDelay float64
+	// BatchSize caps instances granted per batch arrival (default 2).
+	BatchSize int
+	// BackoffBase is the first retry delay after a capacity denial; retry
+	// i waits min(BackoffBase·2^(i−1), BackoffMax) seconds. A successful
+	// grant resets the schedule (defaults 2 and 60).
+	BackoffBase float64
+	BackoffMax  float64
+	// InstanceIdleTimeout releases a held instance no application has
+	// leased for this long (default 30). Release is structurally
+	// drain-first: an instance is only idle once every lease on it is gone.
+	InstanceIdleTimeout float64
+	// DefaultTaskSeconds is the per-task work estimate used by the
+	// spot-vs-on-demand choice before the CharDB has observations
+	// (default 2).
+	DefaultTaskSeconds float64
+	// ReworkPenalty scales the expected-preemption surcharge on the spot
+	// price: eff = spot·(1 + ReworkPenalty·P(preempt before work drains))
+	// (default 3).
+	ReworkPenalty float64
+	// IgnoreNotices is the baseline policy for the elastic experiment: the
+	// substrate drops preemption warnings on the floor, so drivers take
+	// every kill cold (heartbeat-timeout discovery, fetch-failure storms,
+	// charged losses) instead of draining through the grace window.
+	IgnoreNotices bool
+}
+
+func (e ElasticConfig) withDefaults() ElasticConfig {
+	if e.Market == nil {
+		e.Market = cluster.DefaultMarket()
+	}
+	if e.QueueDelay == 0 {
+		e.QueueDelay = 5
+	}
+	if e.BatchSize == 0 {
+		e.BatchSize = 2
+	}
+	if e.BackoffBase == 0 {
+		e.BackoffBase = 2
+	}
+	if e.BackoffMax == 0 {
+		e.BackoffMax = 60
+	}
+	if e.InstanceIdleTimeout == 0 {
+		e.InstanceIdleTimeout = 30
+	}
+	if e.DefaultTaskSeconds == 0 {
+		e.DefaultTaskSeconds = 2
+	}
+	if e.ReworkPenalty == 0 {
+		e.ReworkPenalty = 3
+	}
+	return e
+}
+
+// initElastic sets up the market state; called from Run before arrivals.
+func (m *Manager) initElastic() {
+	m.draining = make(map[string]bool)
+	m.held = make(map[string]bool)
+	m.holdStart = make(map[string]float64)
+	m.holdIdle = make(map[string]float64)
+	m.spotSet = make(map[string]bool)
+	for _, n := range m.cfg.Elastic.SpotNodes {
+		m.spotSet[n] = true
+	}
+}
+
+// instanceUsable reports whether a lease may be granted on node: never on
+// a draining (preemption-noticed) instance, and in elastic mode only on a
+// currently held one.
+func (m *Manager) instanceUsable(node string) bool {
+	if m.draining[node] {
+		return false
+	}
+	if !m.cfg.Elastic.Enabled {
+		return true
+	}
+	return m.held[node]
+}
+
+// billingOf returns the node's fixed billing flavor.
+func (m *Manager) billingOf(node string) cluster.Billing {
+	if m.spotSet[node] {
+		return cluster.Spot
+	}
+	return cluster.OnDemand
+}
+
+// priceOf returns the node's sticker $/hour.
+func (m *Manager) priceOf(node string) float64 {
+	return m.cfg.Elastic.Market.Price(m.clu.Node(node).Spec.Class, m.billingOf(node))
+}
+
+// predictedHoldSeconds estimates how long a newly acquired instance would
+// stay busy: cluster-wide pending demand times the CharDB's mean observed
+// task compute time (DefaultTaskSeconds before any history), divided over
+// the instance's lease cores.
+func (m *Manager) predictedHoldSeconds() float64 {
+	taskSec := m.cfg.Elastic.DefaultTaskSeconds
+	if m.sharedDB != nil {
+		if mean, ok := m.sharedDB.MeanComputeTime(); ok && mean > 0 {
+			taskSec = mean
+		}
+	}
+	pending := 0
+	for _, a := range m.activeApps() {
+		_, p := m.demandOf(a)
+		pending += p
+	}
+	cores := m.cfg.Dynalloc.ExecCores
+	if cores <= 0 {
+		cores = 1
+	}
+	work := float64(pending) * taskSec / float64(cores)
+	if work < taskSec {
+		work = taskSec
+	}
+	return work
+}
+
+// effectivePrice is the spot-vs-on-demand decision rule: an on-demand
+// node costs its sticker rate; a spot node costs its sticker rate plus a
+// rework surcharge weighted by the probability the provider reclaims it
+// before the predicted work drains (hazard is Poisson per hour).
+func (m *Manager) effectivePrice(node string, holdSec float64) float64 {
+	class := m.clu.Node(node).Spec.Class
+	if !m.spotSet[node] {
+		return m.cfg.Elastic.Market.Price(class, cluster.OnDemand)
+	}
+	spot := m.cfg.Elastic.Market.Price(class, cluster.Spot)
+	pKill := 1 - math.Exp(-m.cfg.Elastic.Market.Hazard(class)*holdSec/3600)
+	return spot * (1 + m.cfg.Elastic.ReworkPenalty*pKill)
+}
+
+// requestInstances asks the pilot-job queue for capacity. Requests are
+// level-triggered (the want is a shortfall, re-derived every allocation
+// tick, so it maxes rather than accumulates) and coalesce into the batch
+// already in flight.
+func (m *Manager) requestInstances(n int) {
+	if !m.cfg.Elastic.Enabled || m.finished || n <= 0 {
+		return
+	}
+	if n > m.reqWanted {
+		m.reqWanted = n
+	}
+	if m.reqPending {
+		return
+	}
+	m.reqPending = true
+	m.eng.Schedule(m.cfg.Elastic.QueueDelay, m.grantInstances)
+}
+
+// grantInstances is the batch arrival: grant up to BatchSize of the
+// cheapest-effective unheld instances, or record a capacity denial and
+// back off exponentially (bounded, deterministic, reset by any grant).
+func (m *Manager) grantInstances() {
+	m.reqPending = false
+	if m.finished {
+		m.reqWanted = 0
+		return
+	}
+	if m.reqWanted <= 0 {
+		return
+	}
+	var cands []string
+	for _, node := range m.nodeOrder {
+		if m.held[node] || m.draining[node] {
+			continue
+		}
+		cands = append(cands, node)
+	}
+	hold := m.predictedHoldSeconds()
+	sort.SliceStable(cands, func(i, j int) bool {
+		return m.effectivePrice(cands[i], hold) < m.effectivePrice(cands[j], hold)
+	})
+	n := m.reqWanted
+	if n > m.cfg.Elastic.BatchSize {
+		n = m.cfg.Elastic.BatchSize
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	if n == 0 {
+		m.denials++
+		m.reqAttempt++
+		delay := m.cfg.Elastic.BackoffBase * math.Pow(2, float64(m.reqAttempt-1))
+		if delay > m.cfg.Elastic.BackoffMax {
+			delay = m.cfg.Elastic.BackoffMax
+		}
+		m.backoffDelays = append(m.backoffDelays, delay)
+		m.cfg.Tracer.InstanceDenied(m.reqWanted, m.reqAttempt, delay)
+		m.reqPending = true
+		m.eng.Schedule(delay, m.grantInstances)
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.acquireInstance(cands[i])
+	}
+	m.reqAttempt = 0
+	m.reqWanted -= n
+	if m.reqWanted > 0 {
+		m.reqPending = true
+		m.eng.Schedule(m.cfg.Elastic.QueueDelay, m.grantInstances)
+	}
+	m.ScheduleAll()
+}
+
+// acquireInstance takes one instance from the market. Re-acquiring a node
+// the provider reclaimed earlier models getting a *new* instance of the
+// same class under the same name: the executor reactivates with a fresh
+// incarnation and every driver's rejoin path lifts its preemption fence.
+func (m *Manager) acquireInstance(node string) {
+	now := m.eng.Now()
+	m.held[node] = true
+	m.holdStart[node] = now
+	m.holdIdle[node] = now
+	m.acquisitions++
+	m.cfg.Tracer.InstanceAcquired(node, m.billingOf(node).String(), m.priceOf(node))
+	if ex := m.sub.Execs[node]; ex != nil && ex.FailStopped() {
+		ex.Reactivate()
+	}
+}
+
+// releaseInstance returns one instance to the market and closes out its
+// bill. Safe to call on an unheld node (no-op).
+func (m *Manager) releaseInstance(node, reason string) {
+	if !m.held[node] {
+		return
+	}
+	delete(m.held, node)
+	heldFor := m.eng.Now() - m.holdStart[node]
+	cost := heldFor / 3600 * m.priceOf(node)
+	m.cloudCost += cost
+	m.cfg.Tracer.InstanceReleased(node, reason, heldFor, cost)
+}
+
+// releaseIdleInstances is the autoscaler's scale-down half, run every
+// allocation tick: a held instance whose leases all drained away (idle
+// past the timeout) goes back to the market. Draining instances are left
+// alone — their bill closes at the kill.
+func (m *Manager) releaseIdleInstances() {
+	now := m.eng.Now()
+	for _, node := range m.nodeOrder {
+		if !m.held[node] {
+			continue
+		}
+		if m.leasedNow[node] > 0 {
+			m.holdIdle[node] = now
+			continue
+		}
+		if m.draining[node] {
+			continue
+		}
+		if now-m.holdIdle[node] > m.cfg.Elastic.InstanceIdleTimeout {
+			m.releaseInstance(node, "idle")
+		}
+	}
+}
+
+// startedApps returns every application that ever ran, in arrival order
+// (kill fan-out must reach apps that finished during the grace window).
+func (m *Manager) startedApps() []*appState {
+	var out []*appState
+	for _, a := range m.apps {
+		if a.started && a.rt != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// onSpotNotice is the provider's preemption warning. Graceful mode fences
+// the instance, fans the notice into every running driver's drain path,
+// deregisters the doomed node from the allocator, and orders replacement
+// capacity while the node is still serving; IgnoreNotices drops it (the
+// baseline the experiment measures against).
+func (m *Manager) onSpotNotice(node string, grace float64) {
+	m.spotNotices++
+	if m.cfg.Elastic.IgnoreNotices {
+		return
+	}
+	m.draining[node] = true
+	for _, a := range m.activeApps() {
+		a.rt.PreemptNotice(node, grace)
+	}
+	// Order replacement capacity immediately, one instance per application
+	// holding a lease on the doomed node: the pilot queue's delay plus the
+	// allocation tick roughly matches the grace window, so replacements
+	// arrive as the node closes. Leases on the node stay until the kill —
+	// the drivers keep it productive up to their fence points — but the
+	// allocator no longer counts them as capacity (see dynallocTick).
+	if m.cfg.Elastic.Enabled {
+		lost := 0
+		for _, a := range m.activeApps() {
+			if a.leases[node] > 0 {
+				lost++
+			}
+		}
+		m.requestInstances(lost)
+	}
+}
+
+// onSpotKill is the instance actually dying. In graceful mode the drivers
+// hear it as an announced loss (uncharged, drain-audited); with notices
+// ignored they discover it the hard way through heartbeat timeouts. In
+// both modes the cluster manager promptly observes the node's death:
+// leases on it are force-released and the instance's bill closes.
+func (m *Manager) onSpotKill(node string) {
+	m.spotKills++
+	delete(m.draining, node)
+	if !m.cfg.Elastic.IgnoreNotices {
+		// Every app that heard the notice must also hear the kill, even if
+		// it finished mid-grace — the drain record stays open otherwise.
+		for _, a := range m.startedApps() {
+			a.rt.SpotKill(node)
+		}
+	}
+	lostLease := false
+	for _, a := range m.activeApps() {
+		if a.leases[node] > 0 {
+			m.releaseLease(a, node, "spot-preempted")
+			lostLease = true
+		}
+	}
+	if m.cfg.Elastic.Enabled {
+		m.releaseInstance(node, "spot-preempted")
+		if lostLease {
+			m.requestInstances(1)
+		}
+	}
+	m.ScheduleAll()
+}
+
+// checkElasticEndState extends the invariant battery: after the run every
+// instance must be back at the market with its bill closed.
+func (m *Manager) checkElasticEndState() {
+	for _, node := range m.nodeOrder {
+		if m.held[node] {
+			m.violate(fmt.Sprintf("instance %s still held after run end", node))
+		}
+		if m.draining[node] {
+			m.violate(fmt.Sprintf("instance %s still draining after run end", node))
+		}
+	}
+	if m.cfg.Elastic.Enabled && m.cloudCost <= 0 && m.acquisitions > 0 {
+		m.violate("instances were acquired but no cost accrued")
+	}
+}
+
+// CloudCost returns the run's total metered instance cost in dollars.
+func (m *Manager) CloudCost() float64 { return m.cloudCost }
+
+// Acquisitions returns how many instance grants the pilot queue made.
+func (m *Manager) Acquisitions() int { return m.acquisitions }
+
+// AcquireDenials returns how many capacity denials the pilot queue hit.
+func (m *Manager) AcquireDenials() int { return m.denials }
+
+// BackoffDelays returns the denial retry delays in order — the test hook
+// for the deterministic bounded-exponential schedule.
+func (m *Manager) BackoffDelays() []float64 {
+	return append([]float64(nil), m.backoffDelays...)
+}
+
+// SpotEvents returns (notices heard, kills observed) at the manager.
+func (m *Manager) SpotEvents() (int, int) { return m.spotNotices, m.spotKills }
+
+// HeldInstances returns the currently held instances in cluster order.
+func (m *Manager) HeldInstances() []string {
+	var out []string
+	for _, node := range m.nodeOrder {
+		if m.held[node] {
+			out = append(out, node)
+		}
+	}
+	return out
+}

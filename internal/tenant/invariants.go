@@ -94,6 +94,7 @@ func (m *Manager) checkEndState() {
 				name, ex.HeapFree()-ex.ProjectedFree()))
 		}
 	}
+	m.checkElasticEndState()
 }
 
 // checkNamespace asserts every identifier of the application sits inside

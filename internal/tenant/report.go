@@ -79,6 +79,13 @@ type Report struct {
 	PeakLeasedCores int            `json:"peak_leased_cores"`
 	LeaseHighWater  map[string]int `json:"lease_high_water"`
 
+	// Elastic-substrate outcomes (all zero on fixed-cluster runs).
+	CloudCost      float64 `json:"cloud_cost,omitempty"`
+	Acquisitions   int     `json:"acquisitions,omitempty"`
+	AcquireDenials int     `json:"acquire_denials,omitempty"`
+	SpotNotices    int     `json:"spot_notices,omitempty"`
+	SpotKills      int     `json:"spot_kills,omitempty"`
+
 	Pools []PoolReport `json:"pools"`
 	Apps  []AppRecord  `json:"apps"`
 
@@ -165,6 +172,11 @@ func (m *Manager) buildReport() *Report {
 		CapacityCores:   m.capacity,
 		PeakLeasedCores: m.peakLeased,
 		LeaseHighWater:  m.leaseHighWater,
+		CloudCost:       m.cloudCost,
+		Acquisitions:    m.acquisitions,
+		AcquireDenials:  m.denials,
+		SpotNotices:     m.spotNotices,
+		SpotKills:       m.spotKills,
 		Violations:      m.violations,
 	}
 
@@ -252,6 +264,13 @@ func (m *Manager) fingerprint() string {
 	h := fnv.New64a()
 	f64 := func(x float64) { binary.Write(h, binary.LittleEndian, math.Float64bits(x)) }
 	i64 := func(x int) { binary.Write(h, binary.LittleEndian, int64(x)) }
+	// Elastic-substrate outcome bits: the churn soak's bit-identity check
+	// must cover cost metering and the acquisition stream too.
+	f64(m.cloudCost)
+	i64(m.acquisitions)
+	i64(m.denials)
+	i64(m.spotNotices)
+	i64(m.spotKills)
 	i64(len(m.apps))
 	for _, a := range m.apps {
 		io.WriteString(h, a.label)

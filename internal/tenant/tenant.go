@@ -107,8 +107,12 @@ type Config struct {
 	// RUPAM carries scheduler tunables for Scheduler=="rupam".
 	RUPAM core.Config
 	// Faults, when non-empty, is installed once over the shared cluster;
-	// DriverCrash events are routed to the oldest running application.
+	// DriverCrash events are routed to the oldest running application, and
+	// SpotPreempt notices/kills fan out to every running application.
 	Faults *faults.Schedule
+	// Elastic turns the fixed cluster into a priced instance market with
+	// pilot-job acquisition and cost metering (off by default).
+	Elastic ElasticConfig
 	// Tracer, when non-nil, records the structured multi-application
 	// trace (app lifecycle, leases, pool-scoped decisions).
 	Tracer *tracing.Collector
@@ -136,6 +140,9 @@ func (c Config) withDefaults() Config {
 		c.MaxPendingApps = 8
 	}
 	c.Dynalloc = c.Dynalloc.withDefaults()
+	if c.Elastic.Enabled {
+		c.Elastic = c.Elastic.withDefaults()
+	}
 	if c.MaxSimTime == 0 {
 		c.MaxSimTime = 14400
 	}
@@ -213,6 +220,22 @@ type Manager struct {
 	leaseHighWater map[string]int // node → max cores ever leased at once
 	peakLeased     int            // max total leased cores at once
 
+	// elastic substrate (elastic.go)
+	spotSet       map[string]bool    // node → billed as spot
+	draining      map[string]bool    // preemption notice heard, kill pending
+	held          map[string]bool    // instance currently acquired
+	holdStart     map[string]float64 // node → acquisition time
+	holdIdle      map[string]float64 // node → last time any lease was held
+	cloudCost     float64            // metered $ across closed holds
+	acquisitions  int
+	denials       int
+	reqWanted     int  // outstanding instance shortfall (level-triggered)
+	reqAttempt    int  // consecutive capacity denials
+	reqPending    bool // a grant batch or retry is already scheduled
+	backoffDelays []float64
+	spotNotices   int
+	spotKills     int
+
 	violations []string
 }
 
@@ -241,6 +264,7 @@ func (m *Manager) Run() *Report {
 
 	m.leasedNow = make(map[string]int)
 	m.leaseHighWater = make(map[string]int)
+	m.initElastic()
 	for _, n := range m.clu.Nodes {
 		m.capacity += n.Spec.Cores
 		m.nodeOrder = append(m.nodeOrder, n.Name())
@@ -314,6 +338,8 @@ func (m *Manager) buildSubstrate() {
 		mon.Drop = m.inj.Suppressed
 		m.inj.Collector = m.cfg.Tracer
 		m.inj.OnDriverCrash = m.routeDriverCrash
+		m.inj.OnSpotNotice = m.onSpotNotice
+		m.inj.OnSpotKill = m.onSpotKill
 		m.inj.Install(m.cfg.Faults)
 	}
 }
@@ -505,6 +531,11 @@ func (m *Manager) maybeFinish() {
 	m.sub.Mon.Stop()
 	if m.dynTimer != nil {
 		m.dynTimer.Cancel()
+	}
+	// Close out the market: every still-held instance is released and its
+	// bill settled, so the report's cost covers the whole run.
+	for _, node := range m.nodeOrder {
+		m.releaseInstance(node, "run-done")
 	}
 }
 

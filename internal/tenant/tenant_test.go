@@ -1,9 +1,11 @@
 package tenant
 
 import (
+	"reflect"
 	"testing"
 
 	"rupam/internal/core"
+	"rupam/internal/faults"
 	"rupam/internal/hdfs"
 	"rupam/internal/workloads"
 )
@@ -247,5 +249,109 @@ func TestWaterFill(t *testing.T) {
 	waterFill(240, pools)
 	if pools[0].grant != 20 || pools[1].grant != 30 {
 		t.Fatalf("under-demanded grants wrong: %d, %d", pools[0].grant, pools[1].grant)
+	}
+}
+
+func TestElasticBackoffSchedule(t *testing.T) {
+	// Twelve applications arriving two seconds apart overrun the Hydra
+	// market: once all twelve instances are held, further acquisition
+	// requests hit capacity denials and must retry under the bounded
+	// exponential schedule — min(Base·2^(i−1), Max), reset by any grant.
+	run := func() (*Manager, *Report) {
+		m := NewManager(Config{
+			Scheduler: "rupam", Seed: 11,
+			Arrivals: ArrivalConfig{Count: 12, MeanGap: 2},
+			Elastic:  ElasticConfig{Enabled: true},
+		})
+		return m, m.Run()
+	}
+	m, rep := run()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations under market pressure: %v", rep.Violations)
+	}
+	if m.AcquireDenials() == 0 {
+		t.Fatal("twelve concurrent apps on a twelve-instance market drew no capacity denials")
+	}
+	delays := m.BackoffDelays()
+	if len(delays) != m.AcquireDenials() {
+		t.Fatalf("%d backoff delays for %d denials", len(delays), m.AcquireDenials())
+	}
+	e := ElasticConfig{Enabled: true}.withDefaults()
+	for i, d := range delays {
+		if d > e.BackoffMax {
+			t.Fatalf("delay[%d] = %.0f exceeds BackoffMax %.0f", i, d, e.BackoffMax)
+		}
+		if i == 0 || delays[i-1] == e.BackoffMax {
+			// First retry, or continuing from a capped delay.
+			if d != e.BackoffBase && d != e.BackoffMax {
+				t.Fatalf("delay[%d] = %.0f, want base %.0f or cap %.0f", i, d, e.BackoffBase, e.BackoffMax)
+			}
+			continue
+		}
+		if d != e.BackoffBase && d != 2*delays[i-1] {
+			t.Fatalf("delay[%d] = %.0f follows %.0f: want a reset to %.0f or a doubling",
+				i, d, delays[i-1], e.BackoffBase)
+		}
+	}
+	// A grant must have reset the schedule at least once: the market frees
+	// instances as apps finish, so the denial streaks are interleaved.
+	resets := 0
+	for i := 1; i < len(delays); i++ {
+		if delays[i] == e.BackoffBase {
+			resets++
+		}
+	}
+	if resets == 0 {
+		t.Fatal("backoff schedule never reset; grants should interleave with denials")
+	}
+	m2, _ := run()
+	if !reflect.DeepEqual(delays, m2.BackoffDelays()) {
+		t.Fatalf("backoff trace not deterministic: %v vs %v", delays, m2.BackoffDelays())
+	}
+}
+
+func TestElasticSpotChurnConservesLeases(t *testing.T) {
+	// Hot spot hazards churn three instances through repeated
+	// preempt→release→re-acquire cycles. Whatever the provider does, the
+	// manager's books must stay straight: every notice is followed by its
+	// kill, lease accounting never exceeds capacity, and the whole episode
+	// replays bit-identically.
+	spot := []string{"thor4", "thor5", "hulk3"}
+	plan := faults.SpotSchedule(11, spot,
+		map[string]float64{"thor4": 120, "thor5": 120, "hulk3": 120},
+		faults.GenConfig{Horizon: 120, MinGrace: 6, MaxGrace: 12})
+	run := func() (*Manager, *Report) {
+		m := NewManager(Config{
+			Scheduler: "rupam", Seed: 11,
+			Arrivals: ArrivalConfig{Count: 8, MeanGap: 10},
+			Faults:   plan,
+			Elastic:  ElasticConfig{Enabled: true, SpotNodes: spot},
+		})
+		return m, m.Run()
+	}
+	m, rep := run()
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations under spot churn: %v", rep.Violations)
+	}
+	notices, kills := m.SpotEvents()
+	if notices == 0 || notices != kills {
+		t.Fatalf("notices=%d kills=%d; every warning must be followed by its kill", notices, kills)
+	}
+	if rep.Acquisitions <= kills {
+		t.Fatalf("acquisitions=%d with %d kills: reclaimed capacity was never re-acquired",
+			rep.Acquisitions, kills)
+	}
+	if rep.PeakLeasedCores > rep.CapacityCores {
+		t.Fatalf("peak leased %d cores exceeds capacity %d", rep.PeakLeasedCores, rep.CapacityCores)
+	}
+	if rep.CloudCost <= 0 {
+		t.Fatal("elastic run metered no cost")
+	}
+	if rep.Fingerprint == "" {
+		t.Fatal("no fingerprint")
+	}
+	_, rep2 := run()
+	if rep2.Fingerprint != rep.Fingerprint {
+		t.Fatalf("spot churn not deterministic: %s vs %s", rep2.Fingerprint, rep.Fingerprint)
 	}
 }

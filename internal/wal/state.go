@@ -102,9 +102,10 @@ func (s *State) Apply(r *Record) {
 	case KindAttemptEnded:
 		s.removeAttempt(r.Task, r.Node)
 		switch r.Outcome {
-		case "success", "killed":
-			// Loser copies and late successes: no failure accounting,
-			// mirroring noteTaskFailure's Killed exemption.
+		case "success", "killed", "preempted":
+			// Loser copies, late successes, and announced spot reclamations:
+			// no failure accounting, mirroring noteTaskFailure's Killed and
+			// preemption exemptions.
 		case "fetch-failed":
 			s.bumpFail(r.Task)
 			s.Counters.FetchFailures++
@@ -129,6 +130,19 @@ func (s *State) Apply(r *Record) {
 		}
 		s.Resubmits[r.Task]++
 		s.Counters.Resubmissions++
+	case KindOutputMoved:
+		// Drain re-replication: the partition's output registration moves
+		// to its new home, so a post-crash rebuild does not resurrect the
+		// location on the preempted node.
+		if r.Bytes > 0 {
+			if s.Outputs == nil {
+				s.Outputs = make(map[int]map[int]Output)
+			}
+			if s.Outputs[r.Stage] == nil {
+				s.Outputs[r.Stage] = make(map[int]Output)
+			}
+			s.Outputs[r.Stage][r.Index] = Output{Node: r.Node, Bytes: r.Bytes}
+		}
 	case KindOutputLost:
 		if m := s.Outputs[r.Stage]; m != nil {
 			delete(m, r.Index)

@@ -40,6 +40,7 @@ const (
 	KindTaskRequeued    = "task-requeued"    // Task (audit-only: failed attempt put back in the pool)
 	KindTaskRolledBack  = "task-rolled-back" // Task, Stage (finished task resubmitted after output loss)
 	KindOutputLost      = "output-lost"      // Stage, Index, Node (map-output rollback)
+	KindOutputMoved     = "output-moved"     // Stage, Index, Node, Bytes (graceful-drain re-replication: the output now lives on Node)
 	KindExecLost        = "exec-lost"        // Node
 	KindExecRejoined    = "exec-rejoined"    // Node
 	KindExecIncarnation = "exec-incarnation" // Node, Inc
