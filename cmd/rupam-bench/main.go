@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy|preempt|elastic]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy|preempt|elastic|federation]
 //	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
 //	            [-tenancy-seeds N] [-tenancy-apps N] [-elastic-seeds N]
+//	            [-federation-seeds N]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
@@ -30,6 +31,11 @@
 // experiment (the cost-vs-makespan Pareto sweep over acquisition policies
 // under identical reclamation plans; -csv writes elastic_pareto.csv, -json
 // the full report, and any frontier or invariant violation exits nonzero).
+// The federation experiment runs the two-phase placement protocol's
+// acceptance battery and a -federation-seeds wide soak (multi-driver runs
+// under driver crashes and an unreliable control plane; -json writes the
+// report), then the fault-free 1/2/4-driver scaling sweep (-csv writes
+// federation_scale.csv); it is likewise explicit-only.
 package main
 
 import (
@@ -51,7 +57,7 @@ import (
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
 	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "recovery",
-	"tracesanity", "tenancy", "preempt", "elastic",
+	"tracesanity", "tenancy", "preempt", "elastic", "federation",
 }
 
 func main() {
@@ -64,6 +70,7 @@ func main() {
 	tenancySeeds := flag.Int("tenancy-seeds", 5, "arrival-stream seeds in the tenancy sweep")
 	tenancyApps := flag.Int("tenancy-apps", 10, "application arrivals per tenancy stream")
 	elasticSeeds := flag.Int("elastic-seeds", 0, "arrival-stream seeds per policy in the elastic sweep (0 = default)")
+	fedSeeds := flag.Int("federation-seeds", 5, "fault-plan seeds in the federation soak")
 	flag.Parse()
 
 	known := false
@@ -342,6 +349,43 @@ func main() {
 			}
 			if rep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: elastic sweep found %d violations\n", rep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "federation" {
+		matched = true
+		run("Federation soak + scaling sweep", func() {
+			if *fedSeeds < 1 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -federation-seeds must be at least 1, got %d\n", *fedSeeds)
+				os.Exit(2)
+			}
+			seeds := make([]uint64, *fedSeeds)
+			for i := range seeds {
+				seeds[i] = *seed + uint64(i)
+			}
+			rep := chaos.FederationSoak(chaos.FederationConfig{Seeds: seeds})
+			rep.Print(w)
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			sweep := experiments.Federation(experiments.FederationConfig{BaseSeed: *seed})
+			sweep.Print(w)
+			writeCSV("federation_scale.csv", func(f *os.File) error {
+				return sweep.WriteCSV(f)
+			})
+			if rep.Violations+sweep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: federation sweep found %d invariant violations\n",
+					rep.Violations+sweep.Violations)
 				os.Exit(1)
 			}
 		})

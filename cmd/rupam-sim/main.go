@@ -7,7 +7,7 @@
 //	rupam-sim -workload PR [-scheduler rupam|spark] [-cluster hydra|motivation]
 //	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
 //	          [-chardb FILE] [-chaos-seed N] [-preempt NODE:AT:GRACE]...
-//	          [-wal FILE] [-crash-at T] [-restart-after D]
+//	          [-wal FILE] [-crash-at T] [-restart-after D] [-drivers N]
 //	          [-trace FILE] [-critical-path] [-explain TASKID]
 //
 // With -chardb, RUPAM's task-characteristics database (DB_taskchar) is
@@ -35,6 +35,14 @@
 // executors are re-adopted, buffered completions are redelivered, and the
 // run resumes on the virtual clock.
 //
+// With -drivers N (N > 1), the run switches to the federated harness: N
+// driver shards share the Hydra cluster, each owning one copy of the
+// workload, and every placement is arbitrated through the two-phase
+// claim protocol against per-node agents. -chaos-seed then draws the
+// federation fault mix (driver crashes plus an unreliable control
+// plane); single-run lenses (-compare, -wal, -trace, -chardb, -preempt)
+// do not apply.
+//
 // With -trace FILE, every task attempt, scheduler decision and fault
 // window is recorded and exported as Chrome trace_event JSON — load the
 // file in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
@@ -54,6 +62,7 @@ import (
 	"rupam/internal/chaos"
 	"rupam/internal/experiments"
 	"rupam/internal/faults"
+	"rupam/internal/federation"
 	"rupam/internal/metrics"
 	"rupam/internal/simx"
 	"rupam/internal/spark"
@@ -117,6 +126,7 @@ func main() {
 	walPath := flag.String("wal", "", "append the driver write-ahead log to this file")
 	crashAt := flag.Float64("crash-at", 0, "kill the driver at this virtual time in seconds and recover from the WAL (0 = never)")
 	restartAfter := flag.Float64("restart-after", 1, "driver restart delay in seconds after -crash-at")
+	drivers := flag.Int("drivers", 1, "federated driver count; >1 runs N driver shards, one workload copy each, placements arbitrated by the claim protocol")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto)")
 	critPath := flag.Bool("critical-path", false, "print the run's critical path with category breakdown and slack")
 	explain := flag.Int("explain", -1, "print the scheduling audit for one task ID")
@@ -141,6 +151,21 @@ func main() {
 	if *crashAt < 0 || *restartAfter <= 0 {
 		usageError("-crash-at must be non-negative and -restart-after positive")
 	}
+	if *drivers < 1 {
+		usageError("-drivers must be at least 1, got %d", *drivers)
+	}
+	if *drivers > 1 {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, bad := range []string{
+			"compare", "chardb", "wal", "crash-at", "restart-after",
+			"preempt", "trace", "critical-path", "explain", "scheduler", "cluster",
+		} {
+			if explicit[bad] {
+				usageError("-%s does not apply to a federated run; drop it or -drivers", bad)
+			}
+		}
+	}
 	if (*walPath != "" || *crashAt > 0) && *compare {
 		usageError("-wal and -crash-at apply to a single run; drop -compare")
 	}
@@ -160,6 +185,23 @@ func main() {
 		Partitions: *partitions,
 		Iterations: *iterations,
 	}
+	if *drivers > 1 {
+		cfg := federation.Config{
+			Drivers:  *drivers,
+			Apps:     *drivers,
+			Workload: *workload,
+			Params:   params,
+			Seed:     *seed,
+		}
+		if *chaosSeed > 0 {
+			names := experiments.BuildCluster(simx.NewEngine(), "hydra").NodeNames()
+			cfg.Spark = chaos.HardenedConfig(*seed)
+			cfg.Faults = faults.RandomSchedule(*chaosSeed, names, chaos.FederationGen())
+		}
+		fedReport(federation.Run(cfg))
+		return
+	}
+
 	spec := experiments.RunSpec{
 		Workload:  *workload,
 		Scheduler: *scheduler,
@@ -237,6 +279,30 @@ func main() {
 	report(res)
 	walReport(walLog, walFile, *walPath)
 	traceReports(spec.Tracer, traceFile, *tracePath, *critPath, *explain, res)
+}
+
+// fedReport prints a federated run's outcome: makespan and completion,
+// protocol throughput, control-plane counters, per-driver accounting and
+// the determinism fingerprint. Any protocol invariant violation exits 1.
+func fedReport(r *federation.Result) {
+	fmt.Printf("== federated %d-driver run: %d applications ==\n", r.Drivers, r.Apps)
+	fmt.Printf("makespan: %.1fs   completed: %d   aborted: %d   launches: %d\n",
+		r.Makespan, r.Completed, r.Aborted, r.Launches)
+	fmt.Printf("protocol: %d commits, %.1f placements/s (busiest driver dispatches for %.2fs)\n",
+		r.Commits, r.PlacementRate, r.MaxBusySeconds)
+	fmt.Printf("control plane: %d sent, %d delivered, %d dropped, %d duped, %d delayed, %d reordered\n",
+		r.MsgSent, r.MsgDelivered, r.MsgDropped, r.MsgDuped, r.MsgDelayed, r.MsgReordered)
+	for _, d := range r.DriverStats {
+		fmt.Printf("  driver %d: %d apps, %d commits, %.2fs dispatch, %d crashes, %d recoveries\n",
+			d.ID, d.Apps, d.Commits, d.BusySeconds, d.Crashes, d.Recoveries)
+	}
+	fmt.Printf("fingerprint: %s\n", r.Fingerprint)
+	if len(r.Violations) > 0 {
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "rupam-sim: VIOLATION: %s\n", v)
+		}
+		os.Exit(1)
+	}
 }
 
 // walReport flushes and closes the -wal sink. A nil log means the flag was

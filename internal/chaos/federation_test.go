@@ -1,0 +1,41 @@
+package chaos
+
+import "testing"
+
+// TestFederationSoakSmoke sweeps a few seeds with crashes and message
+// faults enabled; the full invariant battery must hold on every one.
+func TestFederationSoakSmoke(t *testing.T) {
+	rep := FederationSoak(FederationConfig{Seeds: []uint64{1, 2, 3}})
+	if rep.Scenarios == 0 {
+		t.Fatal("acceptance preamble did not run")
+	}
+	if got := len(rep.Runs); got != 3 {
+		t.Fatalf("runs: got %d, want 3", got)
+	}
+	for _, rec := range rep.Runs {
+		for _, v := range rec.Violations {
+			t.Errorf("seed %d: %s", rec.Seed, v)
+		}
+		if rec.Completed+rec.Aborted == 0 {
+			t.Errorf("seed %d: no applications resolved", rec.Seed)
+		}
+		if rec.Commits == 0 {
+			t.Errorf("seed %d: no placements committed", rec.Seed)
+		}
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d violations", rep.Violations)
+	}
+}
+
+// TestFederationGenDrawsMessageFaults pins the sweep's generator mix to
+// actually include the message-fault kinds the soak depends on.
+func TestFederationGenDrawsMessageFaults(t *testing.T) {
+	g := FederationGen()
+	if g.MsgDrops == 0 || g.MsgDups == 0 || g.MsgDelays == 0 || g.MsgReorders == 0 {
+		t.Fatalf("FederationGen missing message faults: %+v", g)
+	}
+	if g.DriverCrashes < 2 {
+		t.Fatalf("FederationGen wants >=2 driver crashes, got %d", g.DriverCrashes)
+	}
+}

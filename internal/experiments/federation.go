@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rupam/internal/federation"
+)
+
+// The federation experiment: the same homogeneous application load run
+// under 1, 2 and 4 federated drivers on one shared cluster, fault-free.
+// The claim of the sharded design is that placement throughput — commits
+// per second of the busiest driver's serial dispatch time — scales with
+// the driver count while makespan stays flat: the protocol distributes
+// the dispatch bottleneck without costing schedule quality on a
+// homogeneous load.
+
+// FederationConfig parameterizes the scaling sweep.
+type FederationConfig struct {
+	// BaseSeed is the first run seed; runs use BaseSeed..BaseSeed+Seeds-1.
+	BaseSeed uint64
+	// Seeds is the repetition count per driver level (default 3).
+	Seeds int
+	// DriverCounts are the federation sizes swept (default 1, 2, 4).
+	DriverCounts []int
+	// Apps is the application count per run (default 4).
+	Apps int
+}
+
+func (c FederationConfig) withDefaults() FederationConfig {
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 3
+	}
+	if len(c.DriverCounts) == 0 {
+		c.DriverCounts = []int{1, 2, 4}
+	}
+	if c.Apps == 0 {
+		c.Apps = 4
+	}
+	return c
+}
+
+// FederationRow is one run's outcome.
+type FederationRow struct {
+	Drivers        int     `json:"drivers"`
+	Seed           uint64  `json:"seed"`
+	MakespanS      float64 `json:"makespan_s"`
+	Commits        int     `json:"commits"`
+	MaxBusySeconds float64 `json:"max_busy_s"`
+	PlacementRate  float64 `json:"placement_rate"`
+}
+
+// FederationResult is the sweep artifact.
+type FederationResult struct {
+	Config     FederationConfig `json:"config"`
+	Rows       []FederationRow  `json:"rows"`
+	Violations int              `json:"violations"`
+}
+
+// Federation runs the scaling sweep.
+func Federation(cfg FederationConfig) *FederationResult {
+	cfg = cfg.withDefaults()
+	res := &FederationResult{Config: cfg}
+	for _, n := range cfg.DriverCounts {
+		for i := 0; i < cfg.Seeds; i++ {
+			seed := cfg.BaseSeed + uint64(i)
+			r := federation.Run(federation.Config{
+				Drivers: n,
+				Apps:    cfg.Apps,
+				Seed:    seed,
+			})
+			res.Violations += len(r.Violations)
+			res.Rows = append(res.Rows, FederationRow{
+				Drivers:        n,
+				Seed:           seed,
+				MakespanS:      r.Makespan,
+				Commits:        r.Commits,
+				MaxBusySeconds: r.MaxBusySeconds,
+				PlacementRate:  r.PlacementRate,
+			})
+		}
+	}
+	return res
+}
+
+// MeanMakespan averages makespan over the sweep's runs at one driver
+// count (0 if none).
+func (r *FederationResult) MeanMakespan(drivers int) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if row.Drivers == drivers {
+			sum += row.MakespanS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanRate averages placement throughput over the sweep's runs at one
+// driver count (0 if none).
+func (r *FederationResult) MeanRate(drivers int) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if row.Drivers == drivers {
+			sum += row.PlacementRate
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Print summarizes the sweep: one line per driver count with the scaling
+// ratio against the single-driver baseline.
+func (r *FederationResult) Print(w io.Writer) {
+	base := r.MeanRate(1)
+	baseMk := r.MeanMakespan(1)
+	fmt.Fprintf(w, "%-8s %12s %10s %12s %10s\n",
+		"drivers", "rate(1/s)", "speedup", "makespan(s)", "delta")
+	for _, n := range r.Config.DriverCounts {
+		rate, mk := r.MeanRate(n), r.MeanMakespan(n)
+		speedup, delta := 0.0, 0.0
+		if base > 0 {
+			speedup = rate / base
+		}
+		if baseMk > 0 {
+			delta = (mk - baseMk) / baseMk * 100
+		}
+		fmt.Fprintf(w, "%-8d %12.1f %9.2fx %12.1f %+9.1f%%\n", n, rate, speedup, mk, delta)
+	}
+	if r.Violations > 0 {
+		fmt.Fprintf(w, "%d INVARIANT VIOLATIONS\n", r.Violations)
+	}
+}
+
+// WriteCSV emits the raw rows for replotting.
+func (r *FederationResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "drivers,seed,makespan_s,commits,max_busy_s,placement_rate"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%d,%.4f,%.1f\n",
+			row.Drivers, row.Seed, row.MakespanS, row.Commits,
+			row.MaxBusySeconds, row.PlacementRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the sweep artifact.
+func (r *FederationResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

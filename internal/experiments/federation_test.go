@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFederationSweep runs a reduced scaling sweep and checks the claim
+// the experiment exists to make: placement throughput grows monotonically
+// with the driver count while makespan does not degrade beyond 5% of the
+// single-driver baseline. Also checks the CSV artifact contract.
+func TestFederationSweep(t *testing.T) {
+	res := Federation(FederationConfig{BaseSeed: 1, Seeds: 3})
+	if res.Violations != 0 {
+		t.Fatalf("%d invariant violations in fault-free sweep", res.Violations)
+	}
+	if want := 3 * len(res.Config.DriverCounts); len(res.Rows) != want {
+		t.Fatalf("expected %d rows, got %d", want, len(res.Rows))
+	}
+
+	prev := 0.0
+	for _, n := range res.Config.DriverCounts {
+		rate := res.MeanRate(n)
+		if rate <= prev {
+			t.Errorf("placement rate not monotone: %d drivers at %.1f/s, previous level %.1f/s", n, rate, prev)
+		}
+		prev = rate
+	}
+
+	base := res.MeanMakespan(1)
+	if base <= 0 {
+		t.Fatal("no single-driver baseline")
+	}
+	for _, n := range res.Config.DriverCounts {
+		if mk := res.MeanMakespan(n); mk > base*1.05 {
+			t.Errorf("%d drivers: makespan %.1fs degrades >5%% over single-driver %.1fs", n, mk, base)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(res.Rows) {
+		t.Fatalf("CSV row count: got %d lines, want %d", len(lines), 1+len(res.Rows))
+	}
+	wantCols := len(strings.Split(lines[0], ","))
+	for _, ln := range lines[1:] {
+		if got := len(strings.Split(ln, ",")); got != wantCols {
+			t.Fatalf("ragged CSV row (%d cols, want %d): %s", got, wantCols, ln)
+		}
+	}
+}
+
+// TestFederationSweepDeterministic requires the whole JSON artifact to be
+// byte-identical across invocations.
+func TestFederationSweepDeterministic(t *testing.T) {
+	cfg := FederationConfig{BaseSeed: 5, Seeds: 1, DriverCounts: []int{1, 2}}
+	var a, b bytes.Buffer
+	if err := Federation(cfg).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Federation(cfg).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("federation sweep artifact differs between identical invocations")
+	}
+}

@@ -64,7 +64,38 @@ const (
 	// the window to fence the node and drain its shuffle outputs; a
 	// notice-ignoring one experiences it as a plain crash at At+Duration.
 	SpotPreempt
+	// MsgDrop makes each federation control-plane message crossing an edge
+	// scoped by Node (empty = every edge) vanish with probability Factor
+	// for Duration seconds. The message faults are consumed by the
+	// federation plane, not the node injector: they degrade the placement
+	// protocol's transport, never the workers themselves.
+	MsgDrop
+	// MsgDup delivers each matching control-plane message twice with
+	// probability Factor for Duration seconds — the duplicate arrives a
+	// beat after the original, exercising idempotent handlers and
+	// claim-ID dedup.
+	MsgDup
+	// MsgDelay holds each matching control-plane message back by an extra
+	// Delay seconds with probability Factor for Duration seconds, firing
+	// the drivers' retransmit timers against messages that are late, not
+	// lost.
+	MsgDelay
+	// MsgReorder adds a random per-message skew (up to several base
+	// latencies) with probability Factor for Duration seconds, so a later
+	// message can overtake an earlier one on the same edge.
+	MsgReorder
 )
+
+// IsMessageKind reports whether the kind targets the federation control
+// plane rather than a cluster node. The node Injector ignores these; the
+// federation plane installs them.
+func (k Kind) IsMessageKind() bool {
+	switch k {
+	case MsgDrop, MsgDup, MsgDelay, MsgReorder:
+		return true
+	}
+	return false
+}
 
 // String names the kind.
 func (k Kind) String() string {
@@ -87,6 +118,14 @@ func (k Kind) String() string {
 		return "driver-crash"
 	case SpotPreempt:
 		return "spot-preempt"
+	case MsgDrop:
+		return "msg-drop"
+	case MsgDup:
+		return "msg-dup"
+	case MsgDelay:
+		return "msg-delay"
+	case MsgReorder:
+		return "msg-reorder"
 	default:
 		return fmt.Sprintf("faults.Kind(%d)", int(k))
 	}
@@ -103,9 +142,12 @@ type Event struct {
 	Duration float64
 	// Factor is the fault's severity knob, in (0, 1]: the capacity
 	// multiplier for NICDegrade/DiskDegrade/CPUDegrade, the effective-heap
-	// multiplier for MemPressure, and the per-attempt failure probability
-	// for TaskFlake.
+	// multiplier for MemPressure, the per-attempt failure probability for
+	// TaskFlake, and the per-message hit probability for the Msg kinds.
 	Factor float64
+	// Delay is the extra per-message latency, in seconds, a MsgDelay
+	// window adds to each message it hits. Unused by every other kind.
+	Delay float64
 }
 
 // String describes the event for traces.
@@ -116,7 +158,9 @@ func (e Event) String() string {
 // Validate reports the first problem with the event, or nil.
 func (e Event) Validate() error {
 	switch {
-	case e.Node == "" && e.Kind != DriverCrash:
+	// Msg kinds may leave Node empty (= every protocol edge) or name a
+	// node to scope the fault to that agent's edges.
+	case e.Node == "" && e.Kind != DriverCrash && !e.Kind.IsMessageKind():
 		return fmt.Errorf("faults: %s event without a node", e.Kind)
 	case e.Node != "" && e.Kind == DriverCrash:
 		return fmt.Errorf("faults: driver-crash event names a node (%s)", e.Node)
@@ -124,6 +168,8 @@ func (e Event) Validate() error {
 		return fmt.Errorf("faults: %s %s: negative time %g", e.Kind, e.Node, e.At)
 	case e.Duration < 0:
 		return fmt.Errorf("faults: %s %s: negative duration %g", e.Kind, e.Node, e.Duration)
+	case e.Delay < 0:
+		return fmt.Errorf("faults: %s %s: negative delay %g", e.Kind, e.Node, e.Delay)
 	}
 	switch e.Kind {
 	case NICDegrade, DiskDegrade, CPUDegrade, MemPressure, TaskFlake:
@@ -145,6 +191,16 @@ func (e Event) Validate() error {
 	case SpotPreempt:
 		if e.Duration <= 0 {
 			return fmt.Errorf("faults: spot-preempt needs a positive grace window, got %g", e.Duration)
+		}
+	case MsgDrop, MsgDup, MsgDelay, MsgReorder:
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("faults: %s %s: factor %g outside (0,1]", e.Kind, e.Node, e.Factor)
+		}
+		if e.Duration <= 0 {
+			return fmt.Errorf("faults: %s %s: windowed fault needs a duration", e.Kind, e.Node)
+		}
+		if e.Kind == MsgDelay && e.Delay <= 0 {
+			return fmt.Errorf("faults: msg-delay %s needs a positive delay, got %g", e.Node, e.Delay)
 		}
 	default:
 		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
@@ -256,6 +312,27 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
+	// Two message-fault windows of the same kind on the same scope (same
+	// Node string, "" being the global scope) may not overlap: the plane
+	// applies one factor per (kind, scope) window, so an overlap encodes an
+	// ambiguous severity. Distinct scopes and distinct kinds compose fine.
+	msgs := make(map[string][]Event)
+	for _, e := range s.Events {
+		if e.Kind.IsMessageKind() {
+			key := fmt.Sprintf("%s|%s", e.Kind, e.Node)
+			msgs[key] = append(msgs[key], e)
+		}
+	}
+	for _, evs := range msgs {
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				if crashWindowsOverlap(evs[i], evs[j]) {
+					return fmt.Errorf("faults: overlapping %s windows on scope %q (%s / %s)",
+						evs[i].Kind, evs[i].Node, evs[i], evs[j])
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -334,6 +411,21 @@ type GenConfig struct {
 	SpotPreempts int
 	MinGrace     float64
 	MaxGrace     float64
+	// MsgDrops/MsgDups/MsgDelays/MsgReorders count control-plane message
+	// fault windows for the federation plane; each scopes to one node's
+	// edges or (with probability 1/(len(nodes)+1)) to every edge, with a
+	// hit probability between MinMsgFactor and MaxMsgFactor and (for
+	// MsgDelay) an extra latency between MinMsgDelay and MaxMsgDelay.
+	// These draw last of all — after SpotPreempts — so pre-existing seeds'
+	// fault traces are unchanged by the message-fault extension.
+	MsgDrops     int
+	MsgDups      int
+	MsgDelays    int
+	MsgReorders  int
+	MinMsgFactor float64
+	MaxMsgFactor float64
+	MinMsgDelay  float64
+	MaxMsgDelay  float64
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -375,6 +467,18 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.MaxGrace < g.MinGrace {
 		g.MaxGrace = g.MinGrace + 18
+	}
+	if g.MinMsgFactor <= 0 {
+		g.MinMsgFactor = 0.1
+	}
+	if g.MaxMsgFactor < g.MinMsgFactor {
+		g.MaxMsgFactor = 0.4
+	}
+	if g.MinMsgDelay <= 0 {
+		g.MinMsgDelay = 0.05
+	}
+	if g.MaxMsgDelay < g.MinMsgDelay {
+		g.MaxMsgDelay = 0.5
 	}
 	return g
 }
@@ -517,6 +621,48 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 			}
 		}
 	}
+	// Message faults draw last of all (see GenConfig.MsgDrops…) and redraw
+	// when a window would overlap an earlier window of the same kind on
+	// the same scope. Scope draws len(nodes)+1 ways: index len(nodes) is
+	// the empty scope, i.e. every protocol edge.
+	msgWindows := make(map[string][]Event)
+	drawMsg := func(kind Kind, count int) {
+		for i := 0; i < count; i++ {
+			for try := 0; try < 16; try++ {
+				node := ""
+				if idx := rng.Intn(len(nodes) + 1); idx < len(nodes) {
+					node = nodes[idx]
+				}
+				ev := Event{
+					Kind:     kind,
+					Node:     node,
+					At:       rng.Range(0, cfg.Horizon),
+					Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+					Factor:   rng.Range(cfg.MinMsgFactor, cfg.MaxMsgFactor),
+				}
+				if kind == MsgDelay {
+					ev.Delay = rng.Range(cfg.MinMsgDelay, cfg.MaxMsgDelay)
+				}
+				key := fmt.Sprintf("%s|%s", kind, node)
+				overlaps := false
+				for _, prev := range msgWindows[key] {
+					if crashWindowsOverlap(prev, ev) {
+						overlaps = true
+						break
+					}
+				}
+				if !overlaps {
+					msgWindows[key] = append(msgWindows[key], ev)
+					evs = append(evs, ev)
+					break
+				}
+			}
+		}
+	}
+	drawMsg(MsgDrop, cfg.MsgDrops)
+	drawMsg(MsgDup, cfg.MsgDups)
+	drawMsg(MsgDelay, cfg.MsgDelays)
+	drawMsg(MsgReorder, cfg.MsgReorders)
 	s := &Schedule{Events: evs}
 	if err := s.Validate(); err != nil {
 		// Construction guarantees validity; a failure here is a bug in

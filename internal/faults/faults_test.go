@@ -193,6 +193,123 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+func TestMsgEventValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: MsgDrop, At: 1, Duration: 5},                             // factor 0
+		{Kind: MsgDup, At: 1, Duration: 5, Factor: 1.5},                 // factor > 1
+		{Kind: MsgDrop, At: 1, Factor: 0.3},                             // no duration
+		{Kind: MsgDelay, At: 1, Duration: 5, Factor: 0.3},               // no delay
+		{Kind: MsgDelay, At: 1, Duration: 5, Factor: 0.3, Delay: -0.1},  // negative delay
+		{Kind: MsgReorder, Node: "a", At: -1, Duration: 5, Factor: 0.3}, // negative time
+		{Kind: MsgReorder, Node: "a", At: 1, Duration: -5, Factor: 0.3}, // negative duration
+	}
+	for _, e := range bad {
+		if e.Validate() == nil {
+			t.Errorf("event %v validated", e)
+		}
+	}
+	good := []Event{
+		{Kind: MsgDrop, At: 1, Duration: 5, Factor: 0.3},         // global scope
+		{Kind: MsgDup, Node: "a", At: 1, Duration: 5, Factor: 1}, // node scope
+		{Kind: MsgDelay, At: 1, Duration: 5, Factor: 0.3, Delay: 0.2},
+		{Kind: MsgReorder, Node: "a", At: 1, Duration: 5, Factor: 0.3},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("event %v rejected: %v", e, err)
+		}
+	}
+}
+
+func TestMsgWindowOverlapValidation(t *testing.T) {
+	// Same kind, same scope, overlapping windows: rejected.
+	s := &Schedule{Events: []Event{
+		{Kind: MsgDrop, At: 1, Duration: 10, Factor: 0.3},
+		{Kind: MsgDrop, At: 5, Duration: 10, Factor: 0.2},
+	}}
+	if s.Validate() == nil {
+		t.Fatal("overlapping same-kind same-scope msg windows validated")
+	}
+	// Different scope: fine.
+	s = &Schedule{Events: []Event{
+		{Kind: MsgDrop, At: 1, Duration: 10, Factor: 0.3},
+		{Kind: MsgDrop, Node: "a", At: 5, Duration: 10, Factor: 0.2},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("distinct scopes rejected: %v", err)
+	}
+	// Different kind, same scope and window: fine (kinds compose).
+	s = &Schedule{Events: []Event{
+		{Kind: MsgDrop, At: 1, Duration: 10, Factor: 0.3},
+		{Kind: MsgDup, At: 1, Duration: 10, Factor: 0.3},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("distinct kinds rejected: %v", err)
+	}
+	// Same kind, same scope, disjoint windows: fine.
+	s = &Schedule{Events: []Event{
+		{Kind: MsgDelay, At: 1, Duration: 4, Factor: 0.3, Delay: 0.2},
+		{Kind: MsgDelay, At: 6, Duration: 4, Factor: 0.3, Delay: 0.1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("disjoint windows rejected: %v", err)
+	}
+}
+
+func TestRandomScheduleDrawsMsgFaults(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	cfg := GenConfig{MsgDrops: 2, MsgDups: 1, MsgDelays: 2, MsgReorders: 1}
+	a := RandomSchedule(7, nodes, cfg)
+	b := RandomSchedule(7, nodes, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	count := map[Kind]int{}
+	for _, ev := range a.Events {
+		if !ev.Kind.IsMessageKind() {
+			t.Fatalf("non-message event %v drawn by a msg-only config", ev)
+		}
+		count[ev.Kind]++
+		if ev.Kind == MsgDelay && ev.Delay <= 0 {
+			t.Fatalf("msg-delay drew non-positive delay: %v", ev)
+		}
+	}
+	if count[MsgDrop] != 2 || count[MsgDup] != 1 || count[MsgDelay] != 2 || count[MsgReorder] != 1 {
+		t.Fatalf("draw counts wrong: %v", count)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	// Adding message faults must not perturb the pre-existing draw
+	// sequence: the worker-fault prefix of a mixed plan equals the plan
+	// drawn without message faults.
+	base := GenConfig{Crashes: 2, Degrades: 3, TaskFlakes: 2, DriverCrashes: 1, SpotPreempts: 1}
+	ext := base
+	ext.MsgDrops, ext.MsgReorders = 2, 1
+	p0 := RandomSchedule(11, nodes, base)
+	p1 := RandomSchedule(11, nodes, ext)
+	if len(p1.Events) <= len(p0.Events) {
+		t.Fatalf("extended plan not longer: %d vs %d", len(p1.Events), len(p0.Events))
+	}
+	if !reflect.DeepEqual(p0.Events, p1.Events[:len(p0.Events)]) {
+		t.Fatal("message-fault draws perturbed the pre-existing fault trace")
+	}
+}
+
+func TestInjectorSkipsMsgKinds(t *testing.T) {
+	eng, clu, execs := twoNode(t)
+	inj := NewInjector(eng, clu, execs)
+	// A msg window scoped to an unknown "node" must not panic: scopes are
+	// protocol addresses, not cluster nodes, and the injector ignores them.
+	inj.Install(&Schedule{Events: []Event{
+		{Kind: MsgDrop, Node: "driver:3", At: 1, Duration: 5, Factor: 0.5},
+		{Kind: MsgDelay, At: 1, Duration: 5, Factor: 0.5, Delay: 0.2},
+	}})
+	if eng.Pending() != 0 {
+		t.Fatalf("injector scheduled %d events for message faults", eng.Pending())
+	}
+}
+
 func TestSpotScheduleDeterministicAndShaped(t *testing.T) {
 	nodes := []string{"c", "a", "b", "d"}
 	hazards := map[string]float64{"a": 60, "b": 120, "c": 0, "d": -5}

@@ -116,6 +116,12 @@ func (inj *Injector) Install(s *Schedule) {
 		panic(err)
 	}
 	for _, ev := range s.sorted() {
+		if ev.Kind.IsMessageKind() {
+			// Message faults target the federation control plane, which
+			// installs them itself (federation.Plane.Install); the node
+			// injector has no transport to degrade.
+			continue
+		}
 		if ev.Kind != DriverCrash && inj.clu.Node(ev.Node) == nil {
 			panic(fmt.Sprintf("faults: schedule names unknown node %q", ev.Node))
 		}

@@ -1,0 +1,233 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"rupam/internal/simx"
+)
+
+// This file is the protocol's table-driven acceptance battery: each
+// scenario scripts one message interleaving against a live Agent —
+// including the pathological ones (late commits, duplicates, verdicts
+// racing aborts, a proposer dying mid-protocol) — and asserts both the
+// exact reply sequence each driver endpoint observes and the agent's
+// final accounting. The tables run standalone as unit tests and again
+// inside the chaos soak, so a protocol regression fails fast in both.
+
+// AcceptStep scripts one driver-originated message at a virtual time.
+type AcceptStep struct {
+	At   float64
+	From string // sending driver endpoint, e.g. "driver:0"
+	Msg  Message
+}
+
+// AcceptScenario is one scripted interleaving and its expected outcome.
+type AcceptScenario struct {
+	Name string
+	// Capacity is the agent's slot count (default 2).
+	Capacity int
+	// Steps run in At order over a fault-free plane with default latency.
+	Steps []AcceptStep
+	// Replies is the expected reply sequence per driver endpoint, rendered
+	// "TYPE claim" in delivery order.
+	Replies map[string][]string
+	// Reserved and Live are the agent's expected end state.
+	Reserved int
+	Live     int
+	// Expiries/Rejects/Commits are expected agent counters (checked as
+	// given; negative means don't care).
+	Expiries int
+	Rejects  int
+	Commits  int
+}
+
+// AcceptanceScenarios returns the protocol acceptance battery. Times are
+// chosen against the default ProtocolConfig (latency 0.002, AcceptTTL 2).
+func AcceptanceScenarios() []AcceptScenario {
+	d0, d1 := "driver:0", "driver:1"
+	c01 := ClaimID{Driver: 0, Seq: 1}
+	c11 := ClaimID{Driver: 1, Seq: 1}
+	return []AcceptScenario{
+		{
+			// The driver's retransmit timeout fires before the ACCEPT
+			// arrives; by the time the driver acts on anything the accept
+			// TTL has lapsed, so its late COMMIT must be refused — the
+			// claim ID is dead and the slots are already back in the pool.
+			Name:     "accept-after-timeout-late-commit",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 2.5, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+			},
+			Replies:  map[string][]string{d0: {"ACCEPT d0:1", "COMMIT_NACK d0:1"}},
+			Reserved: 0, Live: 0, Expiries: 1, Rejects: 0, Commits: 0,
+		},
+		{
+			// A duplicated COMMIT (transport dup or retransmit) must re-ack
+			// without double-reserving: one claim, one reservation, two
+			// acks.
+			Name:     "duplicate-commit-single-reservation",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.1, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+				{At: 0.2, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+			},
+			Replies:  map[string][]string{d0: {"ACCEPT d0:1", "COMMIT_ACK d0:1", "COMMIT_ACK d0:1"}},
+			Reserved: 1, Live: 1, Expiries: 0, Rejects: 0, Commits: 1,
+		},
+		{
+			// A duplicated PROPOSE of a live claim replays the accept
+			// verbatim instead of double-reserving.
+			Name:     "duplicate-propose-replays-accept",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.1, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.3, From: d0, Msg: Message{Type: Abort, Claim: c01}},
+			},
+			Replies:  map[string][]string{d0: {"ACCEPT d0:1", "ACCEPT d0:1", "ABORT_ACK d0:1"}},
+			Reserved: 0, Live: 0, Expiries: 0, Rejects: 0, Commits: 0,
+		},
+		{
+			// Arbitration: the node is full with driver 1's uncommitted
+			// claim when lower-ID driver 0 proposes. Driver 1 is evicted
+			// (REJECT) — and its own ABORT races the eviction. The abort of
+			// an already-evicted claim must still ack without double-freeing
+			// the slot driver 0 now holds.
+			Name:     "reject-racing-abort-no-double-free",
+			Capacity: 1,
+			Steps: []AcceptStep{
+				{At: 0, From: d1, Msg: Message{Type: Propose, Claim: c11, Task: 9, Slots: 1}},
+				{At: 0.1, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.102, From: d1, Msg: Message{Type: Abort, Claim: c11}},
+				{At: 0.2, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+			},
+			Replies: map[string][]string{
+				d0: {"ACCEPT d0:1", "COMMIT_ACK d0:1"},
+				d1: {"ACCEPT d1:1", "REJECT d1:1", "ABORT_ACK d1:1"},
+			},
+			Reserved: 1, Live: 1, Expiries: 0, Rejects: 0, Commits: 1,
+		},
+		{
+			// Arbitration the other way: the incumbent holds the lower ID,
+			// so the newcomer is refused outright and told when to retry.
+			Name:     "higher-id-loses-arbitration",
+			Capacity: 1,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.1, From: d1, Msg: Message{Type: Propose, Claim: c11, Task: 9, Slots: 1}},
+				{At: 0.3, From: d0, Msg: Message{Type: Release, Claim: c01}},
+			},
+			Replies: map[string][]string{
+				d0: {"ACCEPT d0:1", "RELEASE_ACK d0:1"},
+				d1: {"REJECT d1:1"},
+			},
+			Reserved: 0, Live: 0, Expiries: 0, Rejects: 1, Commits: 0,
+		},
+		{
+			// The proposer crashes between PROPOSE and COMMIT: nobody ever
+			// commits or aborts the accepted claim. The agent's TTL must
+			// return the slots on its own — the crashed driver leaks
+			// nothing.
+			Name:     "crash-between-propose-and-commit-expires",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+			},
+			Replies:  map[string][]string{d0: {"ACCEPT d0:1"}},
+			Reserved: 0, Live: 0, Expiries: 1, Rejects: 0, Commits: 0,
+		},
+		{
+			// A COMMIT for a claim the agent never heard of (its PROPOSE
+			// was dropped) must be refused, not silently reserved.
+			Name:     "commit-unknown-claim-nacked",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+			},
+			Replies:  map[string][]string{d0: {"COMMIT_NACK d0:1"}},
+			Reserved: 0, Live: 0, Expiries: 0, Rejects: 0, Commits: 0,
+		},
+		{
+			// A tombstoned claim ID is never resurrected: once expired, a
+			// stale retransmitted PROPOSE of the same ID gets REJECT, and a
+			// fresh ID from the same driver succeeds.
+			Name:     "tombstoned-id-stays-dead",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 2.5, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 2.6, From: d0, Msg: Message{Type: Propose, Claim: ClaimID{Driver: 0, Seq: 2}, Task: 7, Slots: 1}},
+				{At: 2.8, From: d0, Msg: Message{Type: Abort, Claim: ClaimID{Driver: 0, Seq: 2}}},
+			},
+			Replies:  map[string][]string{d0: {"ACCEPT d0:1", "REJECT d0:1", "ACCEPT d0:2", "ABORT_ACK d0:2"}},
+			Reserved: 0, Live: 0, Expiries: 1, Rejects: 0, Commits: 0,
+		},
+	}
+}
+
+// RunAcceptScenario executes one scenario on a fresh engine and returns
+// the list of expectation failures (empty means pass).
+func RunAcceptScenario(s AcceptScenario) []string {
+	var fails []string
+	capacity := s.Capacity
+	if capacity == 0 {
+		capacity = 2
+	}
+	eng := simx.NewEngine()
+	plane := NewPlane(eng, 1, 0)
+	agent := NewAgent(eng, plane, ProtocolConfig{}, "node1", capacity, func(v string) {
+		fails = append(fails, "violation: "+v)
+	})
+
+	got := make(map[string][]string)
+	endpoints := map[string]bool{}
+	for _, st := range s.Steps {
+		endpoints[st.From] = true
+	}
+	for ep := range s.Replies {
+		endpoints[ep] = true
+	}
+	eps := make([]string, 0, len(endpoints))
+	for ep := range endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		ep := ep
+		plane.Handle(ep, func(from string, m Message) {
+			got[ep] = append(got[ep], fmt.Sprintf("%s %s", m.Type, m.Claim))
+		})
+	}
+
+	for _, st := range s.Steps {
+		st := st
+		eng.At(st.At, func() { plane.Send(st.From, agent.Name, st.Msg) })
+	}
+	eng.Run()
+
+	for _, ep := range eps {
+		want := s.Replies[ep]
+		if fmt.Sprint(got[ep]) != fmt.Sprint(want) {
+			fails = append(fails, fmt.Sprintf("%s replies: got %v, want %v", ep, got[ep], want))
+		}
+	}
+	if agent.Reserved() != s.Reserved {
+		fails = append(fails, fmt.Sprintf("reserved: got %d, want %d", agent.Reserved(), s.Reserved))
+	}
+	if agent.LiveClaims() != s.Live {
+		fails = append(fails, fmt.Sprintf("live claims: got %d, want %d", agent.LiveClaims(), s.Live))
+	}
+	if agent.Expiries != s.Expiries {
+		fails = append(fails, fmt.Sprintf("expiries: got %d, want %d", agent.Expiries, s.Expiries))
+	}
+	if agent.Rejects != s.Rejects {
+		fails = append(fails, fmt.Sprintf("rejects: got %d, want %d", agent.Rejects, s.Rejects))
+	}
+	if agent.Commits != s.Commits {
+		fails = append(fails, fmt.Sprintf("commits: got %d, want %d", agent.Commits, s.Commits))
+	}
+	return fails
+}

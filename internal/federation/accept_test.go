@@ -1,0 +1,21 @@
+package federation_test
+
+import (
+	"testing"
+
+	"rupam/internal/federation"
+)
+
+// TestAcceptanceScenarios runs the table-driven protocol battery: every
+// scripted interleaving must produce exactly the expected reply sequence
+// and agent end state.
+func TestAcceptanceScenarios(t *testing.T) {
+	for _, s := range federation.AcceptanceScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, f := range federation.RunAcceptScenario(s) {
+				t.Error(f)
+			}
+		})
+	}
+}

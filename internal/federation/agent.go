@@ -1,0 +1,273 @@
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"rupam/internal/simx"
+)
+
+// agentClaim is one live reservation at an agent.
+type agentClaim struct {
+	id        ClaimID
+	driver    string // reply address
+	task      int
+	slots     int
+	committed bool
+	expiry    *simx.Timer // armed while accepted, cancelled at commit
+}
+
+// Agent owns one node's core slots for the placement protocol. It is a
+// pure message-driven state machine: PROPOSE reserves (with deterministic
+// lowest-ID-wins arbitration when the node is contended), COMMIT pins,
+// ABORT/RELEASE free. It never crashes — it models a node-local kernel
+// service whose state dies only with the node itself — but it defends
+// against every transport pathology: duplicate messages replay the prior
+// verdict from a tombstone table, and accepted-but-uncommitted claims
+// expire on their own so a proposing driver's death cannot leak slots.
+type Agent struct {
+	Name     string
+	Capacity int
+
+	eng   *simx.Engine
+	plane *Plane
+	cfg   ProtocolConfig
+
+	claims   map[ClaimID]*agentClaim
+	verdicts map[ClaimID]string // tombstones: rejected|expired|evicted|aborted|released
+
+	reserved int
+	// MaxReserved is the high-water mark of simultaneously reserved
+	// slots; the invariant battery checks it never exceeded Capacity.
+	MaxReserved int
+	// Accepts/Commits/Rejects/Expiries count protocol outcomes.
+	Accepts  int
+	Commits  int
+	Rejects  int
+	Expiries int
+
+	digest    uint64
+	violation func(string)
+}
+
+// NewAgent creates the agent and registers it on the plane under the node
+// name. violation receives invariant breaches (never nil-checked hot).
+func NewAgent(eng *simx.Engine, plane *Plane, cfg ProtocolConfig, node string, capacity int, violation func(string)) *Agent {
+	a := &Agent{
+		Name:      node,
+		Capacity:  capacity,
+		eng:       eng,
+		plane:     plane,
+		cfg:       cfg.withDefaults(),
+		claims:    make(map[ClaimID]*agentClaim),
+		verdicts:  make(map[ClaimID]string),
+		digest:    fnv.New64a().Sum64(),
+		violation: violation,
+	}
+	plane.Handle(node, a.handle)
+	return a
+}
+
+// Reserved returns the currently reserved slot count.
+func (a *Agent) Reserved() int { return a.reserved }
+
+// LiveClaims returns how many claims the agent currently holds.
+func (a *Agent) LiveClaims() int { return len(a.claims) }
+
+// Digest is a running FNV fingerprint of every state transition, used by
+// the soak's bit-identity check.
+func (a *Agent) Digest() uint64 { return a.digest }
+
+func (a *Agent) mix(parts ...uint64) {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	write(a.digest)
+	for _, p := range parts {
+		write(p)
+	}
+	a.digest = h.Sum64()
+}
+
+func (a *Agent) violate(format string, args ...interface{}) {
+	if a.violation != nil {
+		a.violation(fmt.Sprintf("agent %s: %s", a.Name, fmt.Sprintf(format, args...)))
+	}
+}
+
+// reserve adjusts the reserved count, enforcing 0 ≤ reserved ≤ Capacity
+// at every transition — the "no slot double-committed" invariant held
+// online rather than only at run end.
+func (a *Agent) reserve(delta int) {
+	a.reserved += delta
+	if a.reserved < 0 {
+		a.violate("reserved went negative (%d)", a.reserved)
+	}
+	if a.reserved > a.Capacity {
+		a.violate("reserved %d exceeds capacity %d", a.reserved, a.Capacity)
+	}
+	if a.reserved > a.MaxReserved {
+		a.MaxReserved = a.reserved
+	}
+}
+
+func (a *Agent) handle(from string, m Message) {
+	a.mix(uint64(m.Type), uint64(m.Claim.Driver), m.Claim.Seq, uint64(a.reserved))
+	switch m.Type {
+	case Propose:
+		a.onPropose(from, m)
+	case Commit:
+		a.onCommit(from, m)
+	case Abort:
+		a.onAbort(from, m)
+	case Release:
+		a.onRelease(from, m)
+	}
+}
+
+func (a *Agent) onPropose(from string, m Message) {
+	if c, ok := a.claims[m.Claim]; ok {
+		// Duplicate PROPOSE of a live claim: replay the accept verbatim.
+		a.plane.Send(a.Name, from, Message{Type: Accept, Claim: c.id, Expiry: a.eng.Now() + a.cfg.AcceptTTL})
+		return
+	}
+	if _, dead := a.verdicts[m.Claim]; dead {
+		// A claim ID is never resurrected: whatever ended it (reject,
+		// expiry, abort) is final, so duplicates and stale retransmits
+		// deterministically converge on REJECT.
+		a.plane.Send(a.Name, from, Message{Type: Reject, Claim: m.Claim, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+		return
+	}
+	if m.Slots <= 0 || m.Slots > a.Capacity {
+		a.rejectNow(from, m.Claim)
+		return
+	}
+	if a.Capacity-a.reserved < m.Slots {
+		// Contended: deterministic arbitration. Accepted-but-uncommitted
+		// claims with IDs *greater* than the incoming one are evicted
+		// (lowest driver-then-sequence wins) if that frees enough slots;
+		// committed claims are untouchable.
+		if !a.evictFor(m) {
+			a.rejectNow(from, m.Claim)
+			return
+		}
+	}
+	c := &agentClaim{id: m.Claim, driver: from, task: m.Task, slots: m.Slots}
+	a.claims[c.id] = c
+	a.reserve(c.slots)
+	a.Accepts++
+	expiry := a.eng.Now() + a.cfg.AcceptTTL
+	c.expiry = a.eng.Schedule(a.cfg.AcceptTTL, func() { a.expire(c.id) })
+	a.plane.Send(a.Name, from, Message{Type: Accept, Claim: c.id, Expiry: expiry})
+}
+
+// evictFor tries to free enough slots for m by evicting accepted,
+// uncommitted claims that lose the arbitration (their ID is greater than
+// the proposer's). Victims are evicted highest-ID-first. Returns whether
+// enough slots were freed.
+func (a *Agent) evictFor(m Message) bool {
+	var losers []*agentClaim
+	freeable := a.Capacity - a.reserved
+	for _, c := range a.claims {
+		if !c.committed && m.Claim.Less(c.id) {
+			losers = append(losers, c)
+			freeable += c.slots
+		}
+	}
+	if freeable < m.Slots {
+		return false
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[j].id.Less(losers[i].id) })
+	need := m.Slots - (a.Capacity - a.reserved)
+	for _, c := range losers {
+		if need <= 0 {
+			break
+		}
+		a.drop(c, "evicted")
+		need -= c.slots
+		a.plane.Send(a.Name, c.driver, Message{Type: Reject, Claim: c.id, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+	}
+	return true
+}
+
+func (a *Agent) rejectNow(from string, id ClaimID) {
+	a.verdicts[id] = "rejected"
+	a.Rejects++
+	a.plane.Send(a.Name, from, Message{Type: Reject, Claim: id, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+}
+
+// drop removes a live claim, frees its slots and tombstones the ID.
+func (a *Agent) drop(c *agentClaim, verdict string) {
+	c.expiry.Cancel()
+	delete(a.claims, c.id)
+	a.verdicts[c.id] = verdict
+	a.reserve(-c.slots)
+}
+
+// expire fires when an accepted claim's TTL lapses without a commit: the
+// proposing driver is presumed dead or partitioned, and the slots return
+// to the pool. A committed claim never expires.
+func (a *Agent) expire(id ClaimID) {
+	c, ok := a.claims[id]
+	if !ok || c.committed {
+		return
+	}
+	a.mix(uint64(id.Driver), id.Seq, ^uint64(0))
+	a.drop(c, "expired")
+	a.Expiries++
+}
+
+func (a *Agent) onCommit(from string, m Message) {
+	c, ok := a.claims[m.Claim]
+	if !ok {
+		// Expired, evicted, or never heard of: the driver must give up
+		// this claim ID and re-propose under a fresh one.
+		a.plane.Send(a.Name, from, Message{Type: CommitNack, Claim: m.Claim})
+		return
+	}
+	if !c.committed {
+		c.committed = true
+		c.expiry.Cancel()
+		a.Commits++
+	}
+	// Idempotent: a duplicate COMMIT re-acks without touching state.
+	a.plane.Send(a.Name, from, Message{Type: CommitAck, Claim: c.id})
+}
+
+func (a *Agent) onAbort(from string, m Message) {
+	if c, ok := a.claims[m.Claim]; ok {
+		a.drop(c, "aborted")
+	}
+	// Unknown (already expired/aborted): still ack — the driver only
+	// needs to know the claim is gone.
+	a.plane.Send(a.Name, from, Message{Type: AbortAck, Claim: m.Claim})
+}
+
+func (a *Agent) onRelease(from string, m Message) {
+	if c, ok := a.claims[m.Claim]; ok {
+		a.drop(c, "released")
+	}
+	a.plane.Send(a.Name, from, Message{Type: ReleaseAck, Claim: m.Claim})
+}
+
+// CheckEndState appends a violation per leaked resource: at quiesce every
+// claim must be gone and every slot free.
+func (a *Agent) CheckEndState() {
+	if a.reserved != 0 {
+		a.violate("%d slots still reserved at end of run", a.reserved)
+	}
+	if len(a.claims) != 0 {
+		ids := make([]string, 0, len(a.claims))
+		for id := range a.claims {
+			ids = append(ids, id.String())
+		}
+		sort.Strings(ids)
+		a.violate("%d live claims at end of run: %v", len(a.claims), ids)
+	}
+}

@@ -1,0 +1,666 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rupam/internal/executor"
+	"rupam/internal/simx"
+	"rupam/internal/spark"
+	"rupam/internal/task"
+	"rupam/internal/wal"
+)
+
+// claimState is a driver-side claim's lifecycle position.
+type claimState int
+
+const (
+	csProposing  claimState = iota // PROPOSE sent, awaiting ACCEPT/REJECT
+	csCommitting                   // ACCEPT received (WAL: committed), COMMIT in flight
+	csReady                        // COMMIT_ACK received; the scheduler may launch
+	csBound                        // the task attempt launched on the claim
+	csReleasing                    // RELEASE in flight (attempt over / claim stale)
+	csAborting                     // ABORT in flight (reject path or recovery)
+)
+
+func (s claimState) String() string {
+	switch s {
+	case csProposing:
+		return "proposing"
+	case csCommitting:
+		return "committing"
+	case csReady:
+		return "ready"
+	case csBound:
+		return "bound"
+	case csReleasing:
+		return "releasing"
+	case csAborting:
+		return "aborting"
+	}
+	return fmt.Sprintf("claimState(%d)", int(s))
+}
+
+// fclaim is one driver-side placement claim.
+type fclaim struct {
+	id    ClaimID
+	app   *fedApp
+	task  *task.Task
+	node  string
+	slots int
+	state claimState
+
+	attempts int // sends so far in the current retransmit cycle
+	cycle    int // completed cycles (abort/release re-arm with growing pauses)
+	timer    *simx.Timer
+}
+
+// fedApp couples one application runtime to its federated driver.
+type fedApp struct {
+	rt       *spark.Runtime
+	wlog     *wal.Log
+	taskByID map[int]*task.Task
+	done     bool
+}
+
+// Driver is the federation side of one scheduler shard: it owns one or
+// more application runtimes, arbitrates their placements through the
+// agent protocol (implementing spark.PlacementBroker per app), and pays a
+// serial dispatch cost per protocol action — the same per-task overhead
+// that caps a centralized dispatch loop, now paid per shard so aggregate
+// placement throughput scales with the driver count.
+type Driver struct {
+	ID   int
+	Addr string
+
+	eng   *simx.Engine
+	plane *Plane
+	cfg   ProtocolConfig
+
+	apps []*fedApp
+	seq  uint64
+
+	claims         map[ClaimID]*fclaim
+	byTask         map[int]*fclaim // the task's unbound claim (proposing|committing|ready)
+	inflight       map[string]int  // live claims per node
+	nodeCap        map[string]int
+	noProposeUntil map[string]float64
+
+	down       bool
+	gen        int // bumped at crash; invalidates queued dispatch actions
+	busyUntil  float64
+	sweepArmed bool
+
+	// BusySeconds is the total serial dispatch time this driver spent;
+	// max over drivers bounds the run's placement throughput.
+	BusySeconds float64
+	// Commits counts claims that reached Ready (committed placements).
+	Commits int
+	// Crashes/Recoveries count this driver's fault episodes.
+	Crashes    int
+	Recoveries int
+
+	violation func(string)
+}
+
+// NewDriver creates driver id and registers it on the plane as
+// "driver:<id>".
+func NewDriver(eng *simx.Engine, plane *Plane, cfg ProtocolConfig, id int, nodeCap map[string]int, violation func(string)) *Driver {
+	d := &Driver{
+		ID:             id,
+		Addr:           fmt.Sprintf("driver:%d", id),
+		eng:            eng,
+		plane:          plane,
+		cfg:            cfg.withDefaults(),
+		claims:         make(map[ClaimID]*fclaim),
+		byTask:         make(map[int]*fclaim),
+		inflight:       make(map[string]int),
+		nodeCap:        nodeCap,
+		noProposeUntil: make(map[string]float64),
+		violation:      violation,
+	}
+	plane.Handle(d.Addr, d.onMessage)
+	return d
+}
+
+func (d *Driver) violate(format string, args ...interface{}) {
+	if d.violation != nil {
+		d.violation(fmt.Sprintf("%s: %s", d.Addr, fmt.Sprintf(format, args...)))
+	}
+}
+
+// Adopt attaches an application runtime to this driver, wiring the
+// placement broker and lifecycle hooks. Call before rt.Start.
+func (d *Driver) Adopt(rt *spark.Runtime, wlog *wal.Log, app *task.Application) *fedApp {
+	a := &fedApp{rt: rt, wlog: wlog, taskByID: make(map[int]*task.Task)}
+	for _, t := range app.AllTasks() {
+		a.taskByID[t.ID] = t
+	}
+	d.apps = append(d.apps, a)
+	rt.SetPlacementBroker(&appBroker{d: d, a: a})
+	rt.OnAttemptEnd = func(t *task.Task, node string, out executor.Outcome) {
+		d.onAttemptEnd(a, t, node)
+	}
+	rt.OnRecovered = func() { d.onAppRecovered(a) }
+	return a
+}
+
+// appBroker adapts one runtime's PlacementBroker calls onto its driver.
+type appBroker struct {
+	d *Driver
+	a *fedApp
+}
+
+func (b *appBroker) AdmitPlacement(t *task.Task, node string) bool {
+	return b.d.admitPlacement(b.a, t, node)
+}
+
+func (b *appBroker) PlacementStarted(t *task.Task, node string) {
+	b.d.placementStarted(b.a, t, node)
+}
+
+// LiveClaims returns the driver's current claim count (tests).
+func (d *Driver) LiveClaims() int { return len(d.claims) }
+
+// enqueue serializes a protocol action through the driver's single
+// dispatch loop: each action starts when the previous one's cost is paid.
+// This is the model's scalability story — the per-action cost is constant,
+// so N drivers sustain N× the placement rate of one.
+func (d *Driver) enqueue(fn func()) {
+	if d.down {
+		return
+	}
+	start := d.eng.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	d.busyUntil = start + d.cfg.DispatchCost
+	d.BusySeconds += d.cfg.DispatchCost
+	gen := d.gen
+	d.eng.At(d.busyUntil, func() {
+		if d.down || d.gen != gen {
+			return
+		}
+		fn()
+	})
+}
+
+// admitPlacement is the Launch-time arbitration gate. It returns true
+// only when the task holds a Ready (committed) claim for exactly this
+// node; anything else refuses the launch, usually after starting the
+// claim machinery that will make a later scheduling round succeed.
+func (d *Driver) admitPlacement(a *fedApp, t *task.Task, node string) bool {
+	if d.down {
+		return false
+	}
+	now := d.eng.Now()
+	if c := d.byTask[t.ID]; c != nil {
+		if c.node == node {
+			return c.state == csReady // in-flight claims refuse until committed
+		}
+		// The task already holds a claim elsewhere. Refuse — chasing the
+		// scheduler's per-round node preference would release and
+		// re-propose every round (livelock); if the claimed node never
+		// takes the task, the stale-claim TTL recycles the slots.
+		return false
+	}
+	if d.noProposeUntil[node] > now {
+		return false
+	}
+	if cap := d.nodeCap[node]; cap > 0 && d.inflight[node] >= cap {
+		return false // the node is fully claimed already
+	}
+	d.seq++
+	c := &fclaim{
+		id:    ClaimID{Driver: d.ID, Seq: d.seq},
+		app:   a,
+		task:  t,
+		node:  node,
+		slots: 1,
+		state: csProposing,
+	}
+	d.claims[c.id] = c
+	d.byTask[t.ID] = c
+	d.inflight[node]++
+	a.wlog.Append(wal.Record{Kind: wal.KindClaimProposed, Key: c.id.String(),
+		Task: t.ID, Node: node, Slots: c.slots})
+	d.enqueue(func() { d.send(c, Propose) })
+	return false
+}
+
+// placementStarted binds the Ready claim the launch consumed. A launch
+// with no Ready claim is a protocol violation — the exactly-once-launch
+// invariant is enforced here, not inferred afterwards.
+func (d *Driver) placementStarted(a *fedApp, t *task.Task, node string) {
+	c := d.byTask[t.ID]
+	if c == nil || c.state != csReady || c.node != node {
+		d.violate("launch of task %d on %s without a ready claim (have %v)", t.ID, node, c)
+		return
+	}
+	c.state = csBound
+	c.timer.Cancel()
+	delete(d.byTask, t.ID) // a bound claim no longer blocks new proposals
+	a.wlog.Append(wal.Record{Kind: wal.KindClaimBound, Key: c.id.String()})
+	d.armSweep()
+}
+
+// onAttemptEnd releases the bound claim backing a finished attempt.
+func (d *Driver) onAttemptEnd(a *fedApp, t *task.Task, node string) {
+	if c := d.boundClaim(t.ID, node); c != nil {
+		d.releaseClaim(c)
+	}
+}
+
+// boundClaim finds the (lowest-ID) bound claim for a task on a node.
+func (d *Driver) boundClaim(taskID int, node string) *fclaim {
+	var best *fclaim
+	for _, c := range d.claims {
+		if c.state == csBound && c.task.ID == taskID && c.node == node {
+			if best == nil || c.id.Less(best.id) {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// releaseClaim moves a claim onto its terminal send cycle: RELEASE for
+// claims the agent has committed, ABORT otherwise.
+func (d *Driver) releaseClaim(c *fclaim) {
+	c.timer.Cancel()
+	if d.byTask[c.task.ID] == c {
+		delete(d.byTask, c.task.ID)
+	}
+	switch c.state {
+	case csProposing:
+		// No grant observed: give up the ID. If the agent did accept, its
+		// TTL returns the slots; the tombstone makes any late COMMIT moot.
+		d.finishClaim(c, wal.KindClaimAborted)
+		return
+	case csCommitting, csReady, csBound:
+		c.state = csReleasing
+	case csReleasing, csAborting:
+		return // already on a terminal cycle
+	}
+	c.attempts, c.cycle = 0, 0
+	d.enqueue(func() { d.send(c, Release) })
+}
+
+// abortClaim puts a claim on the ABORT cycle (recovery path).
+func (d *Driver) abortClaim(c *fclaim) {
+	c.timer.Cancel()
+	if d.byTask[c.task.ID] == c {
+		delete(d.byTask, c.task.ID)
+	}
+	if c.state == csAborting || c.state == csReleasing {
+		return
+	}
+	c.state = csAborting
+	c.attempts, c.cycle = 0, 0
+	d.enqueue(func() { d.send(c, Abort) })
+}
+
+// finishClaim writes the claim's terminal WAL record and forgets it.
+func (d *Driver) finishClaim(c *fclaim, kind string) {
+	c.timer.Cancel()
+	if d.byTask[c.task.ID] == c {
+		delete(d.byTask, c.task.ID)
+	}
+	if _, ok := d.claims[c.id]; ok {
+		delete(d.claims, c.id)
+		d.inflight[c.node]--
+		if d.inflight[c.node] < 0 {
+			d.violate("inflight count for %s went negative", c.node)
+		}
+	}
+	c.app.wlog.Append(wal.Record{Kind: kind, Key: c.id.String()})
+}
+
+// send transmits the message type for the claim's current cycle and arms
+// the retransmit timer. Propose cycles exhaust into a local abort (the
+// agent's TTL cleans up any unobserved grant); commit cycles fall back to
+// an explicit abort (the agent may hold a committed claim); abort and
+// release cycles re-arm with a growing pause — they must land eventually
+// or slots would leak, and fault windows are finite.
+func (d *Driver) send(c *fclaim, mt MsgType) {
+	if d.down {
+		return
+	}
+	if cur, ok := d.claims[c.id]; !ok || cur != c {
+		return // the claim resolved while this send was queued
+	}
+	switch {
+	case mt == Propose && c.state != csProposing,
+		mt == Commit && c.state != csCommitting,
+		mt == Release && c.state != csReleasing,
+		mt == Abort && c.state != csAborting:
+		return // state moved on; the queued send is stale
+	}
+	m := Message{Type: mt, Claim: c.id}
+	if mt == Propose {
+		m.Task = c.task.ID
+		m.Slots = c.slots
+	}
+	d.plane.Send(d.Addr, c.node, m)
+	c.attempts++
+	wait := d.cfg.RetryTimeout * float64(c.attempts)
+	c.timer.Cancel()
+	c.timer = d.eng.Schedule(wait, func() { d.onTimeout(c, mt) })
+}
+
+func (d *Driver) onTimeout(c *fclaim, mt MsgType) {
+	if d.down {
+		return
+	}
+	if cur, ok := d.claims[c.id]; !ok || cur != c {
+		return
+	}
+	if c.attempts < d.cfg.MaxRetries {
+		d.enqueue(func() { d.send(c, mt) })
+		return
+	}
+	switch mt {
+	case Propose:
+		// The node is unreachable; give up the ID and let the scheduler
+		// look elsewhere. Any grant in flight dies at the agent's TTL.
+		d.finishClaim(c, wal.KindClaimAborted)
+	case Commit:
+		// The agent may or may not hold the committed claim; only an
+		// explicit acked abort resolves the ambiguity.
+		d.abortClaim(c)
+	case Abort, Release:
+		// Must eventually land. Fresh cycle after a growing pause.
+		c.cycle++
+		shift := c.cycle
+		if shift > 6 {
+			shift = 6
+		}
+		pause := d.cfg.RetryTimeout * float64(int(1)<<shift)
+		c.attempts = 0
+		c.timer.Cancel()
+		c.timer = d.eng.Schedule(pause, func() {
+			if d.down {
+				return
+			}
+			d.enqueue(func() { d.send(c, mt) })
+		})
+	}
+}
+
+// onMessage is the driver's plane handler; every verdict pays the serial
+// dispatch cost before taking effect.
+func (d *Driver) onMessage(from string, m Message) {
+	d.enqueue(func() { d.handle(from, m) })
+}
+
+func (d *Driver) handle(from string, m Message) {
+	c, ok := d.claims[m.Claim]
+	if !ok {
+		return // verdict for a claim we already resolved (dup or stale)
+	}
+	switch m.Type {
+	case Accept:
+		if c.state != csProposing {
+			return // duplicate accept
+		}
+		c.state = csCommitting
+		// Logged *before* the commit send: a crash from here on must
+		// chase this claim, because the agent holds (or will hold) it
+		// beyond any TTL once the commit lands.
+		c.app.wlog.Append(wal.Record{Kind: wal.KindClaimCommitted, Key: c.id.String()})
+		c.attempts = 0
+		d.send(c, Commit)
+	case Reject:
+		if c.state != csProposing {
+			return // stale reject (e.g. raced our abort); the cycle resolves it
+		}
+		if m.RetryAfter > d.noProposeUntil[c.node] {
+			d.noProposeUntil[c.node] = m.RetryAfter
+		}
+		// Terminal verdict: the agent tombstoned the ID, nothing to chase.
+		d.finishClaim(c, wal.KindClaimAborted)
+	case CommitAck:
+		if c.state != csCommitting {
+			return // duplicate ack
+		}
+		c.state = csReady
+		c.timer.Cancel()
+		d.Commits++
+		// A Ready claim the scheduler never consumes is released after
+		// the stale TTL so contended slots recirculate.
+		c.timer = d.eng.Schedule(d.cfg.StaleClaimTTL, func() {
+			if cur, ok := d.claims[c.id]; ok && cur == c && c.state == csReady && !d.down {
+				d.releaseClaim(c)
+			}
+		})
+		// The slot is secured; let the owning app's scheduler retry the
+		// placement it was refused.
+		if !c.app.rt.Done() && !c.app.rt.Crashed() {
+			c.app.rt.Scheduler().Schedule()
+		}
+	case CommitNack:
+		if c.state != csCommitting {
+			return
+		}
+		// The agent lost the claim (TTL or eviction) and tombstoned it:
+		// terminal, nothing to chase.
+		d.finishClaim(c, wal.KindClaimAborted)
+	case AbortAck:
+		if c.state != csAborting {
+			return
+		}
+		d.finishClaim(c, wal.KindClaimAborted)
+	case ReleaseAck:
+		if c.state != csReleasing {
+			return
+		}
+		d.finishClaim(c, wal.KindClaimReleased)
+	}
+}
+
+// armSweep schedules the periodic reconcile that releases bound claims
+// whose attempt vanished through a silent-kill path (job abort, zombie
+// fencing). Re-arms itself only while bound claims remain.
+func (d *Driver) armSweep() {
+	if d.sweepArmed || d.down {
+		return
+	}
+	d.sweepArmed = true
+	d.eng.Schedule(d.cfg.SweepInterval, d.sweep)
+}
+
+func (d *Driver) sweep() {
+	d.sweepArmed = false
+	if d.down {
+		return
+	}
+	var stale []*fclaim
+	bound := 0
+	for _, c := range d.claims {
+		if c.state != csBound {
+			continue
+		}
+		bound++
+		if !d.attemptLive(c) {
+			stale = append(stale, c)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].id.Less(stale[j].id) })
+	for _, c := range stale {
+		d.releaseClaim(c)
+	}
+	if bound > len(stale) {
+		d.armSweep()
+	}
+}
+
+// attemptLive reports whether the claim's task still has a running
+// attempt on the claim's node.
+func (d *Driver) attemptLive(c *fclaim) bool {
+	if c.app.rt.Crashed() {
+		return true // unknowable mid-crash; recovery resolves it
+	}
+	for _, r := range c.app.rt.RunningAttempts(c.task) {
+		if r.Metrics().Executor == c.node {
+			return true
+		}
+	}
+	return false
+}
+
+// AppDone releases every claim still held for the given app — the
+// backstop for job aborts, which silently wipe the running-attempt set.
+func (d *Driver) AppDone(a *fedApp) {
+	a.done = true
+	var own []*fclaim
+	for _, c := range d.claims {
+		if c.app == a {
+			own = append(own, c)
+		}
+	}
+	sort.Slice(own, func(i, j int) bool { return own[i].id.Less(own[j].id) })
+	for _, c := range own {
+		d.releaseClaim(c)
+	}
+}
+
+// Crash takes the whole driver process down: every owned application's
+// runtime crashes (buffering completions as usual), the plane drops
+// messages addressed to the driver, and all in-memory protocol state
+// vanishes — exactly what the WAL exists to reconstruct.
+func (d *Driver) Crash(restartAfter float64) {
+	if d.down {
+		return
+	}
+	live := 0
+	for _, a := range d.apps {
+		if !a.done && !a.rt.Crashed() {
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	d.down = true
+	d.gen++
+	d.Crashes++
+	d.plane.SetDown(d.Addr, true)
+	for _, c := range d.claims {
+		c.timer.Cancel()
+	}
+	d.claims = make(map[ClaimID]*fclaim)
+	d.byTask = make(map[int]*fclaim)
+	d.inflight = make(map[string]int)
+	d.noProposeUntil = make(map[string]float64)
+	d.sweepArmed = false
+	for _, a := range d.apps {
+		if !a.done && !a.rt.Crashed() {
+			a.rt.CrashDriver(restartAfter)
+		}
+	}
+}
+
+// onAppRecovered fires per owned runtime at the end of its WAL-driven
+// recovery. The first one brings the driver process back up; each one
+// then refolds its own WAL's live claims into protocol state: proposed
+// and committed claims are re-aborted (the safe resolution either side
+// of the commit boundary), bound claims are kept only when the recovered
+// runtime still runs the attempt, and released otherwise.
+func (d *Driver) onAppRecovered(a *fedApp) {
+	if d.down {
+		d.down = false
+		d.busyUntil = d.eng.Now()
+		d.plane.SetDown(d.Addr, false)
+		d.Recoveries++
+	}
+	st, _, err := wal.Replay(bytes.NewReader(a.wlog.Bytes()))
+	if err != nil {
+		d.violate("recovery replay failed: %v", err)
+		return
+	}
+	if st.ClaimSeq > d.seq {
+		// Never reuse a claim ID across incarnations: agents tombstone
+		// dead IDs, so reuse would make fresh proposals look stale.
+		d.seq = st.ClaimSeq
+	}
+	keys := make([]string, 0, len(st.Claims))
+	for k := range st.Claims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		wc := st.Claims[k]
+		id, ok := parseClaimID(k)
+		if !ok || id.Driver != d.ID {
+			d.violate("recovery folded foreign claim key %q", k)
+			continue
+		}
+		if _, live := d.claims[id]; live {
+			// Created after the driver came back up (a sibling app's
+			// recovery revives the whole driver, and scheduling rounds can
+			// propose for this app before its own fold runs). The claim is
+			// live protocol state, not a crash orphan — leave it be.
+			continue
+		}
+		t := a.taskByID[wc.Task]
+		if t == nil {
+			d.violate("recovery folded claim %s for unknown task %d", k, wc.Task)
+			continue
+		}
+		c := &fclaim{id: id, app: a, task: t, node: wc.Node, slots: wc.Slots}
+		d.claims[id] = c
+		d.inflight[wc.Node]++
+		switch wc.State {
+		case "bound":
+			if d.attemptAdopted(a, t, wc.Node) {
+				// The attempt survived the crash and was re-adopted: the
+				// claim keeps backing it and releases when it ends.
+				c.state = csBound
+				d.armSweep()
+				continue
+			}
+			c.state = csBound // releaseClaim routes bound → RELEASE
+			d.releaseClaim(c)
+		case "committed":
+			// Crash between ACCEPT and COMMIT_ACK: the agent may hold the
+			// claim committed (our COMMIT landed) or uncommitted-and-
+			// expired. An acked ABORT resolves both without leaking.
+			c.state = csCommitting
+			d.abortClaim(c)
+		default: // "proposed"
+			c.state = csProposing
+			d.abortClaim(c)
+		}
+	}
+}
+
+// attemptAdopted reports whether the recovered runtime still runs an
+// attempt of t on node (survivor adoption happened before OnRecovered).
+func (d *Driver) attemptAdopted(a *fedApp, t *task.Task, node string) bool {
+	for _, r := range a.rt.RunningAttempts(t) {
+		if r.Metrics().Executor == node {
+			return true
+		}
+	}
+	return false
+}
+
+// parseClaimID parses the WAL key form "d<driver>:<seq>".
+func parseClaimID(s string) (ClaimID, bool) {
+	if len(s) < 4 || s[0] != 'd' {
+		return ClaimID{}, false
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 2 {
+		return ClaimID{}, false
+	}
+	drv, err1 := strconv.Atoi(s[1:i])
+	seq, err2 := strconv.ParseUint(s[i+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return ClaimID{}, false
+	}
+	return ClaimID{Driver: drv, Seq: seq}, true
+}

@@ -1,0 +1,96 @@
+package federation_test
+
+import (
+	"testing"
+
+	"rupam/internal/chaos"
+	"rupam/internal/faults"
+	"rupam/internal/federation"
+)
+
+// TestSingleDriverCompletes is the no-fault baseline: one driver, four
+// apps, everything completes with clean protocol end state.
+func TestSingleDriverCompletes(t *testing.T) {
+	res := federation.Run(federation.Config{Seed: 1})
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Completed != 4 || res.Aborted != 0 {
+		t.Fatalf("completed=%d aborted=%d, want 4/0", res.Completed, res.Aborted)
+	}
+	if res.Commits == 0 || res.Launches == 0 {
+		t.Fatalf("no work done: commits=%d launches=%d", res.Commits, res.Launches)
+	}
+	if res.MaxBusySeconds <= 0 || res.PlacementRate <= 0 {
+		t.Fatalf("dispatch accounting empty: busy=%v rate=%v", res.MaxBusySeconds, res.PlacementRate)
+	}
+}
+
+// TestTwoDriverConservation is the shared-cluster regression: two drivers
+// federating over one substrate must preserve slot and lease conservation
+// for every application, checked with the same battery the tenant soak
+// uses.
+func TestTwoDriverConservation(t *testing.T) {
+	res := federation.Run(federation.Config{Drivers: 2, Seed: 7})
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Completed != 4 {
+		t.Fatalf("completed=%d, want 4", res.Completed)
+	}
+	for i, rt := range res.AppRuntimes {
+		for _, v := range chaos.CheckAppInvariants(res.AppResults[i], rt) {
+			t.Errorf("app %d: %s", i, v)
+		}
+	}
+	// The shared executor set must be fully drained once, peak within
+	// capacity — the conservation half of the battery.
+	for _, v := range chaos.CheckResourceConservation(res.AppRuntimes[0]) {
+		t.Errorf("conservation: %s", v)
+	}
+	for _, a := range res.AgentStats {
+		if a.MaxReserved > a.Capacity {
+			t.Errorf("agent %s peaked at %d reserved > capacity %d", a.Node, a.MaxReserved, a.Capacity)
+		}
+	}
+}
+
+// TestDeterministicFingerprint re-runs one seeded federated run and
+// demands a bit-identical fingerprint.
+func TestDeterministicFingerprint(t *testing.T) {
+	a := federation.Run(federation.Config{Drivers: 2, Seed: 11})
+	b := federation.Run(federation.Config{Drivers: 2, Seed: 11})
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprint diverged: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestCrashAndMessageFaults drives two drivers through driver crashes and
+// a lossy, duplicating, reordering control plane; the protocol must end
+// clean and every application must still finish.
+func TestCrashAndMessageFaults(t *testing.T) {
+	plan := &faults.Schedule{Events: []faults.Event{
+		{At: 5, Kind: faults.DriverCrash, Duration: 4},
+		{At: 20, Kind: faults.DriverCrash, Duration: 6},
+		{At: 1, Kind: faults.MsgDrop, Duration: 60, Factor: 0.15},
+		{At: 1, Kind: faults.MsgDup, Duration: 60, Factor: 0.2},
+		{At: 1, Kind: faults.MsgDelay, Duration: 60, Factor: 0.2, Delay: 0.05},
+		{At: 1, Kind: faults.MsgReorder, Duration: 60, Factor: 0.25},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	res := federation.Run(federation.Config{Drivers: 2, Seed: 23, Faults: plan})
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Completed != 4 {
+		t.Fatalf("completed=%d aborted=%d, want 4 completed", res.Completed, res.Aborted)
+	}
+	if res.Crashes == 0 {
+		t.Fatalf("no driver crash fired")
+	}
+	if res.MsgDropped == 0 && res.MsgDuped == 0 {
+		t.Fatalf("message faults never fired (sent=%d)", res.MsgSent)
+	}
+}

@@ -1,0 +1,174 @@
+// Package federation turns the simulator's single recoverable driver into
+// a sharded scheduling plane: several cooperating drivers place tasks onto
+// one shared cluster with no central Launch path. Each node's core slots
+// are owned by a per-node Agent state machine; drivers acquire them
+// through an explicit two-phase placement commit — PROPOSE, ACCEPT/REJECT
+// with deterministic lowest-(driver,seq)-wins arbitration, COMMIT/ABORT —
+// carried over an unreliable control Plane that can drop, duplicate,
+// delay and reorder messages. Every protocol transition is appended to
+// the owning application's write-ahead log, so the WAL replay that
+// rebuilds a crashed driver's scheduler state also rebuilds its protocol
+// state: claims still live in the fold after a crash are exactly the ones
+// the restarted driver must re-abort or re-release, and agent-side accept
+// expiry guarantees that claims a dead driver never committed return to
+// the pool on their own.
+package federation
+
+import "fmt"
+
+// ClaimID names one placement claim globally: the proposing driver and
+// its per-driver proposal sequence number. IDs totally order claims; the
+// arbitration rule is that the *lowest* ID wins a slot conflict, so older
+// proposals from lower-numbered drivers are never starved by newer ones.
+type ClaimID struct {
+	Driver int
+	Seq    uint64
+}
+
+// String renders the ID in its WAL key form, "d<driver>:<seq>".
+func (id ClaimID) String() string { return fmt.Sprintf("d%d:%d", id.Driver, id.Seq) }
+
+// Less is the deterministic arbitration order: lowest driver ID first,
+// then lowest sequence.
+func (id ClaimID) Less(o ClaimID) bool {
+	if id.Driver != o.Driver {
+		return id.Driver < o.Driver
+	}
+	return id.Seq < o.Seq
+}
+
+// MsgType enumerates the placement-protocol message vocabulary.
+type MsgType int
+
+// Protocol messages. Drivers send PROPOSE/COMMIT/ABORT/RELEASE; agents
+// answer ACCEPT/REJECT/COMMIT_ACK/COMMIT_NACK/ABORT_ACK/RELEASE_ACK.
+const (
+	// Propose asks the node's agent to reserve Slots cores for Task.
+	Propose MsgType = iota
+	// Accept grants the reservation until Expiry; an uncommitted claim
+	// past its expiry is unilaterally returned to the pool.
+	Accept
+	// Reject refuses the claim (capacity, arbitration loss, or a
+	// tombstoned claim ID); RetryAfter hints when to try this node again.
+	Reject
+	// Commit pins an accepted claim: the slots stay reserved until the
+	// driver releases them, surviving any driver crash.
+	Commit
+	// CommitAck confirms the commit took effect (idempotent).
+	CommitAck
+	// CommitNack refuses a commit of a claim the agent no longer holds
+	// (expired or evicted) — the driver must re-propose under a new ID.
+	CommitNack
+	// Abort cancels a claim in any live state (idempotent).
+	Abort
+	// AbortAck confirms the claim is gone.
+	AbortAck
+	// Release frees a committed claim's slots (the attempt ended).
+	Release
+	// ReleaseAck confirms the release took effect.
+	ReleaseAck
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case Propose:
+		return "PROPOSE"
+	case Accept:
+		return "ACCEPT"
+	case Reject:
+		return "REJECT"
+	case Commit:
+		return "COMMIT"
+	case CommitAck:
+		return "COMMIT_ACK"
+	case CommitNack:
+		return "COMMIT_NACK"
+	case Abort:
+		return "ABORT"
+	case AbortAck:
+		return "ABORT_ACK"
+	case Release:
+		return "RELEASE"
+	case ReleaseAck:
+		return "RELEASE_ACK"
+	default:
+		return fmt.Sprintf("federation.MsgType(%d)", int(t))
+	}
+}
+
+// Message is one protocol datagram. Every message names its claim, so
+// duplicated and reordered deliveries dedup on (Type, Claim) alone.
+type Message struct {
+	Type  MsgType
+	Claim ClaimID
+	// Task and Slots describe the placement in a PROPOSE.
+	Task  int
+	Slots int
+	// RetryAfter is a REJECT's backoff hint: the absolute virtual time
+	// before which the driver should not re-propose on this node.
+	RetryAfter float64
+	// Expiry is an ACCEPT's reservation deadline: the absolute virtual
+	// time at which an uncommitted claim self-releases at the agent.
+	Expiry float64
+}
+
+// ProtocolConfig tunes the placement protocol's timing.
+type ProtocolConfig struct {
+	// Latency is the one-way control-plane message latency in seconds
+	// (default 0.002).
+	Latency float64
+	// DispatchCost is the serial CPU time a driver spends per protocol
+	// action — the per-task dispatch overhead that caps a centralized
+	// scheduler, here paid per driver so placement throughput scales with
+	// driver count (default 0.001).
+	DispatchCost float64
+	// AcceptTTL is the agent-side lifetime of an accepted, uncommitted
+	// claim; past it the agent frees the slots and tombstones the claim.
+	// This is what unsticks slots whose proposing driver died before
+	// committing (default 2).
+	AcceptTTL float64
+	// RetryTimeout is the base retransmit timeout; try i of a cycle waits
+	// RetryTimeout×i. It doubles as the agent's reject-backoff hint
+	// (default 0.25).
+	RetryTimeout float64
+	// MaxRetries bounds sends per retransmit cycle. Propose cycles give
+	// up for good (the accept TTL cleans up any orphan grant); commit
+	// cycles fall back to an abort; abort/release cycles re-arm with a
+	// growing pause until acknowledged — those must eventually land or
+	// slots would leak (default 5).
+	MaxRetries int
+	// StaleClaimTTL releases a committed claim the scheduler never used
+	// (its task got placed elsewhere or finished) after this long
+	// (default 1.5).
+	StaleClaimTTL float64
+	// SweepInterval is the period of the driver's reconcile sweep, which
+	// releases bound claims whose attempt vanished through a silent-kill
+	// path such as a job abort (default 2).
+	SweepInterval float64
+}
+
+func (c ProtocolConfig) withDefaults() ProtocolConfig {
+	if c.Latency <= 0 {
+		c.Latency = 0.002
+	}
+	if c.DispatchCost <= 0 {
+		c.DispatchCost = 0.001
+	}
+	if c.AcceptTTL <= 0 {
+		c.AcceptTTL = 2
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 0.25
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.StaleClaimTTL <= 0 {
+		c.StaleClaimTTL = 1.5
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 2
+	}
+	return c
+}

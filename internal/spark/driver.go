@@ -117,6 +117,12 @@ func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *exe
 	if rt.capFn != nil && !rt.capFn() {
 		return nil // FAIR slot budget spent; another pool's turn
 	}
+	if rt.broker != nil && !rt.broker.AdmitPlacement(t, node) {
+		// Federated mode: the node's slots belong to its agent. A refusal
+		// either started a claim (a later round retries once it commits)
+		// or lost an arbitration; either way nothing launches now.
+		return nil
+	}
 	t.State = task.Running
 	rt.LaunchCount++
 	if opts.Speculative {
@@ -126,6 +132,9 @@ func (rt *Runtime) Launch(t *task.Task, node string, opts executor.Options) *exe
 	rt.runningAtt[t.ID] = append(rt.runningAtt[t.ID], r)
 	rt.wlog.Append(wal.Record{Kind: wal.KindTaskLaunched,
 		Task: t.ID, Stage: st.ID, Index: t.Index, Node: node, Spec: opts.Speculative})
+	if rt.broker != nil {
+		rt.broker.PlacementStarted(t, node)
+	}
 	return r
 }
 
@@ -156,6 +165,9 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 	rt.runningAtt[t.ID] = live
 
 	rt.sched.TaskEnded(t, r, out)
+	if rt.OnAttemptEnd != nil {
+		rt.OnAttemptEnd(t, r.Metrics().Executor, out)
+	}
 
 	switch out {
 	case executor.Success:
@@ -184,6 +196,9 @@ func (rt *Runtime) onTaskEnd(r *executor.Run, out executor.Outcome) {
 			for _, a := range append([]*executor.Run(nil), live...) {
 				a.Kill(false)
 				rt.sched.TaskEnded(t, a, executor.Killed)
+				if rt.OnAttemptEnd != nil {
+					rt.OnAttemptEnd(t, a.Metrics().Executor, executor.Killed)
+				}
 				rt.wlog.Append(wal.Record{Kind: wal.KindAttemptEnded,
 					Task: t.ID, Node: a.Metrics().Executor, Outcome: "killed"})
 			}

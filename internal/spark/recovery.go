@@ -186,6 +186,12 @@ func (rt *Runtime) recoverDriver() {
 	rt.DriverRecoveries++
 	rt.Cfg.Tracer.RecoverySpan(rt.crashAt, rt.Eng.Now())
 	rt.Cfg.Tracer.DriverRecovered(adopted, delivered, nrec)
+	if rt.OnRecovered != nil {
+		// Federation hook: survivors are adopted and orphans redelivered,
+		// so the broker can tell which of its WAL-folded claims still back
+		// a live attempt and chase the rest.
+		rt.OnRecovered()
+	}
 	if !rt.appDone {
 		rt.reschedule()
 	}

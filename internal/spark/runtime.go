@@ -231,6 +231,19 @@ type Runtime struct {
 	// OnAppDone, when set, fires once when the application completes or
 	// aborts — the tenant manager's completion hook.
 	OnAppDone func()
+	// broker, when set, is the federation layer's placement arbiter:
+	// Launch refuses any attempt the broker has not granted a committed
+	// claim for, and reports each granted launch back so the claim can be
+	// bound. Nil (non-federated runs) admits everything.
+	broker PlacementBroker
+	// OnAttemptEnd, when set, observes every attempt termination (success,
+	// loser kill, failure) after the runtime's own accounting — the
+	// federation layer releases the attempt's slot claim here.
+	OnAttemptEnd func(t *task.Task, node string, out executor.Outcome)
+	// OnRecovered, when set, fires at the end of driver crash recovery,
+	// after survivors are re-adopted and orphans redelivered — the
+	// federation layer rebuilds its protocol state from the WAL here.
+	OnRecovered func()
 	// hbDelivered counts heartbeats this runtime actually processed; in
 	// shared-monitor mode Result.Heartbeats reports it instead of the
 	// monitor's all-application total.
@@ -378,6 +391,21 @@ func (rt *Runtime) SetSlotCap(fn func() bool) { rt.capFn = fn }
 // SetReschedule replaces local scheduling rounds with fn — the tenant
 // manager's global FAIR round. Must be set before Start.
 func (rt *Runtime) SetReschedule(fn func()) { rt.rescheduleFn = fn }
+
+// PlacementBroker arbitrates task placements for a federated driver.
+// AdmitPlacement is consulted by Launch for every (task, node) the
+// scheduler wants; returning false refuses the launch (the broker
+// typically starts a claim and lets a later scheduling round retry once
+// the claim commits). PlacementStarted reports the launch that a granted
+// claim actually produced, binding the claim to the attempt.
+type PlacementBroker interface {
+	AdmitPlacement(t *task.Task, node string) bool
+	PlacementStarted(t *task.Task, node string)
+}
+
+// SetPlacementBroker installs the federation layer's placement arbiter.
+// Must be set before Start.
+func (rt *Runtime) SetPlacementBroker(b PlacementBroker) { rt.broker = b }
 
 // SetSharedFaults points the runtime at a substrate-owned fault injector
 // so driver recovery can tell a partitioned node from a dead one. The

@@ -1,11 +1,26 @@
 package wal
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+)
 
 // Attempt is one in-flight task attempt as the log last saw it.
 type Attempt struct {
 	Node string `json:"node"`
 	Spec bool   `json:"spec,omitempty"`
+}
+
+// Claim is one federation placement claim as the log last saw it. State is
+// "proposed" (PROPOSE sent, no verdict yet), "committed" (agent accepted
+// and the commit is in flight or acked), or "bound" (the claim's task
+// attempt actually launched).
+type Claim struct {
+	State string `json:"state"`
+	Task  int    `json:"task"`
+	Node  string `json:"node"`
+	Slots int    `json:"slots"`
 }
 
 // Output is one registered map output (partition → location).
@@ -47,6 +62,8 @@ type State struct {
 	LostExecs        map[string]bool            `json:"lost_execs,omitempty"`
 	LastInc          map[string]int             `json:"last_inc,omitempty"`
 	CharDB           map[string]json.RawMessage `json:"chardb,omitempty"` // "signature|partition" → persisted record
+	Claims           map[string]Claim           `json:"claims,omitempty"` // claim ID → live placement claim
+	ClaimSeq         uint64                     `json:"claim_seq,omitempty"`
 	Counters         Counters                   `json:"counters"`
 }
 
@@ -183,9 +200,39 @@ func (s *State) Apply(r *Record) {
 			s.CharDB = make(map[string]json.RawMessage)
 		}
 		s.CharDB[r.Key] = append(json.RawMessage(nil), r.CharDB...)
+	case KindClaimProposed:
+		if s.Claims == nil {
+			s.Claims = make(map[string]Claim)
+		}
+		s.Claims[r.Key] = Claim{State: "proposed", Task: r.Task, Node: r.Node, Slots: r.Slots}
+		// Track the high-water claim sequence so a recovered driver never
+		// reuses a claim ID: agents tombstone dead IDs, so reuse would make
+		// fresh proposals look like duplicates.
+		if i := strings.LastIndexByte(r.Key, ':'); i >= 0 {
+			if seq, err := strconv.ParseUint(r.Key[i+1:], 10, 64); err == nil && seq > s.ClaimSeq {
+				s.ClaimSeq = seq
+			}
+		}
+	case KindClaimCommitted:
+		if c, ok := s.Claims[r.Key]; ok {
+			c.State = "committed"
+			s.Claims[r.Key] = c
+		}
+	case KindClaimBound:
+		if c, ok := s.Claims[r.Key]; ok {
+			c.State = "bound"
+			s.Claims[r.Key] = c
+		}
+	case KindClaimAborted, KindClaimReleased:
+		delete(s.Claims, r.Key)
+		if len(s.Claims) == 0 {
+			s.Claims = nil
+		}
 	case KindRecovered:
 		// Recovery barrier: every pre-crash in-flight attempt is either
 		// re-adopted (task-adopted records follow) or back in the pool.
+		// Claims deliberately survive the barrier — the recovered driver
+		// must still abort or release each one with the owning agent.
 		s.Running = nil
 	}
 }

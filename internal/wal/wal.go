@@ -53,6 +53,18 @@ const (
 	KindDriverCrashed   = "driver-crashed"   // audit-only crash marker
 	KindRecovered       = "recovered"        // recovery barrier: drops all pre-crash in-flight attempts
 	KindSnapshot        = "snapshot"         // Snapshot (full State checkpoint; replay restarts the fold here)
+
+	// Federation placement-protocol kinds. Key is the claim ID
+	// ("d<driver>:<seq>"); the fold tracks live claims so a restarted
+	// driver can re-resolve every placement it had in flight. Abort and
+	// release records are appended only once the agent has acknowledged
+	// (or the verdict is already terminal), so a claim still in the fold
+	// after a crash is exactly one the recovered driver must chase.
+	KindClaimProposed  = "claim-proposed"  // Key, Task, Node, Slots
+	KindClaimCommitted = "claim-committed" // Key (agent accepted; commit in flight or acked)
+	KindClaimBound     = "claim-bound"     // Key (the claim's task attempt launched)
+	KindClaimAborted   = "claim-aborted"   // Key (agent-acked abort, or terminal reject)
+	KindClaimReleased  = "claim-released"  // Key (agent-acked release of a committed claim)
 )
 
 // Record is one WAL entry. Numeric zero values are elided on the wire
@@ -71,6 +83,7 @@ type Record struct {
 	Outcome  string          `json:"outcome,omitempty"`
 	Until    float64         `json:"until,omitempty"`
 	Inc      int             `json:"inc,omitempty"`
+	Slots    int             `json:"slots,omitempty"`
 	Key      string          `json:"key,omitempty"`
 	Reason   string          `json:"reason,omitempty"`
 	CharDB   json.RawMessage `json:"chardb,omitempty"`

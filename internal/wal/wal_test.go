@@ -191,3 +191,81 @@ func TestMirrorWriterReceivesSameBytes(t *testing.T) {
 		t.Fatal("external sink diverged from in-memory mirror")
 	}
 }
+
+func TestClaimFold(t *testing.T) {
+	l := New(nil, Options{SnapshotEvery: -1})
+	l.Append(Record{Kind: KindClaimProposed, Key: "d0:3", Task: 10, Node: "fast", Slots: 1})
+	l.Append(Record{Kind: KindClaimProposed, Key: "d0:4", Task: 11, Node: "slow", Slots: 2})
+	l.Append(Record{Kind: KindClaimProposed, Key: "d0:5", Task: 12, Node: "gpu", Slots: 1})
+	l.Append(Record{Kind: KindClaimCommitted, Key: "d0:4"})
+	l.Append(Record{Kind: KindClaimCommitted, Key: "d0:5"})
+	l.Append(Record{Kind: KindClaimBound, Key: "d0:5"})
+	l.Append(Record{Kind: KindClaimAborted, Key: "d0:3"})
+	l.Append(Record{Kind: KindRecovered})
+
+	s, _, err := Replay(bytes.NewReader(l.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claims survive the recovery barrier; aborted ones are gone.
+	if len(s.Claims) != 2 {
+		t.Fatalf("want 2 live claims, got %+v", s.Claims)
+	}
+	if c := s.Claims["d0:4"]; c.State != "committed" || c.Task != 11 || c.Node != "slow" || c.Slots != 2 {
+		t.Fatalf("claim d0:4 wrong: %+v", c)
+	}
+	if c := s.Claims["d0:5"]; c.State != "bound" || c.Task != 12 {
+		t.Fatalf("claim d0:5 wrong: %+v", c)
+	}
+	if s.Claims["d0:3"].State != "" {
+		t.Fatal("aborted claim survived")
+	}
+	// ClaimSeq is the high-water proposal sequence, parsed from the keys.
+	if s.ClaimSeq != 5 {
+		t.Fatalf("claim seq = %d, want 5", s.ClaimSeq)
+	}
+
+	l.Append(Record{Kind: KindClaimReleased, Key: "d0:5"})
+	l.Append(Record{Kind: KindClaimReleased, Key: "d0:4"})
+	s2, _, err := Replay(bytes.NewReader(l.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Claims != nil {
+		t.Fatalf("released claims linger: %+v", s2.Claims)
+	}
+	if s2.ClaimSeq != 5 {
+		t.Fatalf("claim seq lost on release: %d", s2.ClaimSeq)
+	}
+
+	// Committing or binding an unknown claim is a tolerated no-op (total fold).
+	l2 := New(nil, Options{SnapshotEvery: -1})
+	l2.Append(Record{Kind: KindClaimCommitted, Key: "d9:1"})
+	l2.Append(Record{Kind: KindClaimBound, Key: "d9:2"})
+	l2.Append(Record{Kind: KindClaimAborted, Key: "d9:3"})
+	s3, _, err := Replay(bytes.NewReader(l2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Claims != nil {
+		t.Fatalf("phantom claims materialized: %+v", s3.Claims)
+	}
+}
+
+func TestClaimSnapshotRoundTrip(t *testing.T) {
+	// A snapshot taken with live claims must restore them exactly.
+	l := New(nil, Options{SnapshotEvery: 2})
+	l.Append(Record{Kind: KindClaimProposed, Key: "d2:7", Task: 3, Node: "fast", Slots: 1})
+	l.Append(Record{Kind: KindClaimCommitted, Key: "d2:7"}) // snapshot lands after this
+	l.Append(Record{Kind: KindTaskLaunched, Task: 3, Stage: 0, Node: "fast"})
+	s, _, err := Replay(bytes.NewReader(l.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Claims["d2:7"]; c.State != "committed" || c.Node != "fast" {
+		t.Fatalf("claim lost across snapshot: %+v", s.Claims)
+	}
+	if s.ClaimSeq != 7 {
+		t.Fatalf("claim seq lost across snapshot: %d", s.ClaimSeq)
+	}
+}
