@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy|preempt|elastic|federation]
+//	rupam-bench [-experiment all|fig2|fig3|tab2|tab4|fig5|fig6|tab5|fig7|fig8|fig9|ablations|faults|chaos|recovery|tracesanity|tenancy|preempt|elastic|federation|streaming]
 //	            [-runs N] [-seed N] [-csv DIR] [-chaos-seeds N] [-json FILE]
 //	            [-tenancy-seeds N] [-tenancy-apps N] [-elastic-seeds N]
-//	            [-federation-seeds N]
+//	            [-federation-seeds N] [-streaming-seeds N]
 //
 // fig5 runs every workload under both schedulers -runs times (default 5,
 // as in the paper); everything else uses a single seeded run. With -csv,
@@ -35,7 +35,14 @@
 // acceptance battery and a -federation-seeds wide soak (multi-driver runs
 // under driver crashes and an unreliable control plane; -json writes the
 // report), then the fault-free 1/2/4-driver scaling sweep (-csv writes
-// federation_scale.csv); it is likewise explicit-only.
+// federation_scale.csv); it is likewise explicit-only. The streaming
+// experiment sweeps -streaming-seeds seeded operator topologies under
+// every placement policy on the heterogeneous cluster and gates on the
+// paper's ordering — RUPAM's demand-vector placement must sustain at
+// least the throughput of Storm-style resource-aware placement, which
+// must sustain at least blind round-robin (-csv writes
+// streaming_throughput.csv, -json the full report; a gate or invariant
+// violation exits nonzero). It is likewise explicit-only.
 package main
 
 import (
@@ -58,6 +65,7 @@ var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
 	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "recovery",
 	"tracesanity", "tenancy", "preempt", "elastic", "federation",
+	"streaming",
 }
 
 func main() {
@@ -71,6 +79,7 @@ func main() {
 	tenancyApps := flag.Int("tenancy-apps", 10, "application arrivals per tenancy stream")
 	elasticSeeds := flag.Int("elastic-seeds", 0, "arrival-stream seeds per policy in the elastic sweep (0 = default)")
 	fedSeeds := flag.Int("federation-seeds", 5, "fault-plan seeds in the federation soak")
+	streamingSeeds := flag.Int("streaming-seeds", 0, "topology seeds per placer in the streaming sweep (0 = default)")
 	flag.Parse()
 
 	known := false
@@ -386,6 +395,39 @@ func main() {
 			if rep.Violations+sweep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: federation sweep found %d invariant violations\n",
 					rep.Violations+sweep.Violations)
+				os.Exit(1)
+			}
+		})
+	}
+	if *exp == "streaming" {
+		matched = true
+		run("Streaming placement sweep", func() {
+			if *streamingSeeds < 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: -streaming-seeds must be non-negative, got %d\n", *streamingSeeds)
+				os.Exit(2)
+			}
+			rep := experiments.Streaming(experiments.StreamingConfig{
+				BaseSeed: *seed,
+				Seeds:    *streamingSeeds,
+			})
+			rep.Print(w)
+			writeCSV("streaming_throughput.csv", func(f *os.File) error {
+				return rep.WriteThroughputCSV(f)
+			})
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
+			if rep.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "rupam-bench: streaming sweep found %d violations\n", rep.Violations)
 				os.Exit(1)
 			}
 		})

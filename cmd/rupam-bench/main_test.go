@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStreamingExperimentCLI drives the built binary end to end: the
+// streaming experiment must validate its seed count, pass its placement
+// gate on the default sweep, and emit the CSV and JSON artifacts CI
+// uploads.
+func TestStreamingExperimentCLI(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rupam-bench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-experiment", "streaming", "-streaming-seeds", "-1").CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("negative -streaming-seeds: want exit 2, got %v\n%s", err, out)
+	}
+
+	csvDir := filepath.Join(dir, "csv")
+	jsonPath := filepath.Join(dir, "streaming.json")
+	out, err = exec.Command(bin, "-experiment", "streaming",
+		"-csv", csvDir, "-json", jsonPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("streaming experiment failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "placement gate holds") {
+		t.Fatalf("gate verdict missing from output:\n%s", out)
+	}
+
+	csv, err := os.ReadFile(filepath.Join(csvDir, "streaming_throughput.csv"))
+	if err != nil {
+		t.Fatalf("CSV artifact not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "placer,seed,throughput_hz") {
+		t.Fatalf("CSV header wrong:\n%s", csv[:120])
+	}
+	j, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON artifact not written: %v", err)
+	}
+	// A clean report counts zero violations and omits gate_violations.
+	if !strings.Contains(string(j), "\"violations\": 0") ||
+		strings.Contains(string(j), "\"gate_violations\"") {
+		t.Fatalf("JSON artifact not clean:\n%s", j)
+	}
+}

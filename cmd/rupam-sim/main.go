@@ -9,6 +9,8 @@
 //	          [-chardb FILE] [-chaos-seed N] [-preempt NODE:AT:GRACE]...
 //	          [-wal FILE] [-crash-at T] [-restart-after D] [-drivers N]
 //	          [-trace FILE] [-critical-path] [-explain TASKID]
+//	rupam-sim -streaming [-placer default|resource|rupam] [-slo-ms MS]
+//	          [-seed N] [-chaos-seed N] [-trace FILE]
 //
 // With -chardb, RUPAM's task-characteristics database (DB_taskchar) is
 // loaded from FILE before the run (if it exists) and saved back after —
@@ -43,6 +45,18 @@
 // plane); single-run lenses (-compare, -wal, -trace, -chardb, -preempt)
 // do not apply.
 //
+// With -streaming, the run switches from a batch workload to a seeded
+// long-running streaming topology (source → operator DAG → sink) executed
+// as micro-batches on the Hydra cluster. -placer selects the operator
+// placement policy (capability-blind round-robin, Storm-style
+// resource-aware on aggregate capacity, or RUPAM's demand-vector
+// matching); -slo-ms sets the end-to-end record-latency objective the
+// attainment figure is reported against. -seed picks the topology,
+// -chaos-seed draws the streaming fault mix (crashes, gray CPU
+// degradation, spot reclamation, load spikes) that drives live operator
+// migration, and -trace records placement decisions and per-operator
+// drain/handoff spans. Batch-only flags do not apply.
+//
 // With -trace FILE, every task attempt, scheduler decision and fault
 // window is recorded and exported as Chrome trace_event JSON — load the
 // file in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
@@ -66,6 +80,7 @@ import (
 	"rupam/internal/metrics"
 	"rupam/internal/simx"
 	"rupam/internal/spark"
+	"rupam/internal/streaming"
 	"rupam/internal/tracing"
 	"rupam/internal/wal"
 	"rupam/internal/workloads"
@@ -130,7 +145,16 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto)")
 	critPath := flag.Bool("critical-path", false, "print the run's critical path with category breakdown and slack")
 	explain := flag.Int("explain", -1, "print the scheduling audit for one task ID")
+	streamingRun := flag.Bool("streaming", false, "run a seeded streaming topology instead of a batch workload")
+	placerName := flag.String("placer", "rupam", "streaming operator placement policy: "+strings.Join(streaming.PlacerNames, ", "))
+	sloMs := flag.Float64("slo-ms", 2000, "streaming end-to-end record latency SLO in milliseconds")
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateStreamingFlags(*streamingRun, *placerName, *sloMs, explicit); err != nil {
+		usageError("%v", err)
+	}
 
 	if !workloads.Known(*workload) {
 		usageError("unknown workload %q (have: %s)", *workload, strings.Join(workloads.Names(), ", "))
@@ -155,8 +179,6 @@ func main() {
 		usageError("-drivers must be at least 1, got %d", *drivers)
 	}
 	if *drivers > 1 {
-		explicit := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		for _, bad := range []string{
 			"compare", "chardb", "wal", "crash-at", "restart-after",
 			"preempt", "trace", "critical-path", "explain", "scheduler", "cluster",
@@ -178,6 +200,11 @@ func main() {
 			usageError("cannot write -trace file: %v", err)
 		}
 		traceFile = f
+	}
+
+	if *streamingRun {
+		runStreaming(*seed, *placerName, *sloMs, *chaosSeed, traceFile, *tracePath)
+		return
 	}
 
 	params := workloads.Params{
@@ -279,6 +306,112 @@ func main() {
 	report(res)
 	walReport(walLog, walFile, *walPath)
 	traceReports(spec.Tracer, traceFile, *tracePath, *critPath, *explain, res)
+}
+
+// streamingBatchOnly lists the flags that have no meaning in a streaming
+// run — anything naming a batch workload, scheduler or single-run lens.
+var streamingBatchOnly = []string{
+	"workload", "scheduler", "cluster", "input", "partitions", "iterations",
+	"compare", "chardb", "wal", "crash-at", "restart-after", "preempt",
+	"critical-path", "explain", "drivers",
+}
+
+// validateStreamingFlags enforces the -streaming flag family: the placer
+// must exist, -placer/-slo-ms imply -streaming, and batch-only flags are
+// rejected on a streaming run. explicit is the set of flags actually
+// given on the command line.
+func validateStreamingFlags(streamingRun bool, placer string, sloMs float64, explicit map[string]bool) error {
+	valid := false
+	for _, name := range streaming.PlacerNames {
+		if placer == name {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown placer %q (have: %s)", placer, strings.Join(streaming.PlacerNames, ", "))
+	}
+	if !streamingRun {
+		for _, name := range []string{"placer", "slo-ms"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s applies only to a streaming run; add -streaming", name)
+			}
+		}
+		return nil
+	}
+	if sloMs <= 0 {
+		return fmt.Errorf("-slo-ms must be positive, got %g", sloMs)
+	}
+	for _, bad := range streamingBatchOnly {
+		if explicit[bad] {
+			return fmt.Errorf("-%s does not apply to a streaming run; drop it or -streaming", bad)
+		}
+	}
+	return nil
+}
+
+// runStreaming executes one streaming topology and prints its report.
+// Invariant violations exit 1.
+func runStreaming(seed uint64, placer string, sloMs float64, chaosSeed uint64, traceFile *os.File, tracePath string) {
+	cfg := streaming.Config{Seed: seed, Placer: placer, SLOMs: sloMs}
+	if chaosSeed > 0 {
+		names := experiments.BuildCluster(simx.NewEngine(), "hydra").NodeNames()
+		cfg.Faults = faults.RandomSchedule(chaosSeed, names, chaos.StreamingGen())
+	}
+	if traceFile != nil {
+		cfg.Collector = tracing.NewCollector()
+	}
+	res := streaming.Run(cfg)
+	streamReport(res)
+	if traceFile != nil {
+		if err := cfg.Collector.WriteChromeTrace(traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-sim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rupam-sim: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s (open in https://ui.perfetto.dev)\n",
+			cfg.Collector.EventCount(), tracePath)
+	}
+	if violations := streaming.CheckInvariants(res); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "rupam-sim: VIOLATION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// streamReport prints a streaming run's outcome: sustained throughput
+// against offered load, latency percentiles against the SLO, migrations,
+// and the per-operator accounting.
+func streamReport(r *streaming.Result) {
+	fmt.Printf("== streaming %s under %s placement ==\n", r.Topology, r.Placer)
+	fmt.Printf("operators: %d (%d edges)   horizon: %.0fs   drained: %v (quiesced at %.1fs)\n",
+		r.OpCount, r.EdgeCount, r.Horizon, r.Drained, r.QuiesceAt)
+	fmt.Printf("throughput: %.1f records/s sustained of %.1f offered (%.1f%%)\n",
+		r.ThroughputHz, r.OfferedHz, 100*r.ThroughputHz/r.OfferedHz)
+	fmt.Printf("latency: p50 %.0fms  p99 %.0fms  SLO %.0fms attained %.1f%%\n",
+		r.P50Ms, r.P99Ms, r.SLOMs, 100*r.SLOAttain)
+	if len(r.Migrations) > 0 {
+		fmt.Printf("migrations: %d\n", len(r.Migrations))
+		for _, m := range r.Migrations {
+			kind := "graceful"
+			if m.Emergency {
+				kind = "emergency"
+			}
+			fmt.Printf("  %-8s %s: %s → %s at %.1fs (%s)\n",
+				kind, m.OpName, m.From, m.To, m.Start, m.Reason)
+		}
+	}
+	if r.LoadSpikes > 0 {
+		fmt.Printf("load spikes absorbed: %d\n", r.LoadSpikes)
+	}
+	fmt.Printf("%-8s %-8s %12s %12s %10s\n", "operator", "node", "consumed", "emitted", "maxbacklog")
+	for _, o := range r.Ops {
+		fmt.Printf("%-8s %-8s %12.0f %12.0f %10.0f\n", o.Name, o.Node, o.Consumed, o.Emitted, o.MaxBacklog)
+	}
 }
 
 // fedReport prints a federated run's outcome: makespan and completion,

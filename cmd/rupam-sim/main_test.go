@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateStreamingFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		streaming bool
+		placer    string
+		sloMs     float64
+		explicit  []string
+		wantErr   string
+	}{
+		{"defaults", false, "rupam", 2000, nil, ""},
+		{"streaming defaults", true, "rupam", 2000, []string{"streaming"}, ""},
+		{"streaming with placer and slo", true, "default", 500,
+			[]string{"streaming", "placer", "slo-ms"}, ""},
+		{"streaming with trace and chaos", true, "resource", 2000,
+			[]string{"streaming", "placer", "trace", "chaos-seed", "seed"}, ""},
+		{"unknown placer", true, "storm", 2000, []string{"streaming", "placer"},
+			"unknown placer"},
+		{"unknown placer without streaming", false, "storm", 2000, []string{"placer"},
+			"unknown placer"},
+		{"placer without streaming", false, "default", 2000, []string{"placer"},
+			"applies only to a streaming run"},
+		{"slo without streaming", false, "rupam", 500, []string{"slo-ms"},
+			"applies only to a streaming run"},
+		{"nonpositive slo", true, "rupam", 0, []string{"streaming", "slo-ms"},
+			"-slo-ms must be positive"},
+		{"streaming with workload", true, "rupam", 2000,
+			[]string{"streaming", "workload"}, "does not apply to a streaming run"},
+		{"streaming with compare", true, "rupam", 2000,
+			[]string{"streaming", "compare"}, "does not apply to a streaming run"},
+		{"streaming with wal", true, "rupam", 2000,
+			[]string{"streaming", "wal"}, "does not apply to a streaming run"},
+		{"streaming with drivers", true, "rupam", 2000,
+			[]string{"streaming", "drivers"}, "does not apply to a streaming run"},
+	}
+	for _, tc := range cases {
+		explicit := map[string]bool{}
+		for _, f := range tc.explicit {
+			explicit[f] = true
+		}
+		err := validateStreamingFlags(tc.streaming, tc.placer, tc.sloMs, explicit)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want one containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// buildCLI compiles the command under test once per test run.
+func buildCLI(t *testing.T, pkgDir string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cli")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = pkgDir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStreamingCLI drives the built binary: bad flag combinations must
+// exit 2 with a diagnostic, and a plain streaming run must exit 0 and
+// report throughput.
+func TestStreamingCLI(t *testing.T) {
+	bin := buildCLI(t, ".")
+
+	bad := [][]string{
+		{"-streaming", "-placer", "storm"},
+		{"-placer", "rupam"},
+		{"-slo-ms", "100"},
+		{"-streaming", "-slo-ms", "-5"},
+		{"-streaming", "-workload", "WC"},
+		{"-streaming", "-compare"},
+		{"-streaming", "-scheduler", "spark"},
+		{"-streaming", "-drivers", "2"},
+	}
+	for _, args := range bad {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: want exit 2, got %v\n%s", args, err, out)
+		}
+		if !strings.Contains(string(out), "rupam-sim:") {
+			t.Errorf("%v: no diagnostic printed:\n%s", args, out)
+		}
+	}
+
+	out, err := exec.Command(bin, "-streaming", "-seed", "2", "-placer", "resource", "-slo-ms", "1500").CombinedOutput()
+	if err != nil {
+		t.Fatalf("streaming run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"streaming stream-2 under resource placement", "throughput:", "SLO 1500ms"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("streaming report missing %q:\n%s", want, out)
+		}
+	}
+}

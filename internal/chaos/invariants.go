@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"rupam/internal/cluster"
+	"rupam/internal/executor"
 	"rupam/internal/spark"
 	"rupam/internal/task"
 )
@@ -101,21 +103,29 @@ func CheckAppInvariants(res *spark.Result, rt *spark.Runtime) []string {
 // each executor's heap holds exactly its cached bytes, and no launch-time
 // memory reservation dangles. It returns the violations found.
 func CheckResourceConservation(rt *spark.Runtime) []string {
+	return CheckSubstrateConservation(rt.Execs, rt.Clu, rt.Cache)
+}
+
+// CheckSubstrateConservation is CheckResourceConservation over a bare
+// substrate — the executor registry, cluster, and cache tracker — for
+// harnesses with no spark.Runtime (the streaming soak) or with several
+// sharing one substrate (the tenancy soak's end-state check).
+func CheckSubstrateConservation(execs map[string]*executor.Executor, clu *cluster.Cluster, cache *executor.CacheTracker) []string {
 	var v []string
-	names := make([]string, 0, len(rt.Execs))
-	for name := range rt.Execs {
+	names := make([]string, 0, len(execs))
+	for name := range execs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		ex := rt.Execs[name]
+		ex := execs[name]
 		if n := ex.RunningTasks(); n != 0 {
 			v = append(v, fmt.Sprintf("%s: %d tasks still running", name, n))
 		}
-		if node := rt.Clu.Node(name); node != nil && node.GPU.InUse() != 0 {
+		if node := clu.Node(name); node != nil && node.GPU.InUse() != 0 {
 			v = append(v, fmt.Sprintf("%s: %d GPU tokens leaked", name, node.GPU.InUse()))
 		}
-		if cached := rt.Cache.NodeBytes(name); ex.Heap().Used() != cached {
+		if cached := cache.NodeBytes(name); ex.Heap().Used() != cached {
 			v = append(v, fmt.Sprintf("%s: heap holds %d bytes but cache accounts for %d",
 				name, ex.Heap().Used(), cached))
 		}

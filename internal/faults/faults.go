@@ -84,6 +84,12 @@ const (
 	// latencies) with probability Factor for Duration seconds, so a later
 	// message can overtake an earlier one on the same edge.
 	MsgReorder
+	// LoadSpike multiplies every streaming source's emission rate by
+	// Factor (≥ 1 — the one kind whose factor amplifies instead of
+	// degrades) for Duration seconds: a flash crowd. Node is empty — the
+	// spike hits the workload's offered load, not a machine. Consumed by
+	// the streaming runtime; the node injector exposes it via OnLoadSpike.
+	LoadSpike
 )
 
 // IsMessageKind reports whether the kind targets the federation control
@@ -126,6 +132,8 @@ func (k Kind) String() string {
 		return "msg-delay"
 	case MsgReorder:
 		return "msg-reorder"
+	case LoadSpike:
+		return "load-spike"
 	default:
 		return fmt.Sprintf("faults.Kind(%d)", int(k))
 	}
@@ -160,10 +168,12 @@ func (e Event) Validate() error {
 	switch {
 	// Msg kinds may leave Node empty (= every protocol edge) or name a
 	// node to scope the fault to that agent's edges.
-	case e.Node == "" && e.Kind != DriverCrash && !e.Kind.IsMessageKind():
+	case e.Node == "" && e.Kind != DriverCrash && e.Kind != LoadSpike && !e.Kind.IsMessageKind():
 		return fmt.Errorf("faults: %s event without a node", e.Kind)
 	case e.Node != "" && e.Kind == DriverCrash:
 		return fmt.Errorf("faults: driver-crash event names a node (%s)", e.Node)
+	case e.Node != "" && e.Kind == LoadSpike:
+		return fmt.Errorf("faults: load-spike event names a node (%s); spikes hit the offered load", e.Node)
 	case e.At < 0:
 		return fmt.Errorf("faults: %s %s: negative time %g", e.Kind, e.Node, e.At)
 	case e.Duration < 0:
@@ -201,6 +211,13 @@ func (e Event) Validate() error {
 		}
 		if e.Kind == MsgDelay && e.Delay <= 0 {
 			return fmt.Errorf("faults: msg-delay %s needs a positive delay, got %g", e.Node, e.Delay)
+		}
+	case LoadSpike:
+		if e.Factor < 1 {
+			return fmt.Errorf("faults: load-spike factor %g below 1; spikes amplify the offered load", e.Factor)
+		}
+		if e.Duration <= 0 {
+			return fmt.Errorf("faults: load-spike needs a positive duration, got %g", e.Duration)
 		}
 	default:
 		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
@@ -333,6 +350,22 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
+	// Load spikes share one global scope, and the streaming runtime applies
+	// a single multiplier per window, so overlapping spikes would encode an
+	// ambiguous offered load.
+	var spikes []Event
+	for _, e := range s.Events {
+		if e.Kind == LoadSpike {
+			spikes = append(spikes, e)
+		}
+	}
+	for i := 0; i < len(spikes); i++ {
+		for j := i + 1; j < len(spikes); j++ {
+			if crashWindowsOverlap(spikes[i], spikes[j]) {
+				return fmt.Errorf("faults: overlapping load-spike windows (%s / %s)", spikes[i], spikes[j])
+			}
+		}
+	}
 	return nil
 }
 
@@ -426,6 +459,14 @@ type GenConfig struct {
 	MaxMsgFactor float64
 	MinMsgDelay  float64
 	MaxMsgDelay  float64
+	// LoadSpikes counts offered-load spike windows for streaming runs;
+	// each multiplies every source's emission rate by a factor drawn
+	// between MinSpikeFactor and MaxSpikeFactor (≥ 1). These draw last of
+	// all — after the message faults — so pre-existing seeds' fault traces
+	// are unchanged by the streaming extension.
+	LoadSpikes     int
+	MinSpikeFactor float64
+	MaxSpikeFactor float64
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -479,6 +520,12 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.MaxMsgDelay < g.MinMsgDelay {
 		g.MaxMsgDelay = 0.5
+	}
+	if g.MinSpikeFactor < 1 {
+		g.MinSpikeFactor = 1.5
+	}
+	if g.MaxSpikeFactor < g.MinSpikeFactor {
+		g.MaxSpikeFactor = 4
 	}
 	return g
 }
@@ -663,6 +710,32 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 	drawMsg(MsgDup, cfg.MsgDups)
 	drawMsg(MsgDelay, cfg.MsgDelays)
 	drawMsg(MsgReorder, cfg.MsgReorders)
+	// Load spikes draw last of all (see GenConfig.LoadSpikes) and redraw
+	// when a window would overlap an earlier spike: one global offered-load
+	// multiplier per instant.
+	var spikes []Event
+	for i := 0; i < cfg.LoadSpikes; i++ {
+		for try := 0; try < 16; try++ {
+			ev := Event{
+				Kind:     LoadSpike,
+				At:       rng.Range(0, cfg.Horizon),
+				Duration: rng.Range(cfg.MinDuration, cfg.MaxDuration),
+				Factor:   rng.Range(cfg.MinSpikeFactor, cfg.MaxSpikeFactor),
+			}
+			overlaps := false
+			for _, prev := range spikes {
+				if crashWindowsOverlap(prev, ev) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				spikes = append(spikes, ev)
+				evs = append(evs, ev)
+				break
+			}
+		}
+	}
 	s := &Schedule{Events: evs}
 	if err := s.Validate(); err != nil {
 		// Construction guarantees validity; a failure here is a bug in

@@ -61,6 +61,12 @@ type Injector struct {
 	// it by heartbeat timeout.
 	OnSpotKill func(node string)
 
+	// OnLoadSpike, if set, receives the new effective offered-load
+	// multiplier whenever a LoadSpike window opens or closes (1 when none
+	// is active). The streaming runtime scales its source rates here.
+	// Unset, load-spike events are ignored (a batch-only harness).
+	OnLoadSpike func(multiplier float64)
+
 	// Counters for reporting.
 	Crashes         int
 	Recoveries      int
@@ -73,6 +79,7 @@ type Injector struct {
 	DriverCrashes   int
 	SpotNotices     int
 	SpotKills       int
+	LoadSpikes      int
 }
 
 type windowKey struct {
@@ -122,7 +129,7 @@ func (inj *Injector) Install(s *Schedule) {
 			// injector has no transport to degrade.
 			continue
 		}
-		if ev.Kind != DriverCrash && inj.clu.Node(ev.Node) == nil {
+		if ev.Kind != DriverCrash && ev.Kind != LoadSpike && inj.clu.Node(ev.Node) == nil {
 			panic(fmt.Sprintf("faults: schedule names unknown node %q", ev.Node))
 		}
 		e := ev
@@ -156,7 +163,26 @@ func (inj *Injector) apply(ev Event) {
 		inj.crashDriver(ev)
 	case SpotPreempt:
 		inj.preempt(ev)
+	case LoadSpike:
+		inj.spikeLoad(ev)
 	}
+}
+
+// spikeLoad opens an offered-load amplification window. The window
+// machinery is shared with the degradation kinds; LoadSpike composes by
+// maximum (see effectiveFactor) and reports multiplier 1 when the last
+// window closes.
+func (inj *Injector) spikeLoad(ev Event) {
+	if inj.OnLoadSpike == nil {
+		return
+	}
+	inj.LoadSpikes++
+	inj.trace("load spike ×%.2f for %.0fs", ev.Factor, ev.Duration)
+	inj.Collector.FaultSpan("", "load-spike",
+		fmt.Sprintf("×%.2f for %.0fs", ev.Factor, ev.Duration), ev.Duration)
+	inj.openWindow(ev, func(f float64) {
+		inj.OnLoadSpike(f)
+	})
 }
 
 // preempt delivers a spot-reclamation notice and schedules the kill at the
@@ -248,9 +274,20 @@ func (inj *Injector) openWindow(ev Event, apply func(effective float64)) {
 // effectiveFactor is the harshest active factor for (node, kind), or 1
 // (nominal) when no window is open. TaskFlake inverts the rule: more
 // concurrent failure sources mean a higher death probability, so there
-// the effective factor is the maximum (and 0 means no flaking).
+// the effective factor is the maximum (and 0 means no flaking); LoadSpike
+// likewise takes the maximum, since its factors amplify (≥ 1) rather
+// than degrade.
 func (inj *Injector) effectiveFactor(key windowKey) float64 {
 	active := inj.windows[key]
+	if key.kind == LoadSpike {
+		eff := 1.0
+		for _, f := range active {
+			if f > eff {
+				eff = f
+			}
+		}
+		return eff
+	}
 	if key.kind == TaskFlake {
 		max := 0.0
 		for _, f := range active {

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+
+	"rupam/internal/simx"
+)
+
+// These tests pin the behaviors the streaming subsystem leans on: channel
+// wires are long-lived flows with effectively-infinite budgets that the
+// runtime rate-samples, cancels, and re-homes while they are in flight.
+
+// TestLongLivedFlowReRates checks that a flow that never completes is
+// re-rated as short flows join and leave its bottleneck link.
+func TestLongLivedFlowReRates(t *testing.T) {
+	eng := simx.NewEngine()
+	n := New(eng)
+	n.AddNode("src", 100, 1000)
+	n.AddNode("dst", 1000, 1000)
+	n.AddNode("d2", 1000, 1000)
+
+	wire := n.Start("src", "dst", 1e15, nil)
+	n.Sync()
+	if wire.Rate() != 100 {
+		t.Fatalf("alone on the link: rate %v, want 100", wire.Rate())
+	}
+
+	// A short flow joins the src egress at t=1 and leaves when its 100
+	// bytes finish; with fair sharing that is 2 s at 50 B/s.
+	var shortDone float64
+	eng.At(1, func() {
+		n.Start("src", "d2", 100, func() { shortDone = eng.Now() })
+		n.Sync()
+		if wire.Rate() != 50 {
+			t.Fatalf("short flow joined: wire rate %v, want 50", wire.Rate())
+		}
+	})
+	eng.At(2, func() {
+		n.Sync()
+		rem := wire.Remaining()
+		// 1 s at 100 B/s + 1 s at 50 B/s shipped so far.
+		if got := 1e15 - rem; !almost(got, 150, 1e-6) {
+			t.Fatalf("wire shipped %v bytes by t=2, want 150", got)
+		}
+	})
+	eng.RunUntil(10)
+	if !almost(shortDone, 3, 1e-9) {
+		t.Fatalf("short flow finished at %v, want 3", shortDone)
+	}
+	n.Sync()
+	if wire.Rate() != 100 {
+		t.Fatalf("short flow left: wire rate %v, want 100 again", wire.Rate())
+	}
+	if wire.Done() {
+		t.Fatal("long-lived wire completed")
+	}
+}
+
+// TestRedirectNeverCompletingFlow re-homes a long-lived flow mid-flight:
+// the remaining budget, destination and (never-firing) callback must
+// carry over, and the new source's NIC must shape the new rate.
+func TestRedirectNeverCompletingFlow(t *testing.T) {
+	eng := simx.NewEngine()
+	n := New(eng)
+	n.AddNode("old", 100, 1000)
+	n.AddNode("new", 40, 1000)
+	n.AddNode("dst", 1000, 1000)
+
+	fired := false
+	wire := n.Start("old", "dst", 1e15, func() { fired = true })
+	eng.At(2, func() {
+		n.Sync()
+		moved := n.Redirect(wire, "new")
+		if moved == nil {
+			t.Fatal("Redirect returned nil for an in-flight flow")
+		}
+		if moved.Src() != "new" || moved.Dst() != "dst" {
+			t.Fatalf("redirected endpoints %s→%s, want new→dst", moved.Src(), moved.Dst())
+		}
+		// 200 bytes shipped from the old host; the rest of the budget
+		// survives the move.
+		if got := 1e15 - moved.Remaining(); !almost(got, 200, 1e-6) {
+			t.Fatalf("remaining budget lost in redirect: shipped %v, want 200", got)
+		}
+		n.Sync()
+		if moved.Rate() != 40 {
+			t.Fatalf("redirected rate %v, want the new host's 40", moved.Rate())
+		}
+		wire = moved
+	})
+	eng.RunUntil(5)
+	if fired {
+		t.Fatal("never-completing flow fired its completion callback")
+	}
+	if wire.Done() {
+		t.Fatal("redirected wire reported done")
+	}
+	// The original flow object is cancelled by Redirect; the moved one
+	// keeps shipping from the new host.
+	n.Sync()
+	if got := 1e15 - wire.Remaining(); !almost(got, 200+3*40, 1e-6) {
+		t.Fatalf("shipped %v bytes by t=5, want 320", got)
+	}
+}

@@ -1,0 +1,182 @@
+package streaming
+
+import (
+	"fmt"
+
+	"rupam/internal/stats"
+)
+
+// TopoConfig bounds the seeded topology generator. The zero value is
+// filled in by withDefaults; all draws come from one stats.Rand in a
+// fixed order, so a given (seed, config) pair always yields a
+// byte-identical topology (see Topology.Fingerprintable).
+type TopoConfig struct {
+	// Sources is the number of source operators (default 2).
+	Sources int
+	// Layers is the number of intermediate operator layers between the
+	// sources and the sink (default 3).
+	Layers int
+	// WidthMin/WidthMax bound the operators per intermediate layer
+	// (defaults 2..3).
+	WidthMin, WidthMax int
+	// RateMin/RateMax bound per-source emission rates in records/sec
+	// (defaults 2000..6000).
+	RateMin, RateMax float64
+	// SelMin/SelMax bound per-operator selectivity (defaults 0.4..1.3).
+	SelMin, SelMax float64
+	// CyclesMin/CyclesMax bound per-record compute cost in giga-cycles
+	// (defaults 1e-4..8e-4 — i.e. 0.1–0.8 M cycles/record, so one
+	// 3.2 GHz core sustains 4k–32k records/sec).
+	CyclesMin, CyclesMax float64
+	// BytesMin/BytesMax bound the serialized record size (defaults
+	// 200..2000 bytes).
+	BytesMin, BytesMax float64
+	// StateMin/StateMax bound operator state size in bytes (defaults
+	// 8 MB..256 MB) — the migration payload.
+	StateMin, StateMax int64
+	// ParMin/ParMax bound per-operator parallelism (defaults 1..4;
+	// draws ParMin..ParMax).
+	ParMin, ParMax int
+}
+
+func (c TopoConfig) withDefaults() TopoConfig {
+	if c.Sources <= 0 {
+		c.Sources = 2
+	}
+	if c.Layers <= 0 {
+		c.Layers = 3
+	}
+	if c.WidthMin <= 0 {
+		c.WidthMin = 2
+	}
+	if c.WidthMax < c.WidthMin {
+		c.WidthMax = c.WidthMin + 1
+	}
+	if c.RateMin <= 0 {
+		c.RateMin = 2000
+	}
+	if c.RateMax < c.RateMin {
+		c.RateMax = 3 * c.RateMin
+	}
+	if c.SelMin <= 0 {
+		c.SelMin = 0.4
+	}
+	if c.SelMax < c.SelMin {
+		c.SelMax = 1.3
+	}
+	if c.CyclesMin <= 0 {
+		c.CyclesMin = 1e-4
+	}
+	if c.CyclesMax < c.CyclesMin {
+		c.CyclesMax = 8e-4
+	}
+	if c.BytesMin <= 0 {
+		c.BytesMin = 200
+	}
+	if c.BytesMax < c.BytesMin {
+		c.BytesMax = 2000
+	}
+	if c.StateMin <= 0 {
+		c.StateMin = 8 << 20
+	}
+	if c.StateMax < c.StateMin {
+		c.StateMax = 256 << 20
+	}
+	if c.ParMin <= 0 {
+		c.ParMin = 1
+	}
+	if c.ParMax < c.ParMin {
+		c.ParMax = c.ParMin + 3
+	}
+	return c
+}
+
+// GenTopology draws a layered operator DAG from the seed: a layer of
+// sources, Layers intermediate layers whose operators each pick one or
+// two upstreams from the previous layer, and a single sink that absorbs
+// every dangling output. Draw order is append-only — new knobs must draw
+// after existing ones so old seeds keep their topologies.
+func GenTopology(seed uint64, cfg TopoConfig) *Topology {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRand(seed ^ 0x5eedc0de)
+	t := &Topology{Name: fmt.Sprintf("stream-%d", seed)}
+	next := 0
+	add := func(name string, o Operator) *Operator {
+		o.ID = next
+		o.Name = fmt.Sprintf("%s%d", name, next)
+		next++
+		op := o
+		t.Ops = append(t.Ops, &op)
+		return &op
+	}
+
+	// Layer 0: sources.
+	prev := make([]int, 0, cfg.Sources)
+	for i := 0; i < cfg.Sources; i++ {
+		o := add("src", Operator{
+			CyclesPerRecord: rng.Range(cfg.CyclesMin, cfg.CyclesMax) * 0.25,
+			BytesPerRecord:  rng.Range(cfg.BytesMin, cfg.BytesMax),
+			Parallelism:     cfg.ParMin + rng.Intn(cfg.ParMax-cfg.ParMin+1),
+			StateBytes:      cfg.StateMin + int64(rng.Float64()*float64(cfg.StateMax-cfg.StateMin)),
+			RateHz:          rng.Range(cfg.RateMin, cfg.RateMax),
+		})
+		prev = append(prev, o.ID)
+	}
+
+	// Intermediate layers: each operator takes 1–2 distinct upstreams
+	// from the previous layer (fan-in); an upstream feeding several
+	// operators is fan-out.
+	for l := 0; l < cfg.Layers; l++ {
+		width := cfg.WidthMin + rng.Intn(cfg.WidthMax-cfg.WidthMin+1)
+		layer := make([]int, 0, width)
+		for i := 0; i < width; i++ {
+			o := add("op", Operator{
+				CyclesPerRecord: rng.Range(cfg.CyclesMin, cfg.CyclesMax),
+				BytesPerRecord:  rng.Range(cfg.BytesMin, cfg.BytesMax),
+				Selectivity:     rng.Range(cfg.SelMin, cfg.SelMax),
+				Parallelism:     cfg.ParMin + rng.Intn(cfg.ParMax-cfg.ParMin+1),
+				StateBytes:      cfg.StateMin + int64(rng.Float64()*float64(cfg.StateMax-cfg.StateMin)),
+			})
+			fanin := 1 + rng.Intn(2)
+			if fanin > len(prev) {
+				fanin = len(prev)
+			}
+			first := rng.Intn(len(prev))
+			t.Edges = append(t.Edges, Edge{From: prev[first], To: o.ID})
+			if fanin == 2 {
+				second := rng.Intn(len(prev) - 1)
+				if second >= first {
+					second++
+				}
+				t.Edges = append(t.Edges, Edge{From: prev[second], To: o.ID})
+			}
+			layer = append(layer, o.ID)
+		}
+		// Any previous-layer operator nobody picked up would dangle as
+		// an accidental sink; wire it into a deterministic member of
+		// the new layer instead.
+		for _, up := range prev {
+			if len(t.Out(up)) == 0 {
+				t.Edges = append(t.Edges, Edge{From: up, To: layer[up%len(layer)]})
+			}
+		}
+		prev = layer
+	}
+
+	// One sink absorbs the last layer.
+	sink := add("sink", Operator{
+		CyclesPerRecord: rng.Range(cfg.CyclesMin, cfg.CyclesMax) * 0.5,
+		BytesPerRecord:  rng.Range(cfg.BytesMin, cfg.BytesMax),
+		Selectivity:     1,
+		Parallelism:     cfg.ParMin + rng.Intn(cfg.ParMax-cfg.ParMin+1),
+		StateBytes:      cfg.StateMin + int64(rng.Float64()*float64(cfg.StateMax-cfg.StateMin)),
+	})
+	for _, up := range prev {
+		t.Edges = append(t.Edges, Edge{From: up, To: sink.ID})
+	}
+
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("streaming: generator produced an invalid topology: %v", err))
+	}
+	return t
+}

@@ -22,6 +22,7 @@ const (
 	tidJobs      = 1
 	tidStages    = 2
 	tidScheduler = 3
+	tidStream    = 998
 	tidFaults    = 999
 )
 
@@ -101,6 +102,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		for s := 0; s < slots; s++ {
 			metaThread(pid, s+1, fmt.Sprintf("slot %d", s))
 		}
+		metaThread(pid, tidStream, "stream")
 		metaThread(pid, tidFaults, "faults")
 	}
 
@@ -117,6 +119,8 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			tid = tidStages
 		case "fault":
 			pid, tid = c.nodePid(sp.node), tidFaults
+		case "stream":
+			pid, tid = c.nodePid(sp.node), tidStream
 		}
 		evs = append(evs, keyed{seq: sp.seq, ev: chromeEvent{
 			Name: sp.name, Cat: sp.cat, Ph: "X",
@@ -129,6 +133,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		pid, tid := driverPid, tidScheduler
 		if in.node != "" {
 			pid, tid = c.nodePid(in.node), tidFaults
+			if in.cat == "stream" {
+				tid = tidStream
+			}
 		}
 		evs = append(evs, keyed{seq: in.seq, ev: chromeEvent{
 			Name: in.name, Cat: in.cat, Ph: "i", S: "t",
