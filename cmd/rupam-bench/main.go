@@ -33,9 +33,11 @@
 // the full report, and any frontier or invariant violation exits nonzero).
 // The federation experiment runs the two-phase placement protocol's
 // acceptance battery and a -federation-seeds wide soak (multi-driver runs
-// under driver crashes and an unreliable control plane; -json writes the
-// report), then the fault-free 1/2/4-driver scaling sweep (-csv writes
-// federation_scale.csv); it is likewise explicit-only. The streaming
+// under driver crashes, agent crash/restart episodes and an unreliable
+// control plane; -json writes the report), then the 1/2/4-driver scaling
+// sweep with its agent-churn column gating makespan under agent faults
+// within a tuned envelope of fault-free (-csv writes federation_scale.csv
+// and federation_agent_churn.csv); it is likewise explicit-only. The streaming
 // experiment sweeps -streaming-seeds seeded operator topologies under
 // every placement policy on the heterogeneous cluster and gates on the
 // paper's ordering — RUPAM's demand-vector placement must sustain at
@@ -391,6 +393,9 @@ func main() {
 			sweep.Print(w)
 			writeCSV("federation_scale.csv", func(f *os.File) error {
 				return sweep.WriteCSV(f)
+			})
+			writeCSV("federation_agent_churn.csv", func(f *os.File) error {
+				return sweep.WriteChurnCSV(f)
 			})
 			if rep.Violations+sweep.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "rupam-bench: federation sweep found %d invariant violations\n",

@@ -8,6 +8,7 @@
 //	          [-input GB] [-partitions N] [-iterations N] [-seed N] [-compare]
 //	          [-chardb FILE] [-chaos-seed N] [-preempt NODE:AT:GRACE]...
 //	          [-wal FILE] [-crash-at T] [-restart-after D] [-drivers N]
+//	          [-agent-crash NODE:AT:DOWNTIME]...
 //	          [-trace FILE] [-critical-path] [-explain TASKID]
 //	rupam-sim -streaming [-placer default|resource|rupam] [-slo-ms MS]
 //	          [-seed N] [-chaos-seed N] [-trace FILE]
@@ -41,9 +42,16 @@
 // driver shards share the Hydra cluster, each owning one copy of the
 // workload, and every placement is arbitrated through the two-phase
 // claim protocol against per-node agents. -chaos-seed then draws the
-// federation fault mix (driver crashes plus an unreliable control
-// plane); single-run lenses (-compare, -wal, -trace, -chardb, -preempt)
-// do not apply.
+// federation fault mix (driver crashes, agent crash/restart episodes,
+// plus an unreliable control plane); single-run lenses (-compare, -wal,
+// -trace, -chardb, -preempt) do not apply.
+//
+// With -agent-crash NODE:AT:DOWNTIME (repeatable, federated runs only),
+// the named node's placement agent is killed amnesiac at virtual time AT
+// seconds and restarted DOWNTIME seconds later, at which point it bumps
+// its incarnation, fences pre-crash protocol messages, and rebuilds
+// surviving reservations from the drivers' answers to its RESYNC
+// broadcast — the single-run lens on the agent fault domain.
 //
 // With -streaming, the run switches from a batch workload to a seeded
 // long-running streaming topology (source → operator DAG → sink) executed
@@ -125,6 +133,37 @@ func (p *preemptPlan) Set(s string) error {
 	return nil
 }
 
+// agentCrashPlan collects repeated -agent-crash NODE:AT:DOWNTIME values
+// into federation agent kill points.
+type agentCrashPlan []faults.Event
+
+func (p *agentCrashPlan) String() string {
+	var parts []string
+	for _, ev := range *p {
+		parts = append(parts, fmt.Sprintf("%s:%g:%g", ev.Node, ev.At, ev.Duration))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *agentCrashPlan) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 || parts[0] == "" {
+		return fmt.Errorf("want NODE:AT:DOWNTIME, got %q", s)
+	}
+	at, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || at < 0 {
+		return fmt.Errorf("crash time %q must be a non-negative number of seconds", parts[1])
+	}
+	down, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || down <= 0 {
+		return fmt.Errorf("downtime %q must be a positive number of seconds", parts[2])
+	}
+	*p = append(*p, faults.Event{
+		Kind: faults.AgentCrash, Node: parts[0], At: at, Duration: down,
+	})
+	return nil
+}
+
 func main() {
 	workload := flag.String("workload", "PR", "workload: "+strings.Join(workloads.Names(), ", "))
 	scheduler := flag.String("scheduler", "rupam", "task scheduler: spark or rupam")
@@ -138,6 +177,8 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "inject a random gray-failure fault plan drawn with this seed (0 = none)")
 	var preempts preemptPlan
 	flag.Var(&preempts, "preempt", "spot-preempt NODE at time AT with a GRACE-second notice window, as NODE:AT:GRACE (repeatable)")
+	var agentCrashes agentCrashPlan
+	flag.Var(&agentCrashes, "agent-crash", "kill NODE's placement agent at time AT and restart it DOWNTIME seconds later, as NODE:AT:DOWNTIME (repeatable, federated runs only)")
 	walPath := flag.String("wal", "", "append the driver write-ahead log to this file")
 	crashAt := flag.Float64("crash-at", 0, "kill the driver at this virtual time in seconds and recover from the WAL (0 = never)")
 	restartAfter := flag.Float64("restart-after", 1, "driver restart delay in seconds after -crash-at")
@@ -187,6 +228,8 @@ func main() {
 				usageError("-%s does not apply to a federated run; drop it or -drivers", bad)
 			}
 		}
+	} else if len(agentCrashes) > 0 {
+		usageError("-agent-crash applies only to a federated run; add -drivers N (N > 1)")
 	}
 	if (*walPath != "" || *crashAt > 0) && *compare {
 		usageError("-wal and -crash-at apply to a single run; drop -compare")
@@ -224,6 +267,26 @@ func main() {
 			names := experiments.BuildCluster(simx.NewEngine(), "hydra").NodeNames()
 			cfg.Spark = chaos.HardenedConfig(*seed)
 			cfg.Faults = faults.RandomSchedule(*chaosSeed, names, chaos.FederationGen())
+		}
+		if len(agentCrashes) > 0 {
+			names := experiments.BuildCluster(simx.NewEngine(), "hydra").NodeNames()
+			known := make(map[string]bool, len(names))
+			for _, n := range names {
+				known[n] = true
+			}
+			for _, ev := range agentCrashes {
+				if !known[ev.Node] {
+					usageError("-agent-crash names unknown node %q (cluster hydra has: %s)",
+						ev.Node, strings.Join(names, ", "))
+				}
+			}
+			if cfg.Faults == nil {
+				cfg.Faults = &faults.Schedule{}
+			}
+			cfg.Faults.Events = append(cfg.Faults.Events, agentCrashes...)
+			if err := cfg.Faults.Validate(); err != nil {
+				usageError("-agent-crash plan invalid: %v", err)
+			}
 		}
 		fedReport(federation.Run(cfg))
 		return
@@ -313,7 +376,7 @@ func main() {
 var streamingBatchOnly = []string{
 	"workload", "scheduler", "cluster", "input", "partitions", "iterations",
 	"compare", "chardb", "wal", "crash-at", "restart-after", "preempt",
-	"critical-path", "explain", "drivers",
+	"critical-path", "explain", "drivers", "agent-crash",
 }
 
 // validateStreamingFlags enforces the -streaming flag family: the placer
@@ -425,6 +488,10 @@ func fedReport(r *federation.Result) {
 		r.Commits, r.PlacementRate, r.MaxBusySeconds)
 	fmt.Printf("control plane: %d sent, %d delivered, %d dropped, %d duped, %d delayed, %d reordered\n",
 		r.MsgSent, r.MsgDelivered, r.MsgDropped, r.MsgDuped, r.MsgDelayed, r.MsgReordered)
+	if r.AgentCrashes > 0 || r.AgentRestarts > 0 {
+		fmt.Printf("agents: %d crashes, %d restarts, %d resyncs, %d claims rebuilt\n",
+			r.AgentCrashes, r.AgentRestarts, r.Resyncs, r.RebuiltClaims)
+	}
 	for _, d := range r.DriverStats {
 		fmt.Printf("  driver %d: %d apps, %d commits, %.2fs dispatch, %d crashes, %d recoveries\n",
 			d.ID, d.Apps, d.Commits, d.BusySeconds, d.Crashes, d.Recoveries)

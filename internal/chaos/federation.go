@@ -11,9 +11,10 @@ import (
 
 // Federation soak: the multi-driver counterpart of the tenancy soak. Each
 // seed runs several federated drivers over one shared cluster under a
-// random fault plan that includes driver crashes AND an unreliable
-// control plane (dropped, duplicated, delayed, reordered protocol
-// messages), then asserts the protocol invariant battery — every slot
+// random fault plan that includes driver crashes, amnesiac agent
+// crash/restart episodes AND an unreliable control plane (dropped,
+// duplicated, delayed, reordered protocol messages), then asserts the
+// protocol invariant battery — every slot
 // claimed by at most one committed placement at all times, exactly-once
 // launch per attempt, all claims of a crashed driver eventually released,
 // slot conservation across agents — plus the per-application chaos
@@ -53,8 +54,9 @@ func (c FederationConfig) withDefaults() FederationConfig {
 
 // FederationGen is the federation sweep's fault mix: the default node
 // faults stretched over the longer multi-application horizon, two driver
-// crashes so more than one shard's crash/recovery path runs, and every
-// message-fault kind on the control plane.
+// crashes so more than one shard's crash/recovery path runs, every
+// message-fault kind on the control plane, and two agent crashes so every
+// seed exercises the incarnation fence and RESYNC rebuild.
 func FederationGen() faults.GenConfig {
 	g := DefaultGen()
 	g.Horizon = 150
@@ -65,6 +67,9 @@ func FederationGen() faults.GenConfig {
 	g.MsgDups = 1
 	g.MsgDelays = 1
 	g.MsgReorders = 1
+	g.AgentCrashes = 2
+	g.MinAgentDowntime = 3
+	g.MaxAgentDowntime = 8
 	return g
 }
 
@@ -79,6 +84,10 @@ type FederationRunRecord struct {
 	Aborted   int `json:"aborted"`
 	Commits   int `json:"commits"`
 	Crashes   int `json:"driver_crashes"`
+
+	AgentCrashes  int `json:"agent_crashes"`
+	AgentRestarts int `json:"agent_restarts"`
+	Resyncs       int `json:"agent_resyncs"`
 
 	MsgSent    int `json:"msg_sent"`
 	MsgDropped int `json:"msg_dropped"`
@@ -158,11 +167,22 @@ func runFederationSeed(cfg FederationConfig, seed uint64) (rec FederationRunReco
 	rec.Aborted = res.Aborted
 	rec.Commits = res.Commits
 	rec.Crashes = res.Crashes
+	rec.AgentCrashes = res.AgentCrashes
+	rec.AgentRestarts = res.AgentRestarts
+	rec.Resyncs = res.Resyncs
 	rec.MsgSent = res.MsgSent
 	rec.MsgDropped = res.MsgDropped
 	rec.MsgDuped = res.MsgDuped
 	rec.Fingerprint = res.Fingerprint
 	rec.Violations = append(rec.Violations, res.Violations...)
+
+	// The sweep's whole point is exercising the agent fault domain: a plan
+	// that drew agent crashes but never landed one is a harness regression,
+	// not a lucky seed.
+	if cfg.Gen.AgentCrashes > 0 && res.AgentCrashes == 0 {
+		rec.Violations = append(rec.Violations, fmt.Sprintf(
+			"plan drew %d agent crashes but none fired", cfg.Gen.AgentCrashes))
+	}
 
 	// Per-application battery: completion, attempt and queue-drain
 	// accounting must hold for every app regardless of which driver owned
@@ -191,12 +211,12 @@ func (r *FederationReport) WriteJSON(w io.Writer) error {
 func (r *FederationReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "federation soak: %d seeds, %d drivers, %d acceptance scenarios\n",
 		len(r.Seeds), r.Drivers, r.Scenarios)
-	fmt.Fprintf(w, "%6s %6s %10s %4s %4s %8s %6s %6s %s\n",
-		"seed", "events", "makespan", "done", "abrt", "commits", "crash", "drops", "fingerprint")
+	fmt.Fprintf(w, "%6s %6s %10s %4s %4s %8s %6s %6s %6s %s\n",
+		"seed", "events", "makespan", "done", "abrt", "commits", "crash", "agent", "drops", "fingerprint")
 	for _, rec := range r.Runs {
-		fmt.Fprintf(w, "%6d %6d %10.1f %4d %4d %8d %6d %6d %s\n",
+		fmt.Fprintf(w, "%6d %6d %10.1f %4d %4d %8d %6d %6d %6d %s\n",
 			rec.Seed, rec.Events, rec.Makespan, rec.Completed, rec.Aborted,
-			rec.Commits, rec.Crashes, rec.MsgDropped, rec.Fingerprint)
+			rec.Commits, rec.Crashes, rec.AgentCrashes, rec.MsgDropped, rec.Fingerprint)
 		for _, v := range rec.Violations {
 			fmt.Fprintf(w, "    VIOLATION: %s\n", v)
 		}

@@ -22,6 +22,9 @@ func TestFederationSoakSmoke(t *testing.T) {
 		if rec.Commits == 0 {
 			t.Errorf("seed %d: no placements committed", rec.Seed)
 		}
+		if rec.AgentCrashes == 0 {
+			t.Errorf("seed %d: no agent crash fired", rec.Seed)
+		}
 	}
 	if rep.Violations != 0 {
 		t.Fatalf("%d violations", rep.Violations)
@@ -37,5 +40,8 @@ func TestFederationGenDrawsMessageFaults(t *testing.T) {
 	}
 	if g.DriverCrashes < 2 {
 		t.Fatalf("FederationGen wants >=2 driver crashes, got %d", g.DriverCrashes)
+	}
+	if g.AgentCrashes < 1 {
+		t.Fatalf("FederationGen wants >=1 agent crash, got %d", g.AgentCrashes)
 	}
 }

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 
+	"rupam/internal/cluster"
+	"rupam/internal/faults"
 	"rupam/internal/federation"
+	"rupam/internal/simx"
 )
 
 // The federation experiment: the same homogeneous application load run
@@ -14,7 +17,11 @@ import (
 // per second of the busiest driver's serial dispatch time — scales with
 // the driver count while makespan stays flat: the protocol distributes
 // the dispatch bottleneck without costing schedule quality on a
-// homogeneous load.
+// homogeneous load. A second, agent-churn column re-runs every (drivers,
+// seed) cell under a pure agent-crash fault plan and gates its mean
+// makespan within a tuned envelope of the fault-free mean — the
+// robustness claim that losing and resyncing node agents costs bounded
+// schedule quality.
 
 // FederationConfig parameterizes the scaling sweep.
 type FederationConfig struct {
@@ -26,6 +33,16 @@ type FederationConfig struct {
 	DriverCounts []int
 	// Apps is the application count per run (default 4).
 	Apps int
+	// ChurnEnvelope caps the mean makespan under agent churn at this
+	// multiple of the fault-free mean, per driver count; exceeding it is a
+	// violation (default 1.3).
+	ChurnEnvelope float64
+	// AgentCrashes is the number of agent kill points in each churn run's
+	// fault plan (default 2); ChurnHorizon is the window they are drawn
+	// from (default 60 — early enough that every crash lands mid-run at the
+	// sweep's makespans).
+	AgentCrashes int
+	ChurnHorizon float64
 }
 
 func (c FederationConfig) withDefaults() FederationConfig {
@@ -41,6 +58,15 @@ func (c FederationConfig) withDefaults() FederationConfig {
 	if c.Apps == 0 {
 		c.Apps = 4
 	}
+	if c.ChurnEnvelope <= 0 {
+		c.ChurnEnvelope = 1.3
+	}
+	if c.AgentCrashes == 0 {
+		c.AgentCrashes = 2
+	}
+	if c.ChurnHorizon <= 0 {
+		c.ChurnHorizon = 60
+	}
 	return c
 }
 
@@ -54,17 +80,37 @@ type FederationRow struct {
 	PlacementRate  float64 `json:"placement_rate"`
 }
 
-// FederationResult is the sweep artifact.
-type FederationResult struct {
-	Config     FederationConfig `json:"config"`
-	Rows       []FederationRow  `json:"rows"`
-	Violations int              `json:"violations"`
+// FederationChurnRow is one agent-churn run's outcome, paired with its
+// fault-free twin's makespan.
+type FederationChurnRow struct {
+	Drivers      int     `json:"drivers"`
+	Seed         uint64  `json:"seed"`
+	MakespanS    float64 `json:"makespan_s"`
+	FaultFreeS   float64 `json:"fault_free_s"`
+	AgentCrashes int     `json:"agent_crashes"`
+	Resyncs      int     `json:"agent_resyncs"`
 }
 
-// Federation runs the scaling sweep.
+// FederationResult is the sweep artifact.
+type FederationResult struct {
+	Config    FederationConfig     `json:"config"`
+	Rows      []FederationRow      `json:"rows"`
+	ChurnRows []FederationChurnRow `json:"churn_rows"`
+	// Gates records each failed churn-envelope check; every entry is also
+	// counted in Violations.
+	Gates      []string `json:"gates,omitempty"`
+	Violations int      `json:"violations"`
+}
+
+// Federation runs the scaling sweep plus the agent-churn column: each
+// (drivers, seed) cell runs twice, fault-free and under a pure
+// agent-crash plan, and the churn means are gated against the envelope.
 func Federation(cfg FederationConfig) *FederationResult {
 	cfg = cfg.withDefaults()
 	res := &FederationResult{Config: cfg}
+	refClu := cluster.New(simx.NewEngine())
+	cluster.NewHydra(refClu)
+	nodes := refClu.NodeNames()
 	for _, n := range cfg.DriverCounts {
 		for i := 0; i < cfg.Seeds; i++ {
 			seed := cfg.BaseSeed + uint64(i)
@@ -82,6 +128,38 @@ func Federation(cfg FederationConfig) *FederationResult {
 				MaxBusySeconds: r.MaxBusySeconds,
 				PlacementRate:  r.PlacementRate,
 			})
+
+			plan := faults.RandomSchedule(seed, nodes, faults.GenConfig{
+				Horizon:      cfg.ChurnHorizon,
+				AgentCrashes: cfg.AgentCrashes,
+			})
+			cr := federation.Run(federation.Config{
+				Drivers: n,
+				Apps:    cfg.Apps,
+				Seed:    seed,
+				Faults:  plan,
+			})
+			res.Violations += len(cr.Violations)
+			res.ChurnRows = append(res.ChurnRows, FederationChurnRow{
+				Drivers:      n,
+				Seed:         seed,
+				MakespanS:    cr.Makespan,
+				FaultFreeS:   r.Makespan,
+				AgentCrashes: cr.AgentCrashes,
+				Resyncs:      cr.Resyncs,
+			})
+		}
+	}
+	for _, n := range cfg.DriverCounts {
+		free, churn := res.MeanMakespan(n), res.MeanChurnMakespan(n)
+		if free <= 0 || churn <= 0 {
+			continue
+		}
+		if churn > cfg.ChurnEnvelope*free {
+			res.Gates = append(res.Gates, fmt.Sprintf(
+				"%d drivers: churn makespan %.1fs exceeds %.2fx envelope of fault-free %.1fs",
+				n, churn, cfg.ChurnEnvelope, free))
+			res.Violations++
 		}
 	}
 	return res
@@ -92,6 +170,22 @@ func Federation(cfg FederationConfig) *FederationResult {
 func (r *FederationResult) MeanMakespan(drivers int) float64 {
 	sum, n := 0.0, 0
 	for _, row := range r.Rows {
+		if row.Drivers == drivers {
+			sum += row.MakespanS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanChurnMakespan averages makespan over the agent-churn runs at one
+// driver count (0 if none).
+func (r *FederationResult) MeanChurnMakespan(drivers int) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.ChurnRows {
 		if row.Drivers == drivers {
 			sum += row.MakespanS
 			n++
@@ -124,8 +218,8 @@ func (r *FederationResult) MeanRate(drivers int) float64 {
 func (r *FederationResult) Print(w io.Writer) {
 	base := r.MeanRate(1)
 	baseMk := r.MeanMakespan(1)
-	fmt.Fprintf(w, "%-8s %12s %10s %12s %10s\n",
-		"drivers", "rate(1/s)", "speedup", "makespan(s)", "delta")
+	fmt.Fprintf(w, "%-8s %12s %10s %12s %10s %10s %8s\n",
+		"drivers", "rate(1/s)", "speedup", "makespan(s)", "delta", "churn(s)", "ratio")
 	for _, n := range r.Config.DriverCounts {
 		rate, mk := r.MeanRate(n), r.MeanMakespan(n)
 		speedup, delta := 0.0, 0.0
@@ -135,7 +229,16 @@ func (r *FederationResult) Print(w io.Writer) {
 		if baseMk > 0 {
 			delta = (mk - baseMk) / baseMk * 100
 		}
-		fmt.Fprintf(w, "%-8d %12.1f %9.2fx %12.1f %+9.1f%%\n", n, rate, speedup, mk, delta)
+		churn := r.MeanChurnMakespan(n)
+		ratio := 0.0
+		if mk > 0 {
+			ratio = churn / mk
+		}
+		fmt.Fprintf(w, "%-8d %12.1f %9.2fx %12.1f %+9.1f%% %10.1f %7.2fx\n",
+			n, rate, speedup, mk, delta, churn, ratio)
+	}
+	for _, g := range r.Gates {
+		fmt.Fprintf(w, "GATE FAILED: %s\n", g)
 	}
 	if r.Violations > 0 {
 		fmt.Fprintf(w, "%d INVARIANT VIOLATIONS\n", r.Violations)
@@ -151,6 +254,21 @@ func (r *FederationResult) WriteCSV(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%d,%.4f,%.1f\n",
 			row.Drivers, row.Seed, row.MakespanS, row.Commits,
 			row.MaxBusySeconds, row.PlacementRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChurnCSV emits the agent-churn rows for replotting.
+func (r *FederationResult) WriteChurnCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "drivers,seed,makespan_s,fault_free_s,agent_crashes,resyncs"); err != nil {
+		return err
+	}
+	for _, row := range r.ChurnRows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.3f,%d,%d\n",
+			row.Drivers, row.Seed, row.MakespanS, row.FaultFreeS,
+			row.AgentCrashes, row.Resyncs); err != nil {
 			return err
 		}
 	}

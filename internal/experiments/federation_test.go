@@ -52,6 +52,53 @@ func TestFederationSweep(t *testing.T) {
 			t.Fatalf("ragged CSV row (%d cols, want %d): %s", got, wantCols, ln)
 		}
 	}
+
+	// Churn column: every cell ran its agent-fault twin, every churn run
+	// actually suffered agent crashes, and the envelope gate held.
+	if len(res.ChurnRows) != len(res.Rows) {
+		t.Fatalf("churn rows: got %d, want %d", len(res.ChurnRows), len(res.Rows))
+	}
+	for _, row := range res.ChurnRows {
+		if row.AgentCrashes == 0 {
+			t.Errorf("%d drivers seed %d: churn run saw no agent crash", row.Drivers, row.Seed)
+		}
+		if row.Resyncs == 0 {
+			t.Errorf("%d drivers seed %d: churn run closed no resync", row.Drivers, row.Seed)
+		}
+	}
+	if len(res.Gates) != 0 {
+		t.Errorf("churn envelope gate failed: %v", res.Gates)
+	}
+
+	var churn bytes.Buffer
+	if err := res.WriteChurnCSV(&churn); err != nil {
+		t.Fatal(err)
+	}
+	clines := strings.Split(strings.TrimSpace(churn.String()), "\n")
+	if len(clines) != 1+len(res.ChurnRows) {
+		t.Fatalf("churn CSV row count: got %d lines, want %d", len(clines), 1+len(res.ChurnRows))
+	}
+	ccols := len(strings.Split(clines[0], ","))
+	for _, ln := range clines[1:] {
+		if got := len(strings.Split(ln, ",")); got != ccols {
+			t.Fatalf("ragged churn CSV row (%d cols, want %d): %s", got, ccols, ln)
+		}
+	}
+}
+
+// TestFederationChurnGateTrips pins the gate's failure path: an envelope
+// below 1.0 must trip (a faulted run cannot beat fault-free on average)
+// and be counted as a violation.
+func TestFederationChurnGateTrips(t *testing.T) {
+	res := Federation(FederationConfig{
+		BaseSeed: 1, Seeds: 1, DriverCounts: []int{2}, ChurnEnvelope: 0.01,
+	})
+	if len(res.Gates) == 0 {
+		t.Fatal("0.01x envelope did not trip the churn gate")
+	}
+	if res.Violations == 0 {
+		t.Fatal("tripped gate not counted as a violation")
+	}
 }
 
 // TestFederationSweepDeterministic requires the whole JSON artifact to be

@@ -90,6 +90,21 @@ const (
 	// spike hits the workload's offered load, not a machine. Consumed by
 	// the streaming runtime; the node injector exposes it via OnLoadSpike.
 	LoadSpike
+	// AgentCrash kills the federation agent co-located with a node: every
+	// accepted/committed claim, expiry timer, and tombstone it held is
+	// wiped and its reserved slots are implicitly freed. The node's
+	// executors keep running — only the protocol daemon dies. Duration > 0
+	// restarts the agent after that long (it then resynchronizes with the
+	// drivers before accepting new claims); Duration == 0 leaves it down
+	// until an explicit AgentRestart, or forever. Exposed through the
+	// injector's OnAgentCrash hook; a NodeCrash also kills the co-located
+	// agent, since a node's death takes its daemons with it.
+	AgentCrash
+	// AgentRestart brings back an agent taken down by a Duration-0
+	// AgentCrash. The restarted agent bumps its incarnation and runs the
+	// RESYNC handshake against the drivers before accepting claims.
+	// Duration must be 0 — a restart is instantaneous.
+	AgentRestart
 )
 
 // IsMessageKind reports whether the kind targets the federation control
@@ -134,6 +149,10 @@ func (k Kind) String() string {
 		return "msg-reorder"
 	case LoadSpike:
 		return "load-spike"
+	case AgentCrash:
+		return "agent-crash"
+	case AgentRestart:
+		return "agent-restart"
 	default:
 		return fmt.Sprintf("faults.Kind(%d)", int(k))
 	}
@@ -218,6 +237,13 @@ func (e Event) Validate() error {
 		}
 		if e.Duration <= 0 {
 			return fmt.Errorf("faults: load-spike needs a positive duration, got %g", e.Duration)
+		}
+	case AgentCrash:
+		// Duration 0 = down until an explicit AgentRestart; negative
+		// downtimes are caught by the generic check above.
+	case AgentRestart:
+		if e.Duration != 0 {
+			return fmt.Errorf("faults: agent-restart %s is instantaneous; drop the duration (%g)", e.Node, e.Duration)
 		}
 	default:
 		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
@@ -366,6 +392,26 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
+	// An agent cannot crash while it is already down: overlapping
+	// agent-crash windows on one node encode an impossible state (a
+	// Duration-0 crash stays down until an explicit restart, i.e. an
+	// unbounded window).
+	agentCrashes := make(map[string][]Event)
+	for _, e := range s.Events {
+		if e.Kind == AgentCrash {
+			agentCrashes[e.Node] = append(agentCrashes[e.Node], e)
+		}
+	}
+	for node, evs := range agentCrashes {
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				if crashWindowsOverlap(evs[i], evs[j]) {
+					return fmt.Errorf("faults: overlapping agent-crash windows on %s (%s / %s)",
+						node, evs[i], evs[j])
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -467,6 +513,14 @@ type GenConfig struct {
 	LoadSpikes     int
 	MinSpikeFactor float64
 	MaxSpikeFactor float64
+	// AgentCrashes counts federation agent kill points; each crashed agent
+	// restarts (and resynchronizes with the drivers) after a downtime drawn
+	// between MinAgentDowntime and MaxAgentDowntime. These draw last of
+	// all — after the load spikes — so pre-existing seeds' fault traces are
+	// unchanged by the agent-fault extension.
+	AgentCrashes     int
+	MinAgentDowntime float64
+	MaxAgentDowntime float64
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -526,6 +580,12 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.MaxSpikeFactor < g.MinSpikeFactor {
 		g.MaxSpikeFactor = 4
+	}
+	if g.MinAgentDowntime <= 0 {
+		g.MinAgentDowntime = 3
+	}
+	if g.MaxAgentDowntime < g.MinAgentDowntime {
+		g.MaxAgentDowntime = g.MinAgentDowntime + 5
 	}
 	return g
 }
@@ -731,6 +791,32 @@ func RandomSchedule(seed uint64, nodes []string, cfg GenConfig) *Schedule {
 			}
 			if !overlaps {
 				spikes = append(spikes, ev)
+				evs = append(evs, ev)
+				break
+			}
+		}
+	}
+	// Agent crashes draw last of all (see GenConfig.AgentCrashes) and
+	// redraw when a downtime window would overlap an earlier one on the
+	// same node: an agent cannot die while it is already down.
+	agentCrashes := make(map[string][]Event)
+	for i := 0; i < cfg.AgentCrashes; i++ {
+		for try := 0; try < 16; try++ {
+			ev := Event{
+				Kind:     AgentCrash,
+				Node:     nodes[rng.Intn(len(nodes))],
+				At:       rng.Range(0, cfg.Horizon),
+				Duration: rng.Range(cfg.MinAgentDowntime, cfg.MaxAgentDowntime),
+			}
+			overlaps := false
+			for _, prev := range agentCrashes[ev.Node] {
+				if crashWindowsOverlap(prev, ev) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				agentCrashes[ev.Node] = append(agentCrashes[ev.Node], ev)
 				evs = append(evs, ev)
 				break
 			}

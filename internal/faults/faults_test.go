@@ -362,3 +362,99 @@ func TestSpotScheduleDeterministicAndShaped(t *testing.T) {
 		t.Fatalf("hazard 120/h drew %d events vs %d for 60/h", count["b"], count["a"])
 	}
 }
+
+func TestValidateAgentFaultEvents(t *testing.T) {
+	bad := []Event{
+		{Kind: AgentCrash, At: 1, Duration: 5},                // no node
+		{Kind: AgentCrash, Node: "n1", At: -1, Duration: 5},   // negative time
+		{Kind: AgentCrash, Node: "n1", At: 1, Duration: -5},   // negative downtime
+		{Kind: AgentRestart, At: 3},                           // no node
+		{Kind: AgentRestart, Node: "n1", At: 3, Duration: 2},  // restarts are instantaneous
+		{Kind: AgentRestart, Node: "n1", At: 3, Duration: -2}, // negative duration
+	}
+	for _, e := range bad {
+		if e.Validate() == nil {
+			t.Errorf("event %v validated", e)
+		}
+	}
+	good := []Event{
+		{Kind: AgentCrash, Node: "n1", At: 1, Duration: 5},
+		{Kind: AgentCrash, Node: "n1", At: 1}, // down until an explicit restart
+		{Kind: AgentRestart, Node: "n1", At: 3},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("event %v rejected: %v", e, err)
+		}
+	}
+
+	// An agent cannot crash while already down: overlapping crash windows
+	// on one node are rejected, disjoint windows and distinct nodes pass.
+	s := &Schedule{Events: []Event{
+		{Kind: AgentCrash, Node: "n1", At: 2, Duration: 10},
+		{Kind: AgentCrash, Node: "n1", At: 5, Duration: 3},
+	}}
+	if s.Validate() == nil {
+		t.Fatal("overlapping agent-crash windows on one node validated")
+	}
+	s = &Schedule{Events: []Event{
+		{Kind: AgentCrash, Node: "n1", At: 2}, // unbounded window
+		{Kind: AgentCrash, Node: "n1", At: 50, Duration: 3},
+	}}
+	if s.Validate() == nil {
+		t.Fatal("crash after a permanent agent crash on one node validated")
+	}
+	s = &Schedule{Events: []Event{
+		{Kind: AgentCrash, Node: "n1", At: 2, Duration: 10},
+		{Kind: AgentCrash, Node: "n2", At: 5, Duration: 3},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("agent crashes on distinct nodes rejected: %v", err)
+	}
+	s = &Schedule{Events: []Event{
+		{Kind: AgentCrash, Node: "n1", At: 2, Duration: 3},
+		{Kind: AgentCrash, Node: "n1", At: 20, Duration: 3},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("disjoint agent-crash windows rejected: %v", err)
+	}
+}
+
+func TestRandomScheduleDrawsAgentCrashes(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	cfg := GenConfig{Horizon: 60, AgentCrashes: 2}
+	a := RandomSchedule(13, nodes, cfg)
+	b := RandomSchedule(13, nodes, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	n := 0
+	for _, ev := range a.Events {
+		if ev.Kind != AgentCrash {
+			t.Fatalf("non-agent event %v drawn by an agent-only config", ev)
+		}
+		if ev.Duration <= 0 {
+			t.Fatalf("agent crash drew non-positive downtime: %v", ev)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drew %d agent crashes, want 2", n)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	// Agent crashes draw last: adding them must not perturb the
+	// pre-existing draw sequence of a mixed plan.
+	base := GenConfig{Crashes: 2, Degrades: 3, DriverCrashes: 1, MsgDrops: 1, LoadSpikes: 1}
+	ext := base
+	ext.AgentCrashes = 2
+	p0 := RandomSchedule(17, nodes, base)
+	p1 := RandomSchedule(17, nodes, ext)
+	if len(p1.Events) <= len(p0.Events) {
+		t.Fatalf("extended plan not longer: %d vs %d", len(p1.Events), len(p0.Events))
+	}
+	if !reflect.DeepEqual(p0.Events, p1.Events[:len(p0.Events)]) {
+		t.Fatal("agent-crash draws perturbed the pre-existing fault trace")
+	}
+}

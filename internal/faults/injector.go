@@ -67,6 +67,20 @@ type Injector struct {
 	// Unset, load-spike events are ignored (a batch-only harness).
 	OnLoadSpike func(multiplier float64)
 
+	// OnAgentCrash, if set, fires when a federation agent dies — at an
+	// AgentCrash event, or as collateral of its node crashing (NodeCrash)
+	// or being reclaimed (the SpotPreempt kill): a node's death takes its
+	// protocol daemon with it. downtime > 0 means the injector brings the
+	// agent back that long after the crash; 0 means it stays down until an
+	// explicit AgentRestart, a NodeCrash recovery, or forever. Unset,
+	// agent faults are ignored (a non-federated harness).
+	OnAgentCrash func(node string, downtime float64)
+	// OnAgentRestart, if set, fires when a crashed agent comes back — after
+	// an AgentCrash downtime, at an explicit AgentRestart event, or when a
+	// crashed node recovers. The federation harness runs the agent's RESYNC
+	// handshake here.
+	OnAgentRestart func(node string)
+
 	// Counters for reporting.
 	Crashes         int
 	Recoveries      int
@@ -80,6 +94,8 @@ type Injector struct {
 	SpotNotices     int
 	SpotKills       int
 	LoadSpikes      int
+	AgentCrashes    int
+	AgentRestarts   int
 }
 
 type windowKey struct {
@@ -165,7 +181,45 @@ func (inj *Injector) apply(ev Event) {
 		inj.preempt(ev)
 	case LoadSpike:
 		inj.spikeLoad(ev)
+	case AgentCrash:
+		inj.crashAgent(ev)
+	case AgentRestart:
+		inj.restartAgent(ev)
 	}
+}
+
+// crashAgent kills the node's federation agent without touching its
+// executors: the co-located protocol daemon dies, the work survives.
+func (inj *Injector) crashAgent(ev Event) {
+	if inj.OnAgentCrash == nil {
+		return
+	}
+	inj.AgentCrashes++
+	detail := "until explicit restart"
+	if ev.Duration > 0 {
+		detail = fmt.Sprintf("restart %.1fs", ev.Duration)
+	}
+	inj.trace("agent crash %s (%s)", ev.Node, detail)
+	inj.Collector.FaultSpan(ev.Node, "agent-crash", detail, ev.Duration)
+	inj.OnAgentCrash(ev.Node, ev.Duration)
+	if ev.Duration > 0 {
+		node := ev.Node
+		inj.eng.Schedule(ev.Duration, func() { inj.agentBack(node) })
+	}
+}
+
+func (inj *Injector) restartAgent(ev Event) {
+	inj.agentBack(ev.Node)
+}
+
+// agentBack reports an agent restart to the harness.
+func (inj *Injector) agentBack(node string) {
+	if inj.OnAgentRestart == nil {
+		return
+	}
+	inj.AgentRestarts++
+	inj.trace("agent restart %s", node)
+	inj.OnAgentRestart(node)
 }
 
 // spikeLoad opens an offered-load amplification window. The window
@@ -209,6 +263,12 @@ func (inj *Injector) preempt(ev Event) {
 		}
 		inj.SpotKills++
 		inj.trace("spot kill %s", ev.Node)
+		if inj.OnAgentCrash != nil {
+			// Reclamation takes the whole instance: the co-located agent
+			// dies for good with the node (downtime 0, no scheduled
+			// restart — only re-acquisition would bring it back).
+			inj.OnAgentCrash(ev.Node, 0)
+		}
 		ex.FailStop(0)
 		if inj.OnSpotKill != nil {
 			inj.OnSpotKill(ev.Node)
@@ -239,13 +299,22 @@ func (inj *Injector) crash(ev Event) {
 		detail = fmt.Sprintf("recovery %.0fs", ev.Duration)
 	}
 	inj.Collector.FaultSpan(ev.Node, "crash", detail, ev.Duration)
+	if inj.OnAgentCrash != nil {
+		// The node's death takes the co-located federation agent with it;
+		// the agent restarts (and resyncs) only when the node recovers.
+		inj.OnAgentCrash(ev.Node, 0)
+	}
+	// FailStop before scheduling the recovery closure so the executor's own
+	// restart (armed inside FailStop at the same instant) fires first and
+	// the agent comes back to a live node.
+	ex.FailStop(ev.Duration)
 	if ev.Duration > 0 {
 		inj.eng.Schedule(ev.Duration, func() {
 			inj.Recoveries++
 			inj.trace("recover %s", ev.Node)
+			inj.agentBack(ev.Node)
 		})
 	}
-	ex.FailStop(ev.Duration)
 }
 
 // openWindow registers a degradation factor for (node, kind) and runs

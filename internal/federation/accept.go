@@ -10,16 +10,22 @@ import (
 // This file is the protocol's table-driven acceptance battery: each
 // scenario scripts one message interleaving against a live Agent —
 // including the pathological ones (late commits, duplicates, verdicts
-// racing aborts, a proposer dying mid-protocol) — and asserts both the
+// racing aborts, a proposer dying mid-protocol, the agent itself crashing
+// amnesiac mid-handshake) — and asserts both the
 // exact reply sequence each driver endpoint observes and the agent's
 // final accounting. The tables run standalone as unit tests and again
 // inside the chaos soak, so a protocol regression fails fast in both.
 
-// AcceptStep scripts one driver-originated message at a virtual time.
+// AcceptStep scripts one driver-originated message at a virtual time, or
+// — when Op is set — one agent lifecycle action instead.
 type AcceptStep struct {
 	At   float64
 	From string // sending driver endpoint, e.g. "driver:0"
 	Msg  Message
+	// Op, when non-empty, makes this step a lifecycle action on the agent
+	// rather than a message: "crash" calls Agent.Crash, "restart" calls
+	// Agent.Restart. From and Msg are ignored.
+	Op string
 }
 
 // AcceptScenario is one scripted interleaving and its expected outcome.
@@ -29,6 +35,10 @@ type AcceptScenario struct {
 	Capacity int
 	// Steps run in At order over a fault-free plane with default latency.
 	Steps []AcceptStep
+	// Drivers, when non-empty, is installed as the agent's RESYNC broadcast
+	// list (scenarios that script the restart handshake need the agent to
+	// know whom to ask; the default empty list closes the resync instantly).
+	Drivers []string
 	// Replies is the expected reply sequence per driver endpoint, rendered
 	// "TYPE claim" in delivery order.
 	Replies map[string][]string
@@ -165,6 +175,130 @@ func AcceptanceScenarios() []AcceptScenario {
 			Replies:  map[string][]string{d0: {"ACCEPT d0:1", "REJECT d0:1", "ACCEPT d0:2", "ABORT_ACK d0:2"}},
 			Reserved: 0, Live: 0, Expiries: 1, Rejects: 0, Commits: 0,
 		},
+		{
+			// The agent crashes between ACCEPT and COMMIT: the crash wiped
+			// the accepted claim, so the driver's COMMIT — stamped with the
+			// dead incarnation — must be NACKed, not honored against state
+			// that no longer exists. The stale refusal is not a protocol
+			// Reject (no tombstone, Rejects stays 0).
+			Name:     "agent-crash-between-accept-and-commit",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.05, Op: "crash"},
+				{At: 0.1, Op: "restart"},
+				{At: 0.2, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+			},
+			Replies:  map[string][]string{d0: {"ACCEPT d0:1", "COMMIT_NACK d0:1"}},
+			Reserved: 0, Live: 0, Expiries: 0, Rejects: 0, Commits: 0,
+		},
+		{
+			// The agent crashes after COMMIT but before the driver sees the
+			// COMMIT_ACK. The driver's retransmitted COMMIT carries the old
+			// incarnation and is NACKed — the reservation it pinned died with
+			// the daemon — so the driver gives up the ID and runs a fresh
+			// propose/commit cycle under the new incarnation.
+			Name:     "agent-crash-after-commit-before-ack",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.1, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+				{At: 0.2, Op: "crash"},
+				{At: 0.3, Op: "restart"},
+				{At: 0.4, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+				{At: 0.5, From: d0, Msg: Message{Type: Propose, Claim: ClaimID{Driver: 0, Seq: 2}, Task: 7, Slots: 1, Inc: 1}},
+				{At: 0.6, From: d0, Msg: Message{Type: Commit, Claim: ClaimID{Driver: 0, Seq: 2}, Inc: 1}},
+			},
+			Replies: map[string][]string{d0: {
+				"ACCEPT d0:1", "COMMIT_ACK d0:1", "COMMIT_NACK d0:1", "ACCEPT d0:2", "COMMIT_ACK d0:2",
+			}},
+			Reserved: 1, Live: 1, Expiries: 0, Rejects: 0, Commits: 2,
+		},
+		{
+			// A restart races a duplicate PROPOSE from before the crash: the
+			// duplicate carries incarnation 0 against the restarted agent's
+			// incarnation 1, so it is fenced off with a REJECT that never
+			// tombstones (Rejects stays 0) — while a fresh proposal under the
+			// new incarnation sails through.
+			Name:     "restart-racing-duplicate-propose",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.05, Op: "crash"},
+				{At: 0.1, Op: "restart"},
+				{At: 0.2, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.3, From: d0, Msg: Message{Type: Propose, Claim: ClaimID{Driver: 0, Seq: 2}, Task: 7, Slots: 1, Inc: 1}},
+				{At: 0.4, From: d0, Msg: Message{Type: Abort, Claim: ClaimID{Driver: 0, Seq: 2}, Inc: 1}},
+			},
+			Replies: map[string][]string{d0: {
+				"ACCEPT d0:1", "REJECT d0:1", "ACCEPT d0:2", "ABORT_ACK d0:2",
+			}},
+			Reserved: 0, Live: 0, Expiries: 0, Rejects: 0, Commits: 0,
+		},
+		{
+			// The double-reserve trap the incarnation fence exists for: a
+			// COMMIT stamped before the crash arrives after the restarted
+			// agent has already re-granted the node's full capacity to a new
+			// claim. Honoring it would push reserved past capacity; the fence
+			// NACKs it and the reservation count never moves.
+			Name:     "pre-incarnation-stale-commit-no-double-reserve",
+			Capacity: 2,
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.05, Op: "crash"},
+				{At: 0.1, Op: "restart"},
+				{At: 0.2, From: d0, Msg: Message{Type: Propose, Claim: ClaimID{Driver: 0, Seq: 2}, Task: 8, Slots: 2, Inc: 1}},
+				{At: 0.3, From: d0, Msg: Message{Type: Commit, Claim: ClaimID{Driver: 0, Seq: 2}, Inc: 1}},
+				{At: 0.4, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+			},
+			Replies: map[string][]string{d0: {
+				"ACCEPT d0:1", "ACCEPT d0:2", "COMMIT_ACK d0:2", "COMMIT_NACK d0:1",
+			}},
+			Reserved: 2, Live: 1, Expiries: 0, Rejects: 0, Commits: 1,
+		},
+		{
+			// The RESYNC handshake end to end: a committed claim survives the
+			// agent's crash because the driver still holds it — the restarted
+			// agent broadcasts RESYNC, the driver answers with the claim, and
+			// the reservation is rebuilt (counted as a commit) and later
+			// released normally.
+			Name:     "resync-rebuilds-committed-claim",
+			Capacity: 2,
+			Drivers:  []string{d0},
+			Steps: []AcceptStep{
+				{At: 0, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1}},
+				{At: 0.05, From: d0, Msg: Message{Type: Commit, Claim: c01}},
+				{At: 0.1, Op: "crash"},
+				{At: 0.2, Op: "restart"},
+				{At: 0.25, From: d0, Msg: Message{Type: ResyncClaim, Claim: c01, Task: 7, Slots: 1, Inc: 1}},
+				{At: 0.3, From: d0, Msg: Message{Type: ResyncEnd, Inc: 1}},
+				{At: 0.5, From: d0, Msg: Message{Type: Release, Claim: c01, Inc: 1}},
+			},
+			Replies: map[string][]string{d0: {
+				"ACCEPT d0:1", "COMMIT_ACK d0:1", "RESYNC d0:0", "RELEASE_ACK d0:1",
+			}},
+			Reserved: 0, Live: 0, Expiries: 0, Rejects: 0, Commits: 2,
+		},
+		{
+			// A driver that never answers the RESYNC: the agent retransmits
+			// MaxRetries times, refuses proposals while the handshake is open
+			// (with a retry hint, not a tombstoning reject), and opens for
+			// business when the resync deadline lapses.
+			Name:     "propose-during-resync-refused",
+			Capacity: 2,
+			Drivers:  []string{d1},
+			Steps: []AcceptStep{
+				{At: 0.1, Op: "crash"},
+				{At: 0.2, Op: "restart"},
+				{At: 0.5, From: d0, Msg: Message{Type: Propose, Claim: c01, Task: 7, Slots: 1, Inc: 1}},
+				{At: 4.5, From: d0, Msg: Message{Type: Propose, Claim: ClaimID{Driver: 0, Seq: 2}, Task: 7, Slots: 1, Inc: 1}},
+			},
+			Replies: map[string][]string{
+				d0: {"REJECT d0:1", "ACCEPT d0:2"},
+				d1: {"RESYNC d0:0", "RESYNC d0:0", "RESYNC d0:0", "RESYNC d0:0", "RESYNC d0:0"},
+			},
+			Reserved: 0, Live: 0, Expiries: 1, Rejects: 0, Commits: 0,
+		},
 	}
 }
 
@@ -182,10 +316,19 @@ func RunAcceptScenario(s AcceptScenario) []string {
 		fails = append(fails, "violation: "+v)
 	})
 
+	if len(s.Drivers) > 0 {
+		agent.SetDrivers(s.Drivers)
+	}
+
 	got := make(map[string][]string)
 	endpoints := map[string]bool{}
 	for _, st := range s.Steps {
-		endpoints[st.From] = true
+		if st.From != "" {
+			endpoints[st.From] = true
+		}
+	}
+	for _, ep := range s.Drivers {
+		endpoints[ep] = true
 	}
 	for ep := range s.Replies {
 		endpoints[ep] = true
@@ -204,7 +347,14 @@ func RunAcceptScenario(s AcceptScenario) []string {
 
 	for _, st := range s.Steps {
 		st := st
-		eng.At(st.At, func() { plane.Send(st.From, agent.Name, st.Msg) })
+		switch st.Op {
+		case "crash":
+			eng.At(st.At, agent.Crash)
+		case "restart":
+			eng.At(st.At, agent.Restart)
+		default:
+			eng.At(st.At, func() { plane.Send(st.From, agent.Name, st.Msg) })
+		}
 	}
 	eng.Run()
 

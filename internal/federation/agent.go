@@ -21,11 +21,14 @@ type agentClaim struct {
 // Agent owns one node's core slots for the placement protocol. It is a
 // pure message-driven state machine: PROPOSE reserves (with deterministic
 // lowest-ID-wins arbitration when the node is contended), COMMIT pins,
-// ABORT/RELEASE free. It never crashes — it models a node-local kernel
-// service whose state dies only with the node itself — but it defends
-// against every transport pathology: duplicate messages replay the prior
-// verdict from a tombstone table, and accepted-but-uncommitted claims
-// expire on their own so a proposing driver's death cannot leak slots.
+// ABORT/RELEASE free. It defends against every transport pathology —
+// duplicate messages replay the prior verdict from a tombstone table, and
+// accepted-but-uncommitted claims expire on their own so a proposing
+// driver's death cannot leak slots — and it is itself a fault domain: a
+// Crash wipes every claim, timer and tombstone (node-local daemon state
+// does not survive the process), and a Restart bumps the incarnation,
+// fences off pre-crash messages, and rebuilds surviving reservations via
+// the RESYNC handshake before accepting new proposals.
 type Agent struct {
 	Name     string
 	Capacity int
@@ -37,6 +40,28 @@ type Agent struct {
 	claims   map[ClaimID]*agentClaim
 	verdicts map[ClaimID]string // tombstones: rejected|expired|evicted|aborted|released
 
+	// drivers is the broadcast list for the restart RESYNC handshake,
+	// installed once at harness build time.
+	drivers []string
+	// TaskRunning, if set, reports whether the executor co-located with
+	// the agent currently runs an attempt of the task — the cross-check a
+	// restarted agent applies to bound RESYNC_CLAIMs before rebuilding
+	// their reservations. Nil trusts the drivers' answers.
+	TaskRunning func(taskID int) bool
+
+	down bool
+	// inc is the incarnation: the crash count, starting at 0, stamped on
+	// every outgoing message. PROPOSE/COMMIT carrying any other value are
+	// refused — they predate the crash that wiped the state they assume.
+	inc uint64
+	// Resync-handshake state, live only between Restart and the last
+	// RESYNC_END (or the resync deadline).
+	resyncing      bool
+	resyncWait     map[string]bool // drivers whose RESYNC_END is still missing
+	resyncTimers   map[string]*simx.Timer
+	resyncTries    map[string]int
+	resyncDeadline *simx.Timer
+
 	reserved int
 	// MaxReserved is the high-water mark of simultaneously reserved
 	// slots; the invariant battery checks it never exceeded Capacity.
@@ -46,6 +71,15 @@ type Agent struct {
 	Commits  int
 	Rejects  int
 	Expiries int
+	// Crashes/Restarts/Resyncs count fault episodes; Rebuilt counts claims
+	// reconstructed from driver RESYNC answers; StaleRejects counts
+	// PROPOSE/COMMITs refused for carrying a dead incarnation or arriving
+	// mid-resync.
+	Crashes      int
+	Restarts     int
+	Resyncs      int
+	Rebuilt      int
+	StaleRejects int
 
 	digest    uint64
 	violation func(string)
@@ -74,6 +108,113 @@ func (a *Agent) Reserved() int { return a.reserved }
 
 // LiveClaims returns how many claims the agent currently holds.
 func (a *Agent) LiveClaims() int { return len(a.claims) }
+
+// SetDrivers installs the driver address list a restarted agent broadcasts
+// RESYNC to.
+func (a *Agent) SetDrivers(addrs []string) { a.drivers = addrs }
+
+// Incarnation returns the agent's crash count; boot is incarnation 0.
+func (a *Agent) Incarnation() uint64 { return a.inc }
+
+// Down reports whether the agent is currently crashed.
+func (a *Agent) Down() bool { return a.down }
+
+// Crash kills the agent amnesiac: every claim, expiry timer and tombstone
+// is wiped and the reserved slots are implicitly freed — node-local daemon
+// state does not survive the process. The plane drops deliveries while the
+// agent is down; Restart brings it back under a new incarnation.
+func (a *Agent) Crash() {
+	if a.down {
+		return
+	}
+	a.down = true
+	a.Crashes++
+	a.mix(^uint64(1), a.inc)
+	a.plane.SetDown(a.Name, true)
+	for _, c := range a.claims {
+		c.expiry.Cancel()
+	}
+	a.claims = make(map[ClaimID]*agentClaim)
+	a.verdicts = make(map[ClaimID]string)
+	a.reserved = 0
+	a.stopResync()
+}
+
+// Restart brings a crashed agent back with empty state and a bumped
+// incarnation. It must not trust that emptiness: committed claims may
+// still back attempts that survived the crash (only the daemon died), so
+// it broadcasts Resync(inc) to every driver and rebuilds reservations from
+// their answers. Until the handshake closes every PROPOSE is refused with
+// a retry hint — accepting on a partial view could over-commit the node
+// once the rebuilt claims land.
+func (a *Agent) Restart() {
+	if !a.down {
+		return
+	}
+	a.down = false
+	a.inc++
+	a.Restarts++
+	a.mix(^uint64(2), a.inc)
+	a.plane.SetDown(a.Name, false)
+	a.resyncing = true
+	if len(a.drivers) == 0 {
+		a.finishResync()
+		return
+	}
+	a.resyncWait = make(map[string]bool, len(a.drivers))
+	a.resyncTimers = make(map[string]*simx.Timer, len(a.drivers))
+	a.resyncTries = make(map[string]int, len(a.drivers))
+	for _, addr := range a.drivers {
+		a.resyncWait[addr] = true
+		a.sendResync(addr)
+	}
+	a.resyncDeadline = a.eng.Schedule(a.cfg.ResyncTimeout, a.finishResync)
+}
+
+// sendResync transmits one RESYNC and arms the next bounded retransmit
+// (try i waits RetryTimeout×i, like the drivers' cycles). After MaxRetries
+// the driver is presumed dead; the resync deadline closes the handshake
+// without it.
+func (a *Agent) sendResync(addr string) {
+	a.plane.Send(a.Name, addr, Message{Type: Resync, Inc: a.inc})
+	a.resyncTries[addr]++
+	tries := a.resyncTries[addr]
+	if tries >= a.cfg.MaxRetries {
+		return
+	}
+	a.resyncTimers[addr] = a.eng.Schedule(a.cfg.RetryTimeout*float64(tries), func() {
+		if a.down || !a.resyncing || !a.resyncWait[addr] {
+			return
+		}
+		a.sendResync(addr)
+	})
+}
+
+// stopResync tears down the handshake timers without closing the episode.
+func (a *Agent) stopResync() {
+	a.resyncing = false
+	for _, t := range a.resyncTimers {
+		t.Cancel()
+	}
+	a.resyncTimers = nil
+	a.resyncWait = nil
+	a.resyncTries = nil
+	a.resyncDeadline.Cancel()
+	a.resyncDeadline = nil
+}
+
+// finishResync closes the handshake: every driver answered, or the
+// deadline lapsed (a crashed driver cannot answer; it learns the new
+// incarnation from reply stamps once it recovers). Late RESYNC_CLAIMs for
+// the current incarnation still rebuild — they only heal an undercount.
+func (a *Agent) finishResync() {
+	if !a.resyncing {
+		return
+	}
+	a.stopResync()
+	a.Resyncs++
+	a.mix(^uint64(3), a.inc, uint64(a.reserved))
+}
 
 // Digest is a running FNV fingerprint of every state transition, used by
 // the soak's bit-identity check.
@@ -118,6 +259,11 @@ func (a *Agent) reserve(delta int) {
 }
 
 func (a *Agent) handle(from string, m Message) {
+	if a.down {
+		// A dead daemon's socket: the plane normally drops these, but a
+		// delivery already in flight when the crash struck lands here.
+		return
+	}
 	a.mix(uint64(m.Type), uint64(m.Claim.Driver), m.Claim.Seq, uint64(a.reserved))
 	switch m.Type {
 	case Propose:
@@ -128,20 +274,43 @@ func (a *Agent) handle(from string, m Message) {
 		a.onAbort(from, m)
 	case Release:
 		a.onRelease(from, m)
+	case ResyncClaim:
+		a.onResyncClaim(from, m)
+	case ResyncEnd:
+		a.onResyncEnd(from, m)
 	}
 }
 
 func (a *Agent) onPropose(from string, m Message) {
+	if m.Inc != a.inc {
+		// Incarnation fence: the proposal predates a crash (or carries a
+		// recovered driver's stale view). Refuse without tombstoning — the
+		// claim was never accepted under this incarnation — and let the
+		// reply's stamp teach the sender where the agent is now.
+		a.StaleRejects++
+		a.plane.Send(a.Name, from, Message{Type: Reject, Claim: m.Claim, Inc: a.inc,
+			RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+		return
+	}
+	if a.resyncing {
+		// Mid-resync the reserved count is a lower bound, not the truth:
+		// accepting now could over-commit the node once the rebuilt claims
+		// land. Refuse with a hint to retry after the window closes.
+		a.StaleRejects++
+		a.plane.Send(a.Name, from, Message{Type: Reject, Claim: m.Claim, Inc: a.inc,
+			RetryAfter: a.eng.Now() + a.cfg.ResyncTimeout})
+		return
+	}
 	if c, ok := a.claims[m.Claim]; ok {
 		// Duplicate PROPOSE of a live claim: replay the accept verbatim.
-		a.plane.Send(a.Name, from, Message{Type: Accept, Claim: c.id, Expiry: a.eng.Now() + a.cfg.AcceptTTL})
+		a.plane.Send(a.Name, from, Message{Type: Accept, Claim: c.id, Inc: a.inc, Expiry: a.eng.Now() + a.cfg.AcceptTTL})
 		return
 	}
 	if _, dead := a.verdicts[m.Claim]; dead {
 		// A claim ID is never resurrected: whatever ended it (reject,
 		// expiry, abort) is final, so duplicates and stale retransmits
 		// deterministically converge on REJECT.
-		a.plane.Send(a.Name, from, Message{Type: Reject, Claim: m.Claim, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+		a.plane.Send(a.Name, from, Message{Type: Reject, Claim: m.Claim, Inc: a.inc, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
 		return
 	}
 	if m.Slots <= 0 || m.Slots > a.Capacity {
@@ -164,7 +333,7 @@ func (a *Agent) onPropose(from string, m Message) {
 	a.Accepts++
 	expiry := a.eng.Now() + a.cfg.AcceptTTL
 	c.expiry = a.eng.Schedule(a.cfg.AcceptTTL, func() { a.expire(c.id) })
-	a.plane.Send(a.Name, from, Message{Type: Accept, Claim: c.id, Expiry: expiry})
+	a.plane.Send(a.Name, from, Message{Type: Accept, Claim: c.id, Inc: a.inc, Expiry: expiry})
 }
 
 // evictFor tries to free enough slots for m by evicting accepted,
@@ -191,7 +360,7 @@ func (a *Agent) evictFor(m Message) bool {
 		}
 		a.drop(c, "evicted")
 		need -= c.slots
-		a.plane.Send(a.Name, c.driver, Message{Type: Reject, Claim: c.id, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+		a.plane.Send(a.Name, c.driver, Message{Type: Reject, Claim: c.id, Inc: a.inc, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
 	}
 	return true
 }
@@ -199,7 +368,7 @@ func (a *Agent) evictFor(m Message) bool {
 func (a *Agent) rejectNow(from string, id ClaimID) {
 	a.verdicts[id] = "rejected"
 	a.Rejects++
-	a.plane.Send(a.Name, from, Message{Type: Reject, Claim: id, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
+	a.plane.Send(a.Name, from, Message{Type: Reject, Claim: id, Inc: a.inc, RetryAfter: a.eng.Now() + a.cfg.RetryTimeout})
 }
 
 // drop removes a live claim, frees its slots and tombstones the ID.
@@ -224,11 +393,21 @@ func (a *Agent) expire(id ClaimID) {
 }
 
 func (a *Agent) onCommit(from string, m Message) {
+	if m.Inc != a.inc {
+		// Incarnation fence: a COMMIT stamped with a dead incarnation must
+		// not pin anything — whatever ACCEPT it chases was wiped by the
+		// crash, and honoring it here would double-reserve the slots the
+		// resync rebuilt for someone else. NACK so the driver gives up the
+		// ID and re-proposes.
+		a.StaleRejects++
+		a.plane.Send(a.Name, from, Message{Type: CommitNack, Claim: m.Claim, Inc: a.inc})
+		return
+	}
 	c, ok := a.claims[m.Claim]
 	if !ok {
 		// Expired, evicted, or never heard of: the driver must give up
 		// this claim ID and re-propose under a fresh one.
-		a.plane.Send(a.Name, from, Message{Type: CommitNack, Claim: m.Claim})
+		a.plane.Send(a.Name, from, Message{Type: CommitNack, Claim: m.Claim, Inc: a.inc})
 		return
 	}
 	if !c.committed {
@@ -237,23 +416,85 @@ func (a *Agent) onCommit(from string, m Message) {
 		a.Commits++
 	}
 	// Idempotent: a duplicate COMMIT re-acks without touching state.
-	a.plane.Send(a.Name, from, Message{Type: CommitAck, Claim: c.id})
+	a.plane.Send(a.Name, from, Message{Type: CommitAck, Claim: c.id, Inc: a.inc})
 }
+
+// Aborts and releases are acked regardless of incarnation: both only ever
+// free resources, so acting on a stale one is safe (the claim is simply
+// unknown after a crash) and refusing it would wedge the sender's
+// must-terminate ack cycle.
 
 func (a *Agent) onAbort(from string, m Message) {
 	if c, ok := a.claims[m.Claim]; ok {
 		a.drop(c, "aborted")
+	} else {
+		// Unknown (already expired/aborted, or wiped by a crash): still ack —
+		// the driver only needs to know the claim is gone — but tombstone the
+		// ID anyway. The ack finishes the claim driver-side, so a delayed
+		// RESYNC_CLAIM answer reordered behind this abort must not resurrect
+		// a reservation nobody will ever free.
+		a.verdicts[m.Claim] = "aborted"
 	}
-	// Unknown (already expired/aborted): still ack — the driver only
-	// needs to know the claim is gone.
-	a.plane.Send(a.Name, from, Message{Type: AbortAck, Claim: m.Claim})
+	a.plane.Send(a.Name, from, Message{Type: AbortAck, Claim: m.Claim, Inc: a.inc})
 }
 
 func (a *Agent) onRelease(from string, m Message) {
 	if c, ok := a.claims[m.Claim]; ok {
 		a.drop(c, "released")
+	} else {
+		// Same tombstone-the-unknown rule as onAbort, and for the same
+		// reordering race against a late RESYNC_CLAIM.
+		a.verdicts[m.Claim] = "released"
 	}
-	a.plane.Send(a.Name, from, Message{Type: ReleaseAck, Claim: m.Claim})
+	a.plane.Send(a.Name, from, Message{Type: ReleaseAck, Claim: m.Claim, Inc: a.inc})
+}
+
+// onResyncClaim rebuilds one committed reservation from a driver's RESYNC
+// answer. Rebuilds are idempotent (duplicate answers dedup on claim ID),
+// tombstone-checked (a claim resolved since the resync must not be
+// resurrected by a delayed duplicate), capacity-bounded, and — for bound
+// claims — cross-checked against the executor's running attempts. Any
+// refusal NACKs so the driver finishes the claim and places elsewhere.
+func (a *Agent) onResyncClaim(from string, m Message) {
+	if m.Inc != a.inc {
+		return // an answer meant for a previous incarnation's resync
+	}
+	if _, ok := a.claims[m.Claim]; ok {
+		return // duplicate answer: the claim is already rebuilt
+	}
+	if _, dead := a.verdicts[m.Claim]; dead {
+		return // resolved since the resync; a dead ID stays dead
+	}
+	if m.Slots <= 0 || a.Capacity-a.reserved < m.Slots {
+		a.plane.Send(a.Name, from, Message{Type: CommitNack, Claim: m.Claim, Inc: a.inc})
+		return
+	}
+	if m.Bound && a.TaskRunning != nil && !a.TaskRunning(m.Task) {
+		// The driver says the claim backs a live attempt, but the executor
+		// runs no such task: the attempt died while the agent was down.
+		// Refuse so the driver releases instead of leaking a reservation
+		// with nothing behind it.
+		a.plane.Send(a.Name, from, Message{Type: CommitNack, Claim: m.Claim, Inc: a.inc})
+		return
+	}
+	// Rebuilt claims are committed — no expiry timer; only an explicit
+	// RELEASE/ABORT frees them, exactly like a claim committed normally.
+	c := &agentClaim{id: m.Claim, driver: from, task: m.Task, slots: m.Slots, committed: true}
+	a.claims[c.id] = c
+	a.reserve(c.slots)
+	a.Rebuilt++
+	a.Commits++
+}
+
+func (a *Agent) onResyncEnd(from string, m Message) {
+	if m.Inc != a.inc || !a.resyncing || !a.resyncWait[from] {
+		return
+	}
+	delete(a.resyncWait, from)
+	a.resyncTimers[from].Cancel()
+	if len(a.resyncWait) == 0 {
+		a.finishResync()
+	}
 }
 
 // CheckEndState appends a violation per leaked resource: at quiesce every

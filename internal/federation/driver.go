@@ -52,6 +52,10 @@ type fclaim struct {
 	node  string
 	slots int
 	state claimState
+	// inc is the agent incarnation this claim was last negotiated with;
+	// claims whose incarnation falls behind the agent's are orphans — the
+	// state they assume died in the agent's crash.
+	inc uint64
 
 	attempts int // sends so far in the current retransmit cycle
 	cycle    int // completed cycles (abort/release re-arm with growing pauses)
@@ -88,6 +92,17 @@ type Driver struct {
 	inflight       map[string]int  // live claims per node
 	nodeCap        map[string]int
 	noProposeUntil map[string]float64
+	// agentInc is the last-known incarnation per agent, learned from reply
+	// stamps and RESYNC broadcasts. Protocol memory: wiped by a driver
+	// crash and re-learned from the agents' reply stamps.
+	agentInc map[string]uint64
+	// deadAgents fences nodes whose agent died for good (permanent node
+	// loss, spot reclamation): no proposals, and claims there resolve
+	// locally — no ack is ever coming. Unlike agentInc this survives a
+	// driver crash: it models cluster-membership knowledge the recovered
+	// driver re-fetches from the resource manager, not protocol state.
+	// A RESYNC from the node lifts the fence.
+	deadAgents map[string]bool
 
 	down       bool
 	gen        int // bumped at crash; invalidates queued dispatch actions
@@ -120,6 +135,8 @@ func NewDriver(eng *simx.Engine, plane *Plane, cfg ProtocolConfig, id int, nodeC
 		inflight:       make(map[string]int),
 		nodeCap:        nodeCap,
 		noProposeUntil: make(map[string]float64),
+		agentInc:       make(map[string]uint64),
+		deadAgents:     make(map[string]bool),
 		violation:      violation,
 	}
 	plane.Handle(d.Addr, d.onMessage)
@@ -207,6 +224,9 @@ func (d *Driver) admitPlacement(a *fedApp, t *task.Task, node string) bool {
 		// takes the task, the stale-claim TTL recycles the slots.
 		return false
 	}
+	if d.deadAgents[node] {
+		return false // the node's agent is gone for good; place elsewhere
+	}
 	if d.noProposeUntil[node] > now {
 		return false
 	}
@@ -221,6 +241,7 @@ func (d *Driver) admitPlacement(a *fedApp, t *task.Task, node string) bool {
 		node:  node,
 		slots: 1,
 		state: csProposing,
+		inc:   d.agentInc[node],
 	}
 	d.claims[c.id] = c
 	d.byTask[t.ID] = c
@@ -270,34 +291,52 @@ func (d *Driver) boundClaim(taskID int, node string) *fclaim {
 // releaseClaim moves a claim onto its terminal send cycle: RELEASE for
 // claims the agent has committed, ABORT otherwise.
 func (d *Driver) releaseClaim(c *fclaim) {
-	c.timer.Cancel()
 	if d.byTask[c.task.ID] == c {
 		delete(d.byTask, c.task.ID)
 	}
+	if d.deadAgents[c.node] {
+		// The agent died with its node: no ack is ever coming, and its
+		// slot accounting is gone. Resolve locally instead of cycling.
+		kind := wal.KindClaimAborted
+		if c.state == csBound || c.state == csReleasing {
+			kind = wal.KindClaimReleased
+		}
+		d.finishClaim(c, kind)
+		return
+	}
 	switch c.state {
-	case csProposing:
+	case csReleasing, csAborting:
+		// Already on a terminal cycle — and crucially, before this point
+		// nothing may touch its retransmit timer: cancelling it here would
+		// orphan the cycle mid-flight (no further send ever re-arms it)
+		// and leak the reservation if the in-flight message is dropped.
+		return
+	}
+	c.timer.Cancel()
+	if c.state == csProposing {
 		// No grant observed: give up the ID. If the agent did accept, its
 		// TTL returns the slots; the tombstone makes any late COMMIT moot.
 		d.finishClaim(c, wal.KindClaimAborted)
 		return
-	case csCommitting, csReady, csBound:
-		c.state = csReleasing
-	case csReleasing, csAborting:
-		return // already on a terminal cycle
 	}
+	c.state = csReleasing // csCommitting, csReady or csBound
 	c.attempts, c.cycle = 0, 0
 	d.enqueue(func() { d.send(c, Release) })
 }
 
 // abortClaim puts a claim on the ABORT cycle (recovery path).
 func (d *Driver) abortClaim(c *fclaim) {
-	c.timer.Cancel()
 	if d.byTask[c.task.ID] == c {
 		delete(d.byTask, c.task.ID)
 	}
-	if c.state == csAborting || c.state == csReleasing {
+	if d.deadAgents[c.node] {
+		d.finishClaim(c, wal.KindClaimAborted)
 		return
 	}
+	if c.state == csAborting || c.state == csReleasing {
+		return // terminal cycle in flight; leave its timer alone
+	}
+	c.timer.Cancel()
 	c.state = csAborting
 	c.attempts, c.cycle = 0, 0
 	d.enqueue(func() { d.send(c, Abort) })
@@ -339,10 +378,13 @@ func (d *Driver) send(c *fclaim, mt MsgType) {
 		mt == Abort && c.state != csAborting:
 		return // state moved on; the queued send is stale
 	}
-	m := Message{Type: mt, Claim: c.id}
+	m := Message{Type: mt, Claim: c.id, Inc: d.agentInc[c.node]}
 	if mt == Propose {
 		m.Task = c.task.ID
 		m.Slots = c.slots
+		// A retransmitted PROPOSE is a fresh proposal to whatever
+		// incarnation now runs the node.
+		c.inc = m.Inc
 	}
 	d.plane.Send(d.Addr, c.node, m)
 	c.attempts++
@@ -364,8 +406,13 @@ func (d *Driver) onTimeout(c *fclaim, mt MsgType) {
 	}
 	switch mt {
 	case Propose:
-		// The node is unreachable; give up the ID and let the scheduler
-		// look elsewhere. Any grant in flight dies at the agent's TTL.
+		// The node is unreachable (agent down or partitioned); give up the
+		// ID and back the node off for a full accept-TTL so the scheduler
+		// re-proposes elsewhere first instead of hammering a dead daemon.
+		// Any grant in flight dies at the agent's TTL.
+		if until := d.eng.Now() + d.cfg.AcceptTTL; until > d.noProposeUntil[c.node] {
+			d.noProposeUntil[c.node] = until
+		}
 		d.finishClaim(c, wal.KindClaimAborted)
 	case Commit:
 		// The agent may or may not hold the committed claim; only an
@@ -397,6 +444,17 @@ func (d *Driver) onMessage(from string, m Message) {
 }
 
 func (d *Driver) handle(from string, m Message) {
+	if m.Type == Resync {
+		d.onResync(from, m)
+		return
+	}
+	if m.Inc > d.agentInc[from] {
+		// A reply stamped with an incarnation newer than our view: the
+		// agent crashed and restarted behind our back (its RESYNC never
+		// reached us, or we were down for it). Adopt the view and reconcile
+		// the claims the old incarnation took with it.
+		d.observeIncarnation(from, m.Inc, false)
+	}
 	c, ok := d.claims[m.Claim]
 	if !ok {
 		return // verdict for a claim we already resolved (dup or stale)
@@ -407,6 +465,7 @@ func (d *Driver) handle(from string, m Message) {
 			return // duplicate accept
 		}
 		c.state = csCommitting
+		c.inc = m.Inc
 		// Logged *before* the commit send: a crash from here on must
 		// chase this claim, because the agent holds (or will hold) it
 		// beyond any TTL once the commit lands.
@@ -442,12 +501,20 @@ func (d *Driver) handle(from string, m Message) {
 			c.app.rt.Scheduler().Schedule()
 		}
 	case CommitNack:
-		if c.state != csCommitting {
-			return
+		switch c.state {
+		case csCommitting:
+			// The agent lost the claim (TTL, eviction, or a crash between
+			// the accept and the commit): terminal, nothing to chase.
+			d.finishClaim(c, wal.KindClaimAborted)
+		case csReady:
+			// A restarted agent refused to rebuild the reservation
+			// (capacity, or a tombstone): the committed slots are gone.
+			d.finishClaim(c, wal.KindClaimAborted)
+		case csBound:
+			// Refused rebuild of a bound claim: the attempt it backed died
+			// while the agent was down, so there is nothing left to back.
+			d.finishClaim(c, wal.KindClaimReleased)
 		}
-		// The agent lost the claim (TTL or eviction) and tombstoned it:
-		// terminal, nothing to chase.
-		d.finishClaim(c, wal.KindClaimAborted)
 	case AbortAck:
 		if c.state != csAborting {
 			return
@@ -458,6 +525,105 @@ func (d *Driver) handle(from string, m Message) {
 			return
 		}
 		d.finishClaim(c, wal.KindClaimReleased)
+	}
+}
+
+// onResync answers a restarted agent's RESYNC: adopt the new incarnation,
+// reconcile local claim state with the wipe, and report every claim that
+// should survive — bound claims backing running attempts and committed
+// (ready) reservations the scheduler may still consume — then close with
+// RESYNC_END. Re-answering a duplicate RESYNC is harmless: the agent
+// dedups rebuilds on claim ID.
+func (d *Driver) onResync(from string, m Message) {
+	if m.Inc < d.agentInc[from] {
+		return // a delayed broadcast from an incarnation already superseded
+	}
+	if m.Inc > d.agentInc[from] {
+		d.observeIncarnation(from, m.Inc, true)
+	}
+	// The daemon is demonstrably back: lift any membership fence so the
+	// scheduler may propose to the node again.
+	delete(d.deadAgents, from)
+	var report []*fclaim
+	for _, c := range d.claims {
+		if c.node == from && (c.state == csBound || c.state == csReady) && c.inc == m.Inc {
+			report = append(report, c)
+		}
+	}
+	sort.Slice(report, func(i, j int) bool { return report[i].id.Less(report[j].id) })
+	for _, c := range report {
+		d.plane.Send(d.Addr, from, Message{Type: ResyncClaim, Claim: c.id, Inc: m.Inc,
+			Task: c.task.ID, Slots: c.slots, Bound: c.state == csBound})
+	}
+	d.plane.Send(d.Addr, from, Message{Type: ResyncEnd, Inc: m.Inc})
+}
+
+// observeIncarnation adopts a higher incarnation for the node's agent and
+// reconciles the claims the old incarnation orphaned: its accepted and
+// committed state died in the crash, so send cycles chasing it would spin
+// forever. Bound and ready claims survive only when the observation came
+// through a RESYNC — they are about to be reported and rebuilt; learned
+// from a stray reply stamp instead, they run an explicit acked release
+// cycle rather than resolving locally. The distinction matters after the
+// *driver's* own crash: refolded claims carry a guessed incarnation
+// (agentInc died with the process), so an apparent orphan may be a live
+// claim the agent still holds under its current incarnation — negotiated
+// after the agent's last crash, forgotten across the driver's. Only an
+// acked RELEASE/ABORT (which agents honor regardless of incarnation)
+// resolves both worlds without leaking the agent's slots. Bound attempts
+// run on either way — only the daemon died, not the executor.
+func (d *Driver) observeIncarnation(node string, inc uint64, viaResync bool) {
+	d.agentInc[node] = inc
+	var orphans []*fclaim
+	for _, c := range d.claims {
+		if c.node == node && c.inc < inc {
+			orphans = append(orphans, c)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id.Less(orphans[j].id) })
+	for _, c := range orphans {
+		c.inc = inc
+		switch c.state {
+		case csProposing:
+			// The retransmit cycle re-proposes to the new incarnation.
+		case csReady, csBound:
+			if viaResync {
+				continue // about to be reported and rebuilt
+			}
+			d.releaseClaim(c)
+		case csCommitting:
+			// The accept this commit chases either died in the agent's crash
+			// or (post-driver-crash amnesia) never existed under the old
+			// view; an acked abort resolves both without leaking.
+			d.abortClaim(c)
+		case csReleasing, csAborting:
+			// Already on a terminal cycle; it re-arms until acked, and the
+			// agent acks these regardless of incarnation.
+		}
+	}
+}
+
+// AgentDead tells the driver the node's agent died for good (the node was
+// permanently lost or reclaimed): no restart, no resync, no ack is ever
+// coming. Every claim on the node resolves locally — the agent's slot
+// accounting died with it — and the node is fenced from proposals until a
+// RESYNC proves a daemon is back. The fence is recorded even while the
+// driver itself is down, so a recovered driver does not refold claims
+// into ack cycles against a corpse.
+func (d *Driver) AgentDead(node string) {
+	d.deadAgents[node] = true
+	if d.down {
+		return // recovery consults deadAgents when refolding
+	}
+	var own []*fclaim
+	for _, c := range d.claims {
+		if c.node == node {
+			own = append(own, c)
+		}
+	}
+	sort.Slice(own, func(i, j int) bool { return own[i].id.Less(own[j].id) })
+	for _, c := range own {
+		d.releaseClaim(c) // dead-agent shortcut resolves locally by state
 	}
 }
 
@@ -478,21 +644,30 @@ func (d *Driver) sweep() {
 		return
 	}
 	var stale []*fclaim
-	bound := 0
+	liveBound := 0
 	for _, c := range d.claims {
+		if c.inc < d.agentInc[c.node] && (c.state == csReady || c.state == csBound) {
+			// Orphaned by an agent incarnation change that neither the
+			// resync nor a reply stamp resolved (both answers lost): the
+			// old incarnation's reservation is gone for good. The release
+			// cycle resolves it — the new incarnation acks unknown claims.
+			stale = append(stale, c)
+			continue
+		}
 		if c.state != csBound {
 			continue
 		}
-		bound++
 		if !d.attemptLive(c) {
 			stale = append(stale, c)
+			continue
 		}
+		liveBound++
 	}
 	sort.Slice(stale, func(i, j int) bool { return stale[i].id.Less(stale[j].id) })
 	for _, c := range stale {
 		d.releaseClaim(c)
 	}
-	if bound > len(stale) {
+	if liveBound > 0 {
 		d.armSweep()
 	}
 }
@@ -555,6 +730,10 @@ func (d *Driver) Crash(restartAfter float64) {
 	d.byTask = make(map[int]*fclaim)
 	d.inflight = make(map[string]int)
 	d.noProposeUntil = make(map[string]float64)
+	// Process memory: incarnation views die with the process and are
+	// re-learned from reply stamps. deadAgents deliberately survives (see
+	// its field comment).
+	d.agentInc = make(map[string]uint64)
 	d.sweepArmed = false
 	for _, a := range d.apps {
 		if !a.done && !a.rt.Crashed() {
@@ -610,7 +789,8 @@ func (d *Driver) onAppRecovered(a *fedApp) {
 			d.violate("recovery folded claim %s for unknown task %d", k, wc.Task)
 			continue
 		}
-		c := &fclaim{id: id, app: a, task: t, node: wc.Node, slots: wc.Slots}
+		c := &fclaim{id: id, app: a, task: t, node: wc.Node, slots: wc.Slots,
+			inc: d.agentInc[wc.Node]}
 		d.claims[id] = c
 		d.inflight[wc.Node]++
 		switch wc.State {

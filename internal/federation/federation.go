@@ -75,6 +75,14 @@ type AgentStats struct {
 	Commits     int    `json:"commits"`
 	Rejects     int    `json:"rejects"`
 	Expiries    int    `json:"expiries"`
+	// Agent fault-episode counters: crashes suffered, restarts, resync
+	// handshakes closed, claims rebuilt from driver answers, and
+	// PROPOSE/COMMITs refused for carrying a dead incarnation.
+	Crashes      int `json:"crashes,omitempty"`
+	Restarts     int `json:"restarts,omitempty"`
+	Resyncs      int `json:"resyncs,omitempty"`
+	Rebuilt      int `json:"rebuilt,omitempty"`
+	StaleRejects int `json:"stale_rejects,omitempty"`
 }
 
 // DriverStats is one driver's protocol outcome for reports.
@@ -106,6 +114,12 @@ type Result struct {
 	Aborted   int `json:"aborted"`
 	Launches  int `json:"launches"`
 	Crashes   int `json:"driver_crashes"`
+
+	// Agent fault-domain totals across all agents.
+	AgentCrashes  int `json:"agent_crashes"`
+	AgentRestarts int `json:"agent_restarts"`
+	Resyncs       int `json:"agent_resyncs"`
+	RebuiltClaims int `json:"rebuilt_claims"`
 
 	MsgSent      int `json:"msg_sent"`
 	MsgDelivered int `json:"msg_delivered"`
@@ -152,6 +166,15 @@ func Run(cfg Config) *Result {
 	for i := range drivers {
 		drivers[i] = NewDriver(eng, plane, cfg.Protocol, i, nodeCap, violation)
 	}
+	addrs := make([]string, len(drivers))
+	for i, d := range drivers {
+		addrs[i] = d.Addr
+	}
+	agentByName := make(map[string]*Agent, len(agents))
+	for _, a := range agents {
+		a.SetDrivers(addrs)
+		agentByName[a.Name] = a
+	}
 
 	// Shared substrate: one executor set, one monitor, heartbeats fanned
 	// to every active application (then a local round each — there is no
@@ -179,11 +202,59 @@ func Run(cfg Config) *Result {
 		},
 	})
 
+	// A restarted agent cross-checks bound RESYNC_CLAIMs against the
+	// executor actually co-located with it: a claim said to back a live
+	// attempt is rebuilt only if the task really is still running there.
+	for _, a := range agents {
+		ex := sub.Execs[a.Name]
+		if ex == nil {
+			continue
+		}
+		a.TaskRunning = func(taskID int) bool {
+			if ex.FailStopped() {
+				return false
+			}
+			for _, r := range ex.Running() {
+				if r.Task().ID == taskID {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
 	var inj *faults.Injector
 	if !cfg.Faults.Empty() {
 		inj = faults.NewInjector(eng, clu, sub.Execs)
 		sub.Mon.Drop = inj.Suppressed
 		inj.Collector = cfg.Spark.Tracer
+		// Agent faults: AgentCrash/AgentRestart events plus the collateral
+		// kills from NodeCrash and spot reclamation all land here. A crash
+		// with no scheduled comeback (downtime 0) is broadcast as
+		// membership news so drivers resolve its claims locally instead of
+		// chasing acks that may never come.
+		inj.OnAgentCrash = func(node string, downtime float64) {
+			a := agentByName[node]
+			if a == nil {
+				return
+			}
+			a.Crash()
+			if downtime == 0 {
+				for _, d := range drivers {
+					d.AgentDead(node)
+				}
+			}
+		}
+		inj.OnAgentRestart = func(node string) {
+			a := agentByName[node]
+			if a == nil {
+				return
+			}
+			if ex, ok := sub.Execs[node]; ok && ex.FailStopped() {
+				return // the node is still down; its recovery restarts the agent
+			}
+			a.Restart()
+		}
 		// DriverCrash events rotate over drivers that still own live
 		// applications, so every shard's crash/recovery path runs.
 		next := 0
@@ -242,8 +313,10 @@ func Run(cfg Config) *Result {
 	fan(func(rt *spark.Runtime) { rt.Scheduler().Schedule() })
 
 	// Drain: applications finish first, then outstanding abort/release
-	// cycles settle (they always do — agents never die and fault windows
-	// are finite). The horizon is a watchdog, not an expected path.
+	// cycles settle (they always do — fault windows are finite, restarted
+	// agents ack unknown claims, and claims against permanently dead
+	// agents resolve locally). The horizon is a watchdog, not an expected
+	// path.
 	eng.RunUntil(cfg.MaxSimTime * 2)
 	if eng.Pending() > 0 {
 		violation(fmt.Sprintf("simulation did not quiesce: %d events pending at horizon", eng.Pending()))
@@ -269,7 +342,13 @@ func Run(cfg Config) *Result {
 		res.AgentStats = append(res.AgentStats, AgentStats{
 			Node: a.Name, Capacity: a.Capacity, MaxReserved: a.MaxReserved,
 			Accepts: a.Accepts, Commits: a.Commits, Rejects: a.Rejects, Expiries: a.Expiries,
+			Crashes: a.Crashes, Restarts: a.Restarts, Resyncs: a.Resyncs,
+			Rebuilt: a.Rebuilt, StaleRejects: a.StaleRejects,
 		})
+		res.AgentCrashes += a.Crashes
+		res.AgentRestarts += a.Restarts
+		res.Resyncs += a.Resyncs
+		res.RebuiltClaims += a.Rebuilt
 		mix(a.Digest())
 	}
 	for _, d := range drivers {

@@ -11,7 +11,10 @@
 // state: claims still live in the fold after a crash are exactly the ones
 // the restarted driver must re-abort or re-release, and agent-side accept
 // expiry guarantees that claims a dead driver never committed return to
-// the pool on their own.
+// the pool on their own. Agents are a fault domain too: a crashed agent
+// loses every claim, timer and tombstone, and on restart it bumps its
+// incarnation, refuses pre-crash PROPOSE/COMMITs, and rebuilds surviving
+// reservations from the drivers' answers to its RESYNC broadcast.
 package federation
 
 import "fmt"
@@ -67,6 +70,19 @@ const (
 	Release
 	// ReleaseAck confirms the release took effect.
 	ReleaseAck
+	// Resync is broadcast by a restarted agent to every driver: "I am back
+	// under incarnation Inc with no memory — tell me what I owe you."
+	// Drivers answer with their view of the claims they hold on the node.
+	Resync
+	// ResyncClaim is one driver-side answer: a committed claim the driver
+	// still holds on the restarting node. Bound marks it as backing a
+	// launched attempt (the agent cross-checks those against the executor's
+	// running set before rebuilding the reservation).
+	ResyncClaim
+	// ResyncEnd closes one driver's resync answer; once every driver has
+	// answered (or the resync deadline lapses) the agent accepts proposals
+	// again.
+	ResyncEnd
 )
 
 // String names the message type.
@@ -92,6 +108,12 @@ func (t MsgType) String() string {
 		return "RELEASE"
 	case ReleaseAck:
 		return "RELEASE_ACK"
+	case Resync:
+		return "RESYNC"
+	case ResyncClaim:
+		return "RESYNC_CLAIM"
+	case ResyncEnd:
+		return "RESYNC_END"
 	default:
 		return fmt.Sprintf("federation.MsgType(%d)", int(t))
 	}
@@ -111,6 +133,16 @@ type Message struct {
 	// Expiry is an ACCEPT's reservation deadline: the absolute virtual
 	// time at which an uncommitted claim self-releases at the agent.
 	Expiry float64
+	// Inc is an incarnation number: agents count their crashes (boot is
+	// incarnation 0) and stamp every message they send with the current
+	// value; drivers stamp PROPOSE/COMMIT with their last-known view of the
+	// target agent's incarnation. An agent refuses PROPOSE/COMMIT carrying
+	// a foreign incarnation, fencing off messages that predate its crash —
+	// a stale COMMIT from before the wipe must not double-reserve slots.
+	Inc uint64
+	// Bound marks a RESYNC_CLAIM as backing a launched attempt rather than
+	// a committed-but-unused reservation.
+	Bound bool
 }
 
 // ProtocolConfig tunes the placement protocol's timing.
@@ -144,8 +176,15 @@ type ProtocolConfig struct {
 	StaleClaimTTL float64
 	// SweepInterval is the period of the driver's reconcile sweep, which
 	// releases bound claims whose attempt vanished through a silent-kill
-	// path such as a job abort (default 2).
+	// path such as a job abort (default 2) and reconciles claims orphaned
+	// by an agent incarnation change.
 	SweepInterval float64
+	// ResyncTimeout is how long a restarted agent waits for the drivers'
+	// RESYNC answers before accepting proposals again; a crashed driver
+	// cannot answer, so the handshake must not wait forever. It also serves
+	// as the reject-backoff hint sent to proposals arriving mid-resync
+	// (default 4 — comfortably past a full resync retransmit cycle).
+	ResyncTimeout float64
 }
 
 func (c ProtocolConfig) withDefaults() ProtocolConfig {
@@ -169,6 +208,9 @@ func (c ProtocolConfig) withDefaults() ProtocolConfig {
 	}
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = 2
+	}
+	if c.ResyncTimeout <= 0 {
+		c.ResyncTimeout = 4
 	}
 	return c
 }
