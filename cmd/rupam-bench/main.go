@@ -52,22 +52,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	"rupam/internal/chaos"
 	"rupam/internal/experiments"
 	"rupam/internal/metrics"
+	"rupam/internal/perf"
 )
 
-// experimentNames is every value -experiment accepts. "faults" and
-// "chaos" are the only ones outside "all": they inject failures, so the
-// default artifact sweep stays byte-identical run to run.
+// experimentNames is every value -experiment accepts. "faults", "chaos"
+// and "perf" are the only ones outside "all": the first two inject
+// failures, so the default artifact sweep stays byte-identical run to
+// run, and "perf" measures wall time, which no artifact may depend on.
 var experimentNames = []string{
 	"all", "tab2", "tab4", "fig2", "fig3", "fig5", "fig6", "tab5",
 	"fig7", "fig8", "fig9", "ablations", "faults", "chaos", "recovery",
 	"tracesanity", "tenancy", "preempt", "elastic", "federation",
-	"streaming",
+	"streaming", "perf",
 }
 
 func main() {
@@ -82,6 +87,15 @@ func main() {
 	elasticSeeds := flag.Int("elastic-seeds", 0, "arrival-stream seeds per policy in the elastic sweep (0 = default)")
 	fedSeeds := flag.Int("federation-seeds", 5, "fault-plan seeds in the federation soak")
 	streamingSeeds := flag.Int("streaming-seeds", 0, "topology seeds per placer in the streaming sweep (0 = default)")
+	perfScale := flag.String("perf-scale", "standard", "perf battery sweep size: smoke|standard")
+	perfReps := flag.Int("perf-reps", 3, "perf battery repetitions per case (fastest kept)")
+	perfUnopt := flag.Bool("perf-compare-unopt", true, "pair every perf case with a run under the unoptimized reference kernels")
+	baselinePath := flag.String("baseline", "", "BENCH JSON to compare the perf battery against (regressions fail the run)")
+	threshold := flag.Float64("threshold", 0.15, "events/sec regression tolerated against -baseline")
+	kernelBaseline := flag.String("kernel-baseline", "", "kernel-baseline JSON to embed in the perf battery's -json artifact")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	known := false
@@ -102,6 +116,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *perfScale != perf.ScaleSmoke && *perfScale != perf.ScaleStandard {
+		fmt.Fprintf(os.Stderr, "rupam-bench: -perf-scale must be %s or %s, got %q\n",
+			perf.ScaleSmoke, perf.ScaleStandard, *perfScale)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *perfReps < 1 {
+		fmt.Fprintf(os.Stderr, "rupam-bench: -perf-reps must be at least 1, got %d\n", *perfReps)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stopProfiles := startProfiles(*cpuProfile, *memProfile, *tracePath)
+	defer stopProfiles()
 
 	writeCSV := func(name string, write func(f *os.File) error) {
 		if *csvDir == "" {
@@ -437,6 +465,60 @@ func main() {
 			}
 		})
 	}
+	if *exp == "perf" {
+		matched = true
+		run("Perf battery", func() {
+			rep := perf.RunBattery(perf.Options{
+				Scale:        *perfScale,
+				CompareUnopt: *perfUnopt,
+				Reps:         *perfReps,
+				Progress:     func(s string) { fmt.Fprintln(w, s) },
+			})
+			if *kernelBaseline != "" {
+				kb, err := perf.ReadKernelBaseline(*kernelBaseline)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					stopProfiles()
+					os.Exit(1)
+				}
+				rep.BaselineKernel = kb
+				fmt.Fprintf(w, "kernel baseline %s: %.0f events/s -> %.0f events/s (%.2fx)\n",
+					kb.Commit, kb.Total.EventsPerSec, rep.Total.EventsPerSec,
+					rep.Total.EventsPerSec/kb.Total.EventsPerSec)
+			}
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					stopProfiles()
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", *jsonPath, err)
+					stopProfiles()
+					os.Exit(1)
+				}
+			}
+			if *baselinePath != "" {
+				base, err := perf.ReadReportFile(*baselinePath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+					stopProfiles()
+					os.Exit(1)
+				}
+				violations := perf.Compare(base, rep, *threshold)
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "rupam-bench: perf regression: %s\n", v)
+				}
+				if len(violations) > 0 {
+					stopProfiles()
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "no regression against %s (threshold %.0f%%)\n", *baselinePath, *threshold*100)
+			}
+		})
+	}
 	if *exp == "tracesanity" {
 		matched = true
 		run("Trace sanity", func() {
@@ -449,4 +531,67 @@ func main() {
 		})
 	}
 	_ = matched
+}
+
+// startProfiles wires the standard pprof/trace outputs around the run
+// and returns the (idempotent) stop function. Profiling the perf
+// battery is the intended use:
+//
+//	rupam-bench -experiment perf -cpuprofile cpu.out
+func startProfiles(cpu, mem, tr string) func() {
+	var stops []func()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tr != "" {
+		f, err := os.Create(tr)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fail(err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rupam-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rupam-bench: writing %s: %v\n", mem, err)
+			}
+		})
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		for _, stop := range stops {
+			stop()
+		}
+	}
 }

@@ -14,7 +14,7 @@ type DVFS struct {
 	base     float64 // spec frequency in GHz
 	minFrac  float64
 	interval float64
-	timer    *simx.Timer
+	timer    simx.Timer
 	stopped  bool
 
 	// Adjustments counts frequency changes applied (test/report hook).
@@ -46,10 +46,8 @@ func StartDVFS(eng *simx.Engine, node *Node, minFrac, interval float64) *DVFS {
 // Stop halts the governor, restoring the base frequency.
 func (g *DVFS) Stop() {
 	g.stopped = true
-	if g.timer != nil {
-		g.timer.Cancel()
-		g.timer = nil
-	}
+	g.timer.Cancel()
+	g.timer = simx.Timer{}
 	g.setFreq(g.base)
 }
 

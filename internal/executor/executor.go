@@ -147,6 +147,18 @@ type Executor struct {
 	// only while non-zero, so fault-free runs stay byte-identical.
 	flakeProb float64
 
+	// metricsArena batches attempt-Metrics allocation; runArena batches
+	// Run allocation. Both are append-only within a run (handles escape
+	// to the driver, CharDB and tracing), so batching is safe and
+	// recycling is deliberately not attempted.
+	metricsArena task.MetricsArena
+	runArena     []Run
+
+	// shuffle-read scratch, reused across readShuffle calls (the section
+	// using them is synchronous, so per-executor reuse is safe).
+	shuffleByNode map[string]int64
+	shuffleNodes  []string
+
 	// reserved is memory promised to launched-but-not-yet-started
 	// attempts; schedulers that admit by memory fit consult
 	// ProjectedFree so a burst of simultaneous launches cannot
@@ -360,13 +372,19 @@ func (ex *Executor) Launch(t *task.Task, st *task.Stage, opts Options, onDone fu
 	if ex.down {
 		panic("executor: launch on downed executor " + ex.node.Name())
 	}
-	m := &task.Metrics{
+	m := ex.metricsArena.New()
+	*m = task.Metrics{
 		Executor: ex.node.Name(),
 		Locality: opts.Locality,
 		Launch:   ex.eng.Now(),
 	}
 	t.Attempts = append(t.Attempts, m)
-	r := &Run{ex: ex, t: t, st: st, m: m, opts: opts, onDone: onDone, seq: nextRunSeq()}
+	if len(ex.runArena) == 0 {
+		ex.runArena = make([]Run, 16)
+	}
+	r := &ex.runArena[0]
+	ex.runArena = ex.runArena[1:]
+	*r = Run{ex: ex, t: t, st: st, m: m, opts: opts, onDone: onDone, seq: nextRunSeq()}
 	r.tr = ex.cfg.Tracer.AttemptStarted(t, st, ex.node.Name(), opts.Locality.String(), opts.Speculative)
 	r.reservedMem = t.Demand.PeakMemory
 	ex.reserved += r.reservedMem

@@ -1,6 +1,8 @@
 package executor
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"rupam/internal/netsim"
@@ -39,7 +41,7 @@ type Run struct {
 	// live references for cancellation
 	claims []*simx.Claim
 	flows  []*netsim.Flow
-	timer  *simx.Timer
+	timer  simx.Timer
 
 	// fetchSrcs names the remote nodes the in-progress shuffle read is
 	// streaming from; cleared when the phase completes. The driver uses it
@@ -51,7 +53,9 @@ type Run struct {
 }
 
 func sortRuns(rs []*Run) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].seq < rs[j].seq })
+	// slices.SortFunc, not sort.Slice: this runs on every scheduler scan
+	// of an executor, and the reflection-based swapper allocates.
+	slices.SortFunc(rs, func(a, b *Run) int { return cmp.Compare(a.seq, b.seq) })
 }
 
 // Task returns the task being attempted.
@@ -76,7 +80,7 @@ func (r *Run) Executor() *Executor { return r.ex }
 // armTimer schedules fn after delay, tracking the timer for cancellation.
 func (r *Run) armTimer(delay float64, fn func()) {
 	r.timer = r.ex.eng.Schedule(delay, func() {
-		r.timer = nil
+		r.timer = simx.Timer{}
 		if !r.done {
 			fn()
 		}
@@ -383,8 +387,15 @@ func (r *Run) readShuffle() {
 	r.phaseStart = r.ex.eng.Now()
 	me := r.ex.node.Name()
 
-	// Aggregate parent map outputs by node.
-	byNode := make(map[string]int64)
+	// Aggregate parent map outputs by node, into per-executor scratch —
+	// this section is synchronous, so the reuse cannot interleave.
+	if r.ex.shuffleByNode == nil {
+		r.ex.shuffleByNode = make(map[string]int64)
+	}
+	byNode := r.ex.shuffleByNode
+	for n := range byNode {
+		delete(byNode, n)
+	}
 	var total int64
 	for _, p := range r.st.Parent {
 		for n, b := range p.ShuffleOutputByNode {
@@ -398,11 +409,12 @@ func (r *Run) readShuffle() {
 		r.compute()
 		return
 	}
-	nodes := make([]string, 0, len(byNode))
+	nodes := r.ex.shuffleNodes[:0]
 	for n := range byNode {
 		nodes = append(nodes, n)
 	}
 	sort.Strings(nodes)
+	r.ex.shuffleNodes = nodes
 
 	done := func() {
 		r.fetchSrcs = nil
@@ -669,10 +681,8 @@ func (r *Run) dropReservation() {
 // and accelerator tokens.
 func (r *Run) release() {
 	r.dropReservation()
-	if r.timer != nil {
-		r.timer.Cancel()
-		r.timer = nil
-	}
+	r.timer.Cancel()
+	r.timer = simx.Timer{}
 	for _, c := range r.claims {
 		c.Cancel()
 	}

@@ -15,7 +15,7 @@ type agentClaim struct {
 	task      int
 	slots     int
 	committed bool
-	expiry    *simx.Timer // armed while accepted, cancelled at commit
+	expiry    simx.Timer // armed while accepted, cancelled at commit
 }
 
 // Agent owns one node's core slots for the placement protocol. It is a
@@ -58,9 +58,9 @@ type Agent struct {
 	// RESYNC_END (or the resync deadline).
 	resyncing      bool
 	resyncWait     map[string]bool // drivers whose RESYNC_END is still missing
-	resyncTimers   map[string]*simx.Timer
+	resyncTimers   map[string]simx.Timer
 	resyncTries    map[string]int
-	resyncDeadline *simx.Timer
+	resyncDeadline simx.Timer
 
 	reserved int
 	// MaxReserved is the high-water mark of simultaneously reserved
@@ -162,7 +162,7 @@ func (a *Agent) Restart() {
 		return
 	}
 	a.resyncWait = make(map[string]bool, len(a.drivers))
-	a.resyncTimers = make(map[string]*simx.Timer, len(a.drivers))
+	a.resyncTimers = make(map[string]simx.Timer, len(a.drivers))
 	a.resyncTries = make(map[string]int, len(a.drivers))
 	for _, addr := range a.drivers {
 		a.resyncWait[addr] = true
@@ -200,7 +200,7 @@ func (a *Agent) stopResync() {
 	a.resyncWait = nil
 	a.resyncTries = nil
 	a.resyncDeadline.Cancel()
-	a.resyncDeadline = nil
+	a.resyncDeadline = simx.Timer{}
 }
 
 // finishResync closes the handshake: every driver answered, or the

@@ -59,7 +59,7 @@ type fclaim struct {
 
 	attempts int // sends so far in the current retransmit cycle
 	cycle    int // completed cycles (abort/release re-arm with growing pauses)
-	timer    *simx.Timer
+	timer    simx.Timer
 }
 
 // fedApp couples one application runtime to its federated driver.

@@ -57,7 +57,7 @@ type Recorder struct {
 	heaps    map[string]HeapReader
 	interval float64
 	trace    *Trace
-	timer    *simx.Timer
+	timer    simx.Timer
 	stopped  bool
 }
 
@@ -94,10 +94,8 @@ func (r *Recorder) Start() { r.tick() }
 // Stop halts sampling.
 func (r *Recorder) Stop() {
 	r.stopped = true
-	if r.timer != nil {
-		r.timer.Cancel()
-		r.timer = nil
-	}
+	r.timer.Cancel()
+	r.timer = simx.Timer{}
 }
 
 // Trace returns the recorded series.

@@ -64,7 +64,7 @@ type Monitor struct {
 	// re-arming so heartbeats resume the moment the node recovers.
 	Drop func(node string) bool
 
-	timers  []*simx.Timer
+	timers  []simx.Timer
 	stopped bool
 	// Heartbeats counts reports received (monitoring overhead accounting).
 	Heartbeats int

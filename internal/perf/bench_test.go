@@ -1,13 +1,14 @@
-// Package rupam's root benchmark harness regenerates every table and
-// figure of the paper's evaluation (one benchmark per artifact) plus the
-// DESIGN.md ablations, and includes micro-benchmarks of the simulation
-// substrates. Run with:
+// This file is the evaluation benchmark harness: one Go benchmark per
+// table and figure of the paper's evaluation plus the DESIGN.md
+// ablations, and micro-benchmarks of the simulation substrates. Run with:
 //
-//	go test -bench=. -benchmem
+//	go test ./internal/perf -bench=. -benchmem
 //
 // Each evaluation benchmark executes the full experiment at least once per
 // iteration; reported ns/op is the wall cost of regenerating the artifact.
-package rupam
+// For the kernel-throughput battery behind the BENCH artifacts, see
+// RunBattery and cmd/rupam-bench -experiment perf.
+package perf
 
 import (
 	"testing"

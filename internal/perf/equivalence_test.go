@@ -1,0 +1,87 @@
+package perf
+
+import (
+	"testing"
+
+	"rupam/internal/chaos"
+	"rupam/internal/netsim"
+)
+
+// These tests are the netsim optimization's safety case (ROADMAP:
+// "incremental re-rating must be indistinguishable from the reference
+// recompute"). Two layers:
+//
+//  1. netsim verify mode — every network panics the moment any
+//     incrementally maintained flow rate or interface aggregate differs
+//     from a full water-filling recompute, by exact float64 comparison.
+//     Running seeded chaos and streaming fault mixes under verify
+//     sweeps that check across crashes, gray nodes, spot reclamation,
+//     migrations and load spikes.
+//
+//  2. cross-kernel fingerprints — the same seeds run with incremental
+//     re-rating disabled must produce bit-identical outcome
+//     fingerprints, proving the optimized kernel changes no observable
+//     trajectory, not merely no single rate.
+func TestIncrementalMatchesFullUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a multi-second sweep")
+	}
+	seeds := []uint64{11, 23}
+
+	netsim.SetVerifyDefault(true)
+	rep := chaos.Soak(chaos.Config{Seeds: seeds})
+	netsim.SetVerifyDefault(false)
+	if rep.Violations != 0 {
+		for _, r := range rep.Runs {
+			for _, v := range r.Violations {
+				t.Errorf("%s seed %d: %s", r.Scheduler, r.Seed, v)
+			}
+		}
+		t.Fatalf("verified chaos soak reported %d violations", rep.Violations)
+	}
+
+	netsim.SetIncrementalDefault(false)
+	full := chaos.Soak(chaos.Config{Seeds: seeds, SkipVerify: true})
+	netsim.SetIncrementalDefault(true)
+	if len(full.Runs) != len(rep.Runs) {
+		t.Fatalf("run count mismatch: %d incremental, %d full", len(rep.Runs), len(full.Runs))
+	}
+	for i, r := range rep.Runs {
+		if full.Runs[i].Fingerprint != r.Fingerprint {
+			t.Errorf("%s seed %d: fingerprint %s incremental, %s full recompute",
+				r.Scheduler, r.Seed, r.Fingerprint, full.Runs[i].Fingerprint)
+		}
+	}
+}
+
+func TestIncrementalMatchesFullUnderStreamingFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming soak is a multi-second sweep")
+	}
+	seeds := []uint64{7, 19}
+
+	netsim.SetVerifyDefault(true)
+	rep := chaos.StreamingSoak(chaos.StreamingConfig{Seeds: seeds})
+	netsim.SetVerifyDefault(false)
+	if rep.Violations != 0 {
+		for _, r := range rep.Runs {
+			for _, v := range r.Violations {
+				t.Errorf("%s seed %d: %s", r.Placer, r.Seed, v)
+			}
+		}
+		t.Fatalf("verified streaming soak reported %d violations", rep.Violations)
+	}
+
+	netsim.SetIncrementalDefault(false)
+	full := chaos.StreamingSoak(chaos.StreamingConfig{Seeds: seeds, SkipVerify: true})
+	netsim.SetIncrementalDefault(true)
+	if len(full.Runs) != len(rep.Runs) {
+		t.Fatalf("run count mismatch: %d incremental, %d full", len(rep.Runs), len(full.Runs))
+	}
+	for i, r := range rep.Runs {
+		if full.Runs[i].Fingerprint != r.Fingerprint {
+			t.Errorf("%s seed %d: fingerprint %s incremental, %s full recompute",
+				r.Placer, r.Seed, r.Fingerprint, full.Runs[i].Fingerprint)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package perf
+
+import (
+	"testing"
+
+	"rupam/internal/chaos"
+	"rupam/internal/simx"
+)
+
+// TestPoolingBitIdentity is the timer-pooling optimization's safety
+// case. A chaos soak with pooling enabled (the default) self-verifies
+// bit-identical double runs and the full invariant battery; the same
+// seeds with pooling disabled — one heap allocation per event, the
+// reference allocation strategy — must land on the same fingerprints.
+func TestPoolingBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a multi-second sweep")
+	}
+	seeds := []uint64{5, 17}
+
+	pooled := chaos.Soak(chaos.Config{Seeds: seeds})
+	if pooled.Violations != 0 {
+		for _, r := range pooled.Runs {
+			for _, v := range r.Violations {
+				t.Errorf("%s seed %d: %s", r.Scheduler, r.Seed, v)
+			}
+		}
+		t.Fatalf("pooled chaos soak reported %d violations", pooled.Violations)
+	}
+
+	simx.SetPoolingDefault(false)
+	unpooled := chaos.Soak(chaos.Config{Seeds: seeds, SkipVerify: true})
+	simx.SetPoolingDefault(true)
+	if len(unpooled.Runs) != len(pooled.Runs) {
+		t.Fatalf("run count mismatch: %d pooled, %d unpooled", len(pooled.Runs), len(unpooled.Runs))
+	}
+	for i, r := range pooled.Runs {
+		if unpooled.Runs[i].Fingerprint != r.Fingerprint {
+			t.Errorf("%s seed %d: fingerprint %s pooled, %s unpooled",
+				r.Scheduler, r.Seed, r.Fingerprint, unpooled.Runs[i].Fingerprint)
+		}
+	}
+}
+
+// TestPoolSteadyState is the leak test: under a fixed-concurrency
+// workload the timer-node pool must reach steady state — after the
+// first wave warms the free list, further waves allocate nothing, and
+// a drained engine holds every node it ever allocated on the free
+// list (nothing stuck in the heap, nothing dropped for the GC to
+// collect and the next wave to re-allocate).
+func TestPoolSteadyState(t *testing.T) {
+	eng := simx.NewEngine()
+	const depth, events = 48, 20_000
+
+	wave := func() {
+		fired := 0
+		var tick func()
+		tick = func() {
+			fired++
+			if fired < events {
+				eng.Schedule(0.001, tick)
+			}
+		}
+		for i := 0; i < depth; i++ {
+			eng.Schedule(0.001, tick)
+		}
+		eng.Run()
+	}
+
+	wave()
+	warm := eng.PoolStats()
+	if warm.InUse != 0 {
+		t.Fatalf("drained engine holds %d nodes in the heap", warm.InUse)
+	}
+	if warm.Free != int(warm.News) {
+		t.Fatalf("drained engine leaked nodes: %d allocated, %d on the free list", warm.News, warm.Free)
+	}
+	if warm.News > 4*depth {
+		t.Fatalf("pool over-allocates: %d nodes for concurrency %d", warm.News, depth)
+	}
+
+	for i := 0; i < 5; i++ {
+		wave()
+	}
+	steady := eng.PoolStats()
+	if steady.News != warm.News {
+		t.Fatalf("pool not steady: %d fresh allocations after warmup (total %d, warm %d)",
+			steady.News-warm.News, steady.News, warm.News)
+	}
+	if steady.InUse != 0 || steady.Free != int(steady.News) {
+		t.Fatalf("pool leaked under repetition: in-use %d, free %d, allocated %d",
+			steady.InUse, steady.Free, steady.News)
+	}
+	if steady.Puts != steady.Gets+steady.News {
+		t.Fatalf("take/return imbalance on a drained engine: %d+%d taken, %d returned",
+			steady.Gets, steady.News, steady.Puts)
+	}
+}

@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"testing"
+
+	"rupam/internal/streaming"
+	"rupam/internal/tracing"
+)
+
+// TestUntracedPlacementAllocs pins the fix for tracing allocation
+// churn: with no collector attached, the placement path must not pay
+// for the decision record — no Decision objects, no candidate slices,
+// and crucially none of the per-candidate detail strings the traced
+// path formats. The traced run is measured alongside as evidence the
+// workload would allocate heavily if the guards were dropped.
+func TestUntracedPlacementAllocs(t *testing.T) {
+	topo := streaming.GenTopology(3, streaming.TopoConfig{})
+	var nodes []streaming.NodeInfo
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, streaming.NodeInfo{
+			Name: string(rune('a' + i)), Cores: 4 + i%3*4, FreqGHz: 2.0 + float64(i%4)*0.4,
+			MemBytes: 32 << 30, NetBps: 1.25e9,
+		})
+	}
+
+	// Per-placer budgets: the measured algorithmic cost (steady-rate
+	// maps, per-node load records, the assignment map) plus ~25%
+	// headroom. An unguarded tracing call in a per-candidate loop costs
+	// O(operators x nodes) formatting allocations — at this topology
+	// ≥160 on top — and blows the budget for every placer.
+	budgets := map[string]float64{"default": 45, "resource": 95, "rupam": 600}
+
+	for _, name := range streaming.PlacerNames {
+		untracedPlacer, err := streaming.NewPlacer(name, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracedPlacer, err := streaming.NewPlacer(name, nil, tracing.NewCollector())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		untraced := testing.AllocsPerRun(20, func() { untracedPlacer.Place(topo, nodes) })
+		traced := testing.AllocsPerRun(20, func() { tracedPlacer.Place(topo, nodes) })
+
+		if untraced >= budgets[name] {
+			t.Errorf("placer %q: %v allocs/placement untraced (budget %v) — tracing guards regressed",
+				name, untraced, budgets[name])
+		}
+		if traced <= untraced+float64(len(topo.Ops)) {
+			t.Errorf("placer %q: traced run allocated %v vs %v untraced — collector not exercised, test is vacuous",
+				name, traced, untraced)
+		}
+	}
+}

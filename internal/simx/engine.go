@@ -17,53 +17,158 @@ import (
 	"rupam/internal/pq"
 )
 
-// Timer is a handle to a scheduled event; Cancel prevents it from firing.
-type Timer struct {
+// timerNode is the heap entry behind a Timer handle. Nodes are recycled
+// through a per-engine free list once they leave the heap; the gen field
+// makes stale handles to a recycled node inert (see Timer).
+type timerNode struct {
 	t        float64
 	seq      uint64
+	gen      uint64
 	fn       func()
 	canceled bool
 }
 
+// Timer is a handle to a scheduled event; Cancel prevents it from firing.
+// The zero value is an inert handle: Cancel is a no-op and Canceled
+// reports true. Handles are values — copy them freely; cancelling any
+// copy cancels the event. A handle held across the event's firing stays
+// safe even though the underlying node is recycled: the generation check
+// turns operations on a stale handle into no-ops.
+type Timer struct {
+	n   *timerNode
+	gen uint64
+}
+
 // Cancel prevents the timer's callback from running. Cancelling an
 // already-fired or already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil {
-		t.canceled = true
-		t.fn = nil
+func (t Timer) Cancel() {
+	if t.n != nil && t.n.gen == t.gen {
+		t.n.canceled = true
+		t.n.fn = nil
 	}
 }
 
-// Canceled reports whether Cancel was called before the timer fired.
-func (t *Timer) Canceled() bool { return t == nil || t.canceled }
+// Canceled reports whether the timer can no longer fire: it was cancelled,
+// has already fired, or is the zero handle.
+func (t Timer) Canceled() bool { return t.n == nil || t.n.gen != t.gen || t.n.canceled }
+
+// Active reports whether the timer is still armed (scheduled, not yet
+// fired, not cancelled).
+func (t Timer) Active() bool { return !t.Canceled() }
+
+// PoolStats reports timer-node pool behaviour, for leak tests and the
+// perf battery.
+type PoolStats struct {
+	Gets  uint64 // nodes taken from the free list
+	Puts  uint64 // nodes returned to the free list
+	News  uint64 // nodes freshly allocated
+	Free  int    // nodes currently on the free list
+	InUse int    // nodes currently in the heap
+}
 
 // Engine is the event loop. The zero value is not usable; use NewEngine.
 type Engine struct {
 	now     float64
 	seq     uint64
-	events  *pq.Heap[*Timer]
+	events  *pq.Heap[*timerNode]
 	running bool
+	fired   uint64
+
+	pooling bool
+	free    []*timerNode
+	gets    uint64
+	puts    uint64
+	news    uint64
 }
 
-// NewEngine returns an engine with the clock at 0.
+// engineObserver, when set, is invoked from NewEngine with every engine
+// created. The perf battery uses it to sum fired-event counts across
+// engines that harnesses construct internally. It must only be set from a
+// single goroutine with no engines running (the bench binary and the perf
+// package's serial tests).
+var engineObserver func(*Engine)
+
+// SetEngineObserver installs (or, with nil, removes) a hook called with
+// every engine NewEngine creates. Not safe for concurrent use with engine
+// construction; intended for the perf harness only.
+func SetEngineObserver(fn func(*Engine)) { engineObserver = fn }
+
+// defaultPooling seeds new engines' timer-node recycling mode; tests flip
+// it to run whole harnesses under the one-allocation-per-event reference
+// behaviour.
+var defaultPooling = true
+
+// SetPoolingDefault sets whether engines created from now on recycle
+// timer nodes. Not safe for concurrent use with NewEngine; intended for
+// tests and the perf battery only.
+func SetPoolingDefault(on bool) { defaultPooling = on }
+
+// NewEngine returns an engine with the clock at 0. Timer-node pooling is
+// enabled by default; SetPooling(false) reverts to one allocation per
+// scheduled event (the reference behaviour for equivalence tests).
 func NewEngine() *Engine {
-	return &Engine{
-		events: pq.New(func(a, b *Timer) bool {
+	e := &Engine{
+		events: pq.New(func(a, b *timerNode) bool {
 			if a.t != b.t {
 				return a.t < b.t
 			}
 			return a.seq < b.seq
 		}),
+		pooling: defaultPooling,
 	}
+	if engineObserver != nil {
+		engineObserver(e)
+	}
+	return e
 }
+
+// SetPooling enables or disables timer-node recycling. Pooling is purely
+// an allocation strategy: event ordering and timestamps are identical
+// either way.
+func (e *Engine) SetPooling(on bool) { e.pooling = on }
+
+// PoolStats returns the timer-node pool counters.
+func (e *Engine) PoolStats() PoolStats {
+	return PoolStats{Gets: e.gets, Puts: e.puts, News: e.news, Free: len(e.free), InUse: e.events.Len()}
+}
+
+// Fired returns the number of events executed so far — the denominator of
+// the perf battery's events/sec and allocs/event counters.
+func (e *Engine) Fired() uint64 { return e.fired }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// getNode returns a timer node, recycling from the free list when pooling
+// is enabled.
+func (e *Engine) getNode() *timerNode {
+	if n := len(e.free); n > 0 {
+		nd := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.gets++
+		return nd
+	}
+	e.news++
+	return &timerNode{}
+}
+
+// putNode retires a node that has left the heap. The generation bump
+// invalidates every outstanding handle before the node is reused.
+func (e *Engine) putNode(nd *timerNode) {
+	nd.gen++
+	nd.fn = nil
+	nd.canceled = false
+	if e.pooling {
+		e.free = append(e.free, nd)
+		e.puts++
+	}
+}
+
 // Schedule runs fn after delay seconds of virtual time. A non-positive
 // delay fires the event at the current time, after already-queued events
 // at this time. It returns a Timer that can cancel the callback.
-func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+func (e *Engine) Schedule(delay float64, fn func()) Timer {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
@@ -71,14 +176,15 @@ func (e *Engine) Schedule(delay float64, fn func()) *Timer {
 }
 
 // At runs fn at absolute virtual time t (clamped to now if in the past).
-func (e *Engine) At(t float64, fn func()) *Timer {
+func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	tm := &Timer{t: t, seq: e.seq, fn: fn}
-	e.events.Push(tm)
-	return tm
+	nd := e.getNode()
+	nd.t, nd.seq, nd.fn, nd.canceled = t, e.seq, fn, false
+	e.events.Push(nd)
+	return Timer{n: nd, gen: nd.gen}
 }
 
 // Run processes events until the queue is empty. It panics if called
@@ -97,20 +203,22 @@ func (e *Engine) RunUntil(limit float64) {
 	e.running = true
 	defer func() { e.running = false }()
 	for e.events.Len() > 0 {
-		tm := e.events.Peek()
-		if tm.t > limit {
+		nd := e.events.Peek()
+		if nd.t > limit {
 			break
 		}
 		e.events.Pop()
-		if tm.canceled {
+		if nd.canceled {
+			e.putNode(nd)
 			continue
 		}
-		if tm.t < e.now {
-			panic(fmt.Sprintf("simx: event time %v before now %v", tm.t, e.now))
+		if nd.t < e.now {
+			panic(fmt.Sprintf("simx: event time %v before now %v", nd.t, e.now))
 		}
-		e.now = tm.t
-		fn := tm.fn
-		tm.fn = nil
+		e.now = nd.t
+		fn := nd.fn
+		e.putNode(nd)
+		e.fired++
 		fn()
 	}
 	if !math.IsInf(limit, 1) && limit > e.now {
@@ -122,13 +230,15 @@ func (e *Engine) RunUntil(limit float64) {
 // existed. Primarily useful in tests.
 func (e *Engine) Step() bool {
 	for e.events.Len() > 0 {
-		tm := e.events.Pop()
-		if tm.canceled {
+		nd := e.events.Pop()
+		if nd.canceled {
+			e.putNode(nd)
 			continue
 		}
-		e.now = tm.t
-		fn := tm.fn
-		tm.fn = nil
+		e.now = nd.t
+		fn := nd.fn
+		e.putNode(nd)
+		e.fired++
 		fn()
 		return true
 	}

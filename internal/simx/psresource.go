@@ -2,12 +2,16 @@ package simx
 
 import (
 	"fmt"
-	"sort"
 
 	"rupam/internal/stats"
 )
 
 const demandEps = 1e-9
+
+// claimChunk is the arena block size for Claim allocation. Claims are
+// allocated in batches to amortize allocator overhead; they are never
+// recycled (handles escape to callers), only batched.
+const claimChunk = 64
 
 // PSResource models a processor-sharing resource: a server with a total
 // service rate (capacity) shared equally among active claims, optionally
@@ -22,19 +26,28 @@ const demandEps = 1e-9
 // Claims carry a service demand (e.g. giga-cycles, bytes) and a completion
 // callback. Whenever membership changes, remaining demands are advanced and
 // the next completion event is rescheduled.
+//
+// Re-rating is strictly local: only this resource's claims are touched on
+// any event, and the bookkeeping below is allocation-free on the steady
+// path (claims come from an arena, the claim list is a recycled slice, and
+// the completion timer reuses pooled engine nodes).
 type PSResource struct {
 	eng         *Engine
 	name        string
 	capacity    float64
 	perClaimCap float64
-	claims      map[*Claim]struct{}
+	claims      []*Claim // acquisition order; done claims compacted lazily
+	active      int      // live (not done) claims in the slice
 	lastUpdate  float64
-	timer       *Timer
+	timer       Timer
 	target      *Claim        // claim the armed timer is for; force-completed on fire
 	util        stats.TimeAvg // fraction of capacity in use over time
 	load        stats.TimeAvg // number of active claims over time
 	served      float64       // total demand served
 	claimSeq    uint64
+	completeFn  func()   // bound once; avoids a closure per reschedule
+	finished    []*Claim // scratch for complete()
+	arena       []Claim  // current allocation chunk
 }
 
 // Claim is an in-progress request for service from a PSResource.
@@ -53,14 +66,15 @@ func NewPSResource(eng *Engine, name string, capacity, perClaimCap float64) *PSR
 	if capacity <= 0 {
 		panic(fmt.Sprintf("simx: resource %q with non-positive capacity", name))
 	}
-	return &PSResource{
+	r := &PSResource{
 		eng:         eng,
 		name:        name,
 		capacity:    capacity,
 		perClaimCap: perClaimCap,
-		claims:      make(map[*Claim]struct{}),
 		lastUpdate:  eng.Now(),
 	}
+	r.completeFn = r.complete
+	return r
 }
 
 // Name returns the resource's diagnostic name.
@@ -99,7 +113,7 @@ func (r *PSResource) SetPerClaimCap(c float64) {
 
 // ratePerClaim returns the current service rate each claim receives.
 func (r *PSResource) ratePerClaim() float64 {
-	n := len(r.claims)
+	n := r.active
 	if n == 0 {
 		return 0
 	}
@@ -115,11 +129,11 @@ func (r *PSResource) Utilization() float64 {
 	if r.capacity == 0 {
 		return 0
 	}
-	return r.ratePerClaim() * float64(len(r.claims)) / r.capacity
+	return r.ratePerClaim() * float64(r.active) / r.capacity
 }
 
 // ActiveClaims returns the number of claims currently being served.
-func (r *PSResource) ActiveClaims() int { return len(r.claims) }
+func (r *PSResource) ActiveClaims() int { return r.active }
 
 // AvgUtilization returns the time-weighted average utilization fraction
 // since the resource was created.
@@ -136,12 +150,23 @@ func (r *PSResource) TotalServed() float64 {
 	return r.served
 }
 
+// newClaim hands out a claim from the arena chunk.
+func (r *PSResource) newClaim() *Claim {
+	if len(r.arena) == 0 {
+		r.arena = make([]Claim, claimChunk)
+	}
+	c := &r.arena[0]
+	r.arena = r.arena[1:]
+	return c
+}
+
 // Acquire starts serving a claim with the given demand; onDone fires when
 // the demand has been fully served. A non-positive demand completes at the
 // current time (asynchronously, preserving event ordering).
 func (r *PSResource) Acquire(demand float64, onDone func()) *Claim {
 	r.claimSeq++
-	c := &Claim{res: r, seq: r.claimSeq, remaining: demand, onDone: onDone}
+	c := r.newClaim()
+	*c = Claim{res: r, seq: r.claimSeq, remaining: demand, onDone: onDone}
 	if demand <= demandEps {
 		c.done = true
 		r.eng.Schedule(0, func() {
@@ -152,9 +177,28 @@ func (r *PSResource) Acquire(demand float64, onDone func()) *Claim {
 		return c
 	}
 	r.advance()
-	r.claims[c] = struct{}{}
+	r.claims = append(r.claims, c)
+	r.active++
 	r.reschedule()
 	return c
+}
+
+// compact removes done claims from the claim slice once they outnumber the
+// live ones, preserving acquisition order.
+func (r *PSResource) compact() {
+	if len(r.claims) < 16 || r.active*2 > len(r.claims) {
+		return
+	}
+	live := r.claims[:0]
+	for _, c := range r.claims {
+		if !c.done {
+			live = append(live, c)
+		}
+	}
+	for i := len(live); i < len(r.claims); i++ {
+		r.claims[i] = nil
+	}
+	r.claims = live
 }
 
 // Cancel aborts an in-progress claim without firing its callback. It
@@ -166,8 +210,9 @@ func (c *Claim) Cancel() float64 {
 	}
 	r := c.res
 	r.advance()
-	delete(r.claims, c)
 	c.done = true
+	r.active--
+	r.compact()
 	rem := c.remaining
 	r.reschedule()
 	return rem
@@ -191,13 +236,16 @@ func (c *Claim) Remaining() float64 {
 func (r *PSResource) advance() {
 	now := r.eng.Now()
 	rate := r.ratePerClaim()
-	n := float64(len(r.claims))
+	n := float64(r.active)
 	r.util.Observe(now, rate*n/r.capacity)
 	r.load.Observe(now, n)
 	dt := now - r.lastUpdate
 	if dt > 0 && rate > 0 {
 		servedEach := rate * dt
-		for c := range r.claims {
+		for _, c := range r.claims {
+			if c.done {
+				continue
+			}
 			c.remaining -= servedEach
 			r.served += servedEach
 		}
@@ -208,17 +256,18 @@ func (r *PSResource) advance() {
 // reschedule computes the earliest completion among active claims and
 // (re)arms the completion timer.
 func (r *PSResource) reschedule() {
-	if r.timer != nil {
-		r.timer.Cancel()
-		r.timer = nil
-		r.target = nil
-	}
+	r.timer.Cancel()
+	r.timer = Timer{}
+	r.target = nil
 	rate := r.ratePerClaim()
 	if rate <= 0 {
 		return
 	}
 	var target *Claim
-	for c := range r.claims {
+	for _, c := range r.claims {
+		if c.done {
+			continue
+		}
 		if target == nil || c.remaining < target.remaining ||
 			(c.remaining == target.remaining && c.seq < target.seq) {
 			target = c
@@ -232,14 +281,14 @@ func (r *PSResource) reschedule() {
 		delay = 0
 	}
 	r.target = target
-	r.timer = r.eng.Schedule(delay, r.complete)
+	r.timer = r.eng.Schedule(delay, r.completeFn)
 }
 
 // complete fires when the earliest claim(s) finish: it advances service,
 // removes every claim whose demand is exhausted, invokes their callbacks,
 // and re-arms the timer.
 func (r *PSResource) complete() {
-	r.timer = nil
+	r.timer = Timer{}
 	r.advance()
 	// The timer was armed for r.target's exact completion; floating-point
 	// rounding can leave a vanishing residue that would otherwise re-arm
@@ -248,32 +297,30 @@ func (r *PSResource) complete() {
 		t.remaining = 0
 	}
 	r.target = nil
-	var finished []*Claim
-	for c := range r.claims {
-		if c.remaining <= demandEps {
+	// The claim slice is in acquisition order, so finished comes out
+	// sorted by seq — callback order is deterministic by construction.
+	finished := r.finished[:0]
+	for _, c := range r.claims {
+		if !c.done && c.remaining <= demandEps {
 			finished = append(finished, c)
 		}
 	}
 	for _, c := range finished {
-		delete(r.claims, c)
 		c.done = true
 		c.remaining = 0
+		r.active--
 	}
+	r.compact()
 	r.reschedule()
 	// Callbacks run after bookkeeping so they observe a consistent
-	// resource state and may immediately Acquire again. Order is made
-	// deterministic below.
-	sortClaims(finished)
+	// resource state and may immediately Acquire again.
 	for _, c := range finished {
 		if c.onDone != nil {
 			c.onDone()
 		}
 	}
-}
-
-// sortClaims orders simultaneously-finishing claims by acquisition order
-// so that callback sequences — and therefore entire simulation runs — are
-// deterministic despite Go's randomized map iteration.
-func sortClaims(cs []*Claim) {
-	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+	for i := range finished {
+		finished[i] = nil
+	}
+	r.finished = finished[:0]
 }

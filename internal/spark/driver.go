@@ -1,9 +1,11 @@
 package spark
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"rupam/internal/executor"
+	"rupam/internal/simx"
 	"rupam/internal/stats"
 	"rupam/internal/task"
 	"rupam/internal/wal"
@@ -292,14 +294,10 @@ func (rt *Runtime) finishApp() {
 	if rt.Rec != nil {
 		rt.Rec.Stop()
 	}
-	if rt.specTimer != nil {
-		rt.specTimer.Cancel()
-		rt.specTimer = nil
-	}
-	if rt.wdTimer != nil {
-		rt.wdTimer.Cancel()
-		rt.wdTimer = nil
-	}
+	rt.specTimer.Cancel()
+	rt.specTimer = simx.Timer{}
+	rt.wdTimer.Cancel()
+	rt.wdTimer = simx.Timer{}
 	if rt.OnAppDone != nil {
 		rt.OnAppDone()
 	}
@@ -364,13 +362,18 @@ func (rt *Runtime) scanForStragglers() {
 // order; schedulers launch copies of these when they have spare resources
 // (Algorithm 2's speculativeTaskSet path).
 func (rt *Runtime) SpeculativeTasks() []*task.Task {
+	if len(rt.speculatable) == 0 {
+		// Fast path for the common case: schedulers poll this on every
+		// scheduling round, and the straggler set is almost always empty.
+		return nil
+	}
 	ts := make([]*task.Task, 0, len(rt.speculatable))
 	for _, t := range rt.speculatable {
 		if t.State == task.Running {
 			ts = append(ts, t)
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	slices.SortFunc(ts, func(a, b *task.Task) int { return cmp.Compare(a.ID, b.ID) })
 	return ts
 }
 
@@ -494,7 +497,7 @@ func (rt *Runtime) sortedActiveStages() []*task.Stage {
 	for _, s := range rt.activeStages {
 		ss = append(ss, s)
 	}
-	sort.Slice(ss, func(i, j int) bool { return ss[i].ID < ss[j].ID })
+	slices.SortFunc(ss, func(a, b *task.Stage) int { return cmp.Compare(a.ID, b.ID) })
 	return ss
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rupam/internal/executor"
+	"rupam/internal/simx"
 	"rupam/internal/task"
 	"rupam/internal/wal"
 )
@@ -74,14 +75,10 @@ func (rt *Runtime) driverCrash(restartAfter float64) {
 		// (DeliverHeartbeat refuses reports while crashed).
 		rt.Mon.Stop()
 	}
-	if rt.specTimer != nil {
-		rt.specTimer.Cancel()
-		rt.specTimer = nil
-	}
-	if rt.wdTimer != nil {
-		rt.wdTimer.Cancel()
-		rt.wdTimer = nil
-	}
+	rt.specTimer.Cancel()
+	rt.specTimer = simx.Timer{}
+	rt.wdTimer.Cancel()
+	rt.wdTimer = simx.Timer{}
 	rt.Eng.Schedule(restartAfter, rt.recoverDriver)
 }
 

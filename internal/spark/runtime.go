@@ -257,7 +257,7 @@ type Runtime struct {
 	submitted    map[int]bool
 	runningAtt   map[int][]*executor.Run // live attempts by task ID
 	speculatable map[int]*task.Task
-	specTimer    *simx.Timer
+	specTimer    simx.Timer
 	appDone      bool
 	appStart     float64
 	appEnd       float64
@@ -270,7 +270,7 @@ type Runtime struct {
 	failCount map[int]int        // genuine failures per task ID
 	resubmits map[int]int        // rollback resubmissions per task ID
 	bl        *blacklist         // nil unless Cfg.Blacklist.Enabled
-	wdTimer   *simx.Timer        // heartbeat-timeout watchdog
+	wdTimer   simx.Timer         // heartbeat-timeout watchdog
 	inj       *faults.Injector   // nil unless Cfg.Faults is non-empty
 	aborted   *AbortError
 

@@ -14,12 +14,12 @@ import (
 // live cluster state; the runtime re-invokes them with fresh exclusions
 // when nodes die.
 type NodeInfo struct {
-	Name    string
-	Cores   int
-	FreqGHz float64
+	Name     string
+	Cores    int
+	FreqGHz  float64
 	MemBytes int64
-	NetBps  float64
-	GPUs    int
+	NetBps   float64
+	GPUs     int
 }
 
 // Capacity returns the node's aggregate compute rate in giga-cycles/sec.
@@ -30,12 +30,12 @@ func SnapshotNodes(clu *cluster.Cluster) []NodeInfo {
 	infos := make([]NodeInfo, 0, len(clu.Nodes))
 	for _, n := range clu.Nodes {
 		infos = append(infos, NodeInfo{
-			Name:    n.Spec.Name,
-			Cores:   n.Spec.Cores,
-			FreqGHz: n.Spec.FreqGHz,
+			Name:     n.Spec.Name,
+			Cores:    n.Spec.Cores,
+			FreqGHz:  n.Spec.FreqGHz,
 			MemBytes: n.Spec.MemBytes,
-			NetBps:  n.Spec.NetBandwidth,
-			GPUs:    n.Spec.GPUs,
+			NetBps:   n.Spec.NetBandwidth,
+			GPUs:     n.Spec.GPUs,
 		})
 	}
 	return infos
@@ -193,11 +193,13 @@ func (p *resourcePlacer) mostResidual(opID int, demand float64, nodes []NodeInfo
 			continue
 		}
 		residual := n.Capacity() - assigned[n.Name]
-		detail := fmt.Sprintf("residual %.1f Gcyc/s vs demand %.1f", residual, demand)
-		if residual >= demand {
-			d.Candidate(opID, n.Name, "", detail)
-		} else {
-			d.Candidate(opID, n.Name, "no-cpu-fit", detail)
+		if d != nil {
+			detail := fmt.Sprintf("residual %.1f Gcyc/s vs demand %.1f", residual, demand)
+			if residual >= demand {
+				d.Candidate(opID, n.Name, "", detail)
+			} else {
+				d.Candidate(opID, n.Name, "no-cpu-fit", detail)
+			}
 		}
 		if residual > bestResidual {
 			chosen, bestResidual = n.Name, residual

@@ -150,12 +150,14 @@ func crossBytes(t *Topology, o *Operator, node string, placed map[int]string, ou
 // Decision with the per-node verdicts.
 func (p *rupamPlacer) score(t *Topology, o *Operator, v demandVec, nodes []NodeInfo, placed map[int]string, assigned map[string]*load, exclude map[string]bool, outRates map[int]float64) string {
 	d := p.col.NewDecision("placer/rupam", "")
-	evidence := "closed-form demand"
-	if v.learned {
-		evidence = "CharDB-learned demand"
+	if d != nil {
+		evidence := "closed-form demand"
+		if v.learned {
+			evidence = "CharDB-learned demand"
+		}
+		d.Note("%s: cpu %.2f Gcyc/s, net in %.0f out %.0f B/s, state %d B",
+			evidence, v.cpu, v.in, v.out, v.state)
 	}
-	d.Note("%s: cpu %.2f Gcyc/s, net in %.0f out %.0f B/s, state %d B",
-		evidence, v.cpu, v.in, v.out, v.state)
 
 	best, bestScore := "", -1.0
 	for _, n := range nodes {
@@ -165,8 +167,10 @@ func (p *rupamPlacer) score(t *Topology, o *Operator, v demandVec, nodes []NodeI
 		}
 		l := assigned[n.Name]
 		if l.stateUse+v.state > n.MemBytes/2 {
-			d.Candidate(o.ID, n.Name, "no-mem-fit",
-				fmt.Sprintf("state %d + assigned %d > budget %d", v.state, l.stateUse, n.MemBytes/2))
+			if d != nil {
+				d.Candidate(o.ID, n.Name, "no-mem-fit",
+					fmt.Sprintf("state %d + assigned %d > budget %d", v.state, l.stateUse, n.MemBytes/2))
+			}
 			continue
 		}
 		// Attainable compute rate: the node's residual capacity, capped by
@@ -189,11 +193,13 @@ func (p *rupamPlacer) score(t *Topology, o *Operator, v demandVec, nodes []NodeI
 		if netRatio < score {
 			score = netRatio
 		}
-		detail := fmt.Sprintf("attain %.2f/%.2f Gcyc/s, NIC headroom %.2f", attain, v.cpu, netRatio)
+		if d != nil {
+			d.Candidate(o.ID, n.Name, "",
+				fmt.Sprintf("attain %.2f/%.2f Gcyc/s, NIC headroom %.2f", attain, v.cpu, netRatio))
+		}
 		if score > bestScore {
 			best, bestScore = n.Name, score
 		}
-		d.Candidate(o.ID, n.Name, "", detail)
 	}
 	if best == "" {
 		// Everything excluded or over-committed: fall back to the first

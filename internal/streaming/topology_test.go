@@ -86,7 +86,9 @@ func TestValidateRejectsBadTopologies(t *testing.T) {
 		{"self-edge", func(d *Topology) { d.Edges = append(d.Edges, Edge{1, 1}) }},
 		{"dup-edge", func(d *Topology) { d.Edges = append(d.Edges, Edge{0, 1}) }},
 		{"unknown-op", func(d *Topology) { d.Edges = append(d.Edges, Edge{0, 99}) }},
-		{"dup-id", func(d *Topology) { d.Ops = append(d.Ops, &Operator{ID: 0, Name: "x", CyclesPerRecord: 1, BytesPerRecord: 1, Selectivity: 1, Parallelism: 1}) }},
+		{"dup-id", func(d *Topology) {
+			d.Ops = append(d.Ops, &Operator{ID: 0, Name: "x", CyclesPerRecord: 1, BytesPerRecord: 1, Selectivity: 1, Parallelism: 1})
+		}},
 		{"source-no-rate", func(d *Topology) { d.Ops[0].RateHz = 0 }},
 		{"non-source-rate", func(d *Topology) { d.Ops[1].RateHz = 5 }},
 		{"bad-selectivity", func(d *Topology) { d.Ops[1].Selectivity = 0 }},

@@ -72,6 +72,33 @@ func (d Demand) TotalComputeWork() float64 { return d.CPUWork + d.GPUWork }
 // GPUCapable reports whether the task can use an accelerator.
 func (d Demand) GPUCapable() bool { return d.GPUWork > 0 }
 
+// MetricsArena hands out Metrics in chunks. Attempt records are retained
+// for the whole run (the CharDB, tracing, and the chaos fingerprint all
+// read them afterwards), so they can never be recycled — but they can be
+// batched: one allocation per chunk instead of one per attempt. The zero
+// value is ready to use.
+type MetricsArena struct {
+	chunk []Metrics
+	// Allocs counts chunk allocations; News counts Metrics handed out.
+	// Exposed for the perf battery's steady-state accounting.
+	Allocs, News uint64
+}
+
+// metricsChunk is the arena block size.
+const metricsChunk = 64
+
+// New returns a zeroed Metrics from the arena.
+func (a *MetricsArena) New() *Metrics {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]Metrics, metricsChunk)
+		a.Allocs++
+	}
+	m := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	a.News++
+	return m
+}
+
 // Metrics is what the framework observes about one task attempt — the
 // task-side columns of Table I. RUPAM's Task Manager persists these in its
 // task-characteristics database keyed by (stage, partition).

@@ -1,6 +1,9 @@
 package tenant
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // This file is the FAIR policy layer — the Spark fair scheduler's pool
 // model reduced to its arbitration essence. Every scheduling round:
@@ -72,15 +75,13 @@ func (m *Manager) fairRound() {
 	}
 
 	pools, byName := m.poolTable()
-	liveOf := make(map[*appState]int, len(apps))
-	demandOf := make(map[*appState]int, len(apps))
 	for _, a := range apps {
 		live, pending := m.demandOf(a)
-		liveOf[a] = live
-		demandOf[a] = live + pending
+		a.liveNow = live
+		a.demandNow = live + pending
 		p := byName[a.pool]
 		p.apps = append(p.apps, a)
-		p.demand += demandOf[a]
+		p.demand += a.demandNow
 	}
 
 	waterFill(m.capacity, pools)
@@ -90,7 +91,7 @@ func (m *Manager) fairRound() {
 	for _, p := range pools {
 		rem := p.grant
 		for _, a := range p.apps {
-			g := demandOf[a]
+			g := a.demandNow
 			if g > rem {
 				g = rem
 			}
@@ -102,22 +103,22 @@ func (m *Manager) fairRound() {
 	// Dispatch most-starved-first: the application furthest below its
 	// share launches before better-served siblings consume the freed
 	// slots. Ties break by arrival order.
-	order := append([]*appState(nil), apps...)
+	order := apps
 	frac := func(a *appState) float64 {
 		if a.slotTarget <= 0 {
 			return 2 // nothing owed; go last
 		}
-		return float64(liveOf[a]) / float64(a.slotTarget)
+		return float64(a.liveNow) / float64(a.slotTarget)
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		fi, fj := frac(order[i]), frac(order[j])
-		if fi != fj {
-			return fi < fj
+	slices.SortStableFunc(order, func(a, b *appState) int {
+		fa, fb := frac(a), frac(b)
+		if fa != fb {
+			return cmp.Compare(fa, fb)
 		}
-		return order[i].idx < order[j].idx
+		return cmp.Compare(a.idx, b.idx)
 	})
 	for _, a := range order {
-		if a.slotTarget > liveOf[a] {
+		if a.slotTarget > a.liveNow {
 			a.rt.Scheduler().Schedule()
 		}
 	}

@@ -9,8 +9,9 @@
 package tenant
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"rupam/internal/cluster"
 	"rupam/internal/core"
@@ -180,6 +181,8 @@ type appState struct {
 	app        *task.Application
 	rt         *spark.Runtime
 	slotTarget int // FAIR share, recomputed every scheduling round
+	liveNow    int // fairRound scratch: live attempts this round
+	demandNow  int // fairRound scratch: live + pending this round
 
 	leases    map[string]int     // node → leased cores
 	lastBusy  map[string]float64 // node → last time the app ran there
@@ -212,7 +215,7 @@ type Manager struct {
 	arrived, admitted, rejectedN int
 
 	scheduling, dirty bool
-	dynTimer          *simx.Timer
+	dynTimer          simx.Timer
 	finished          bool
 	finishedAt        float64
 
@@ -420,7 +423,7 @@ func (m *Manager) heartbeatInterval() float64 {
 func (m *Manager) activeApps() []*appState {
 	out := make([]*appState, 0, len(m.running))
 	out = append(out, m.running...)
-	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	slices.SortFunc(out, func(a, b *appState) int { return cmp.Compare(a.idx, b.idx) })
 	return out
 }
 
@@ -578,9 +581,7 @@ func (m *Manager) maybeFinish() {
 	m.finished = true
 	m.finishedAt = m.eng.Now()
 	m.sub.Mon.Stop()
-	if m.dynTimer != nil {
-		m.dynTimer.Cancel()
-	}
+	m.dynTimer.Cancel()
 	// Close out the market: every still-held instance is released and its
 	// bill settled, so the report's cost covers the whole run.
 	for _, node := range m.nodeOrder {
